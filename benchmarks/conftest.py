@@ -1,0 +1,42 @@
+"""Benchmark fixtures and the paper-vs-measured report hook.
+
+Every benchmark regenerates one paper artifact (table or figure series)
+and registers the produced rows; a session-end hook prints them so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report generator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def register_report(title: str, body: str) -> None:
+    """Collect a reproduction table to print at session end."""
+    _REPORTS.append(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    return register_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTS:
+        print("\n".join(_REPORTS))
+
+
+@pytest.fixture(scope="session")
+def av_workload():
+    from repro import Workload
+
+    return Workload.autonomous_vehicle()
+
+
+@pytest.fixture(scope="session")
+def orin_reference():
+    from repro.studies.drive import drive_2d_design
+
+    return drive_2d_design("ORIN")

@@ -1,0 +1,49 @@
+"""A4 — Ablation: the Sec. 3.4 bandwidth constraint on/off.
+
+Without the constraint, every 2.5D option looks viable and its
+operational carbon is underestimated (no stall energy); the ORIN and THOR
+validity patterns of Fig. 5 disappear.
+"""
+
+from repro import CarbonModel, ChipDesign, ParameterSet, Workload
+from repro.studies.drive import drive_2d_design
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+OPTIONS = ("mcm", "info", "emib", "si_interposer")
+
+
+def _run(enabled: bool):
+    params = PARAMS.with_bandwidth(enabled=enabled)
+    rows = {}
+    for device in ("ORIN", "THOR"):
+        reference = drive_2d_design(device)
+        for option in OPTIONS:
+            design = ChipDesign.homogeneous_split(reference, option)
+            report = CarbonModel(design, params).evaluate(WL)
+            rows[f"{device}/{option}"] = report
+    return rows
+
+
+def test_ablation_bandwidth_constraint(benchmark, report_sink):
+    constrained = benchmark(_run, True)
+    unconstrained = _run(False)
+    lines = [f"{'design':<22} {'valid(on)':>10} {'oper(on)':>9} "
+             f"{'valid(off)':>11} {'oper(off)':>10}"]
+    for name in constrained:
+        on = constrained[name]
+        off = unconstrained[name]
+        lines.append(
+            f"{name:<22} {str(on.valid):>10} {on.operational_kg:9.2f} "
+            f"{str(off.valid):>11} {off.operational_kg:10.2f}"
+        )
+    report_sink("Ablation A4 — bandwidth constraint", "\n".join(lines))
+
+    # With the constraint off, everything is "valid"...
+    assert all(r.valid for r in unconstrained.values())
+    # ...and the constrained THOR 2.5D designs are all invalid.
+    for option in OPTIONS:
+        assert not constrained[f"THOR/{option}"].valid
+    # Degraded designs pay stall energy only when the constraint is on.
+    assert (constrained["ORIN/emib"].operational_kg
+            > unconstrained["ORIN/emib"].operational_kg)

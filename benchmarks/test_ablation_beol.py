@@ -1,0 +1,48 @@
+"""A1 — Ablation: BEOL-aware wafer carbon on/off.
+
+The 3D-Carbon refinement over ACT+ (Sec. 4.1): wafer carbon scales with
+the estimated metal-layer count. Disabling it prices every die at the
+node's full stack and erases part of the partitioning benefit.
+"""
+
+from repro import CarbonModel, ChipDesign, ParameterSet
+from repro.studies.drive import drive_2d_design
+
+PARAMS = ParameterSet.default()
+
+
+def _run(beol_aware: bool):
+    params = PARAMS.with_beol_aware(beol_aware)
+    reference = drive_2d_design("ORIN")
+    rows = {}
+    for integration in ("2d", "hybrid_3d", "m3d"):
+        design = (
+            reference if integration == "2d"
+            else ChipDesign.homogeneous_split(reference, integration)
+        )
+        rows[integration] = CarbonModel(design, params).embodied().total_kg
+    return rows
+
+
+def test_ablation_beol_awareness(benchmark, report_sink):
+    aware = benchmark(_run, True)
+    flat = _run(False)
+    lines = [f"{'design':<12} {'BEOL-aware kg':>14} {'flat kg':>9} "
+             f"{'delta %':>8}"]
+    for name in aware:
+        delta = (flat[name] / aware[name] - 1.0) * 100.0
+        lines.append(
+            f"{name:<12} {aware[name]:14.2f} {flat[name]:9.2f} {delta:8.1f}"
+        )
+    report_sink("Ablation A1 — BEOL-aware wafer carbon", "\n".join(lines))
+
+    # Flat pricing charges the full metal stack for bonded designs.
+    assert flat["2d"] > aware["2d"]
+    assert flat["hybrid_3d"] > aware["hybrid_3d"]
+    # The split designs benefit more from BEOL awareness than 2D does.
+    gain_2d = flat["2d"] / aware["2d"]
+    gain_hybrid = flat["hybrid_3d"] / aware["hybrid_3d"]
+    assert gain_hybrid > gain_2d
+    # M3D is the exception: two sequential metal stacks exceed the single
+    # full-stack EPA baked into flat pricing, so awareness *raises* it.
+    assert aware["m3d"] > 0 and flat["m3d"] > 0

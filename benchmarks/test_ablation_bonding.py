@@ -1,0 +1,49 @@
+"""A3 — Ablation: D2W vs W2W assembly and bonding methods.
+
+Sec. 4.2's key mechanism: D2W permits known-good-die testing (higher
+effective die yields, lower per-bond yield); W2W bonds blind. The bench
+sweeps both flows for the Lakefield stack and both bonding methods for
+the ORIN hybrid split.
+"""
+
+from repro import CarbonModel, ChipDesign, ParameterSet
+from repro.config.integration import AssemblyFlow
+from repro.studies.drive import drive_2d_design
+from repro.studies.validation import lakefield_design
+
+PARAMS = ParameterSet.default()
+
+
+def _run():
+    rows = {}
+    for flow in (AssemblyFlow.D2W, AssemblyFlow.W2W):
+        report = CarbonModel(lakefield_design(flow), PARAMS).embodied()
+        rows[f"lakefield/{flow.value}"] = report
+    reference = drive_2d_design("ORIN")
+    for integration in ("micro_3d", "hybrid_3d"):
+        for flow in (AssemblyFlow.D2W, AssemblyFlow.W2W):
+            design = ChipDesign.homogeneous_split(
+                reference, integration, assembly=flow
+            ).with_overrides(name=f"orin_{integration}_{flow.value}")
+            rows[f"orin/{integration}/{flow.value}"] = CarbonModel(
+                design, PARAMS
+            ).embodied()
+    return rows
+
+
+def test_ablation_bonding_flows(benchmark, report_sink):
+    rows = benchmark(_run)
+    lines = [f"{'configuration':<28} {'die kg':>8} {'bond kg':>8} "
+             f"{'total kg':>9}"]
+    for name, report in rows.items():
+        lines.append(
+            f"{name:<28} {report.die_kg:8.3f} {report.bonding_kg:8.3f} "
+            f"{report.total_kg:9.3f}"
+        )
+    report_sink("Ablation A3 — assembly flow / bonding method", "\n".join(lines))
+
+    assert (rows["lakefield/d2w"].total_kg
+            < rows["lakefield/w2w"].total_kg)
+    for integration in ("micro_3d", "hybrid_3d"):
+        assert (rows[f"orin/{integration}/d2w"].total_kg
+                < rows[f"orin/{integration}/w2w"].total_kg)

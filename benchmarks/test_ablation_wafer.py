@@ -1,0 +1,23 @@
+"""A2 — Ablation: wafer diameter sweep (Table 2's 200–450 mm range).
+
+Eq. 5's circumference loss shrinks with wafer size; the benefit is larger
+for big monolithic dies than for split dies, which is part of why
+partitioning pays off on smaller wafers.
+"""
+
+from repro.studies.drive import drive_2d_design
+from repro.studies.sweep import format_sweep, sweep_wafer_diameters
+
+DIAMETERS = [200.0, 300.0, 450.0]
+
+
+def test_ablation_wafer_diameter(benchmark, report_sink):
+    reference = drive_2d_design("ORIN")
+    points = benchmark(sweep_wafer_diameters, reference, DIAMETERS)
+    report_sink("Ablation A2 — wafer diameter sweep (ORIN 2D)",
+                format_sweep(points))
+
+    totals = [p.report.embodied_kg for p in points]
+    assert totals[0] > totals[1] > totals[2]
+    # 200→450 mm saves a double-digit percentage for a 458 mm² die.
+    assert totals[0] / totals[2] > 1.10

@@ -1,0 +1,44 @@
+"""Analysis-extension benchmarks: tornado, Monte Carlo, search.
+
+Not a paper artifact — these measure the throughput of the
+carbon-conscious-design workflows the paper motivates (Sec. 6: "pave the
+way for ... environmentally sustainable 3D and 2.5D ICs").
+"""
+
+from repro import ChipDesign, Workload
+from repro.analysis import (
+    format_tornado,
+    monte_carlo,
+    search_configurations,
+    tornado,
+)
+from repro.studies.drive import drive_2d_design
+
+WL = Workload.autonomous_vehicle()
+
+
+def test_tornado_throughput(benchmark, report_sink):
+    hybrid = ChipDesign.homogeneous_split(
+        drive_2d_design("ORIN"), "hybrid_3d"
+    )
+    results = benchmark(tornado, hybrid, None, WL)
+    report_sink("Sensitivity — tornado study (ORIN hybrid 3D)",
+                format_tornado(results))
+    assert results[0].factor.startswith("defect_density")
+
+
+def test_monte_carlo_throughput(benchmark, report_sink):
+    hybrid = ChipDesign.homogeneous_split(
+        drive_2d_design("ORIN"), "hybrid_3d"
+    )
+    result = benchmark(monte_carlo, hybrid, None, WL, None, "taiwan", 50)
+    report_sink("Uncertainty — Monte Carlo (50 samples)", result.summary())
+    assert result.std_kg > 0
+
+
+def test_configuration_search_throughput(benchmark, report_sink):
+    result = benchmark(search_configurations, drive_2d_design("ORIN"), WL)
+    report_sink("Optimizer — exhaustive configuration search (ORIN)",
+                result.format_table())
+    assert result.best is not None
+    assert result.best.label.startswith("m3d")

@@ -1,0 +1,38 @@
+"""E3 — Fig. 5(a): NVIDIA DRIVE series, homogeneous 2-die designs.
+
+Regenerates all 36 bars (4 devices × 9 integration options) and asserts
+the paper's qualitative series: operational carbon falls across
+generations, 3D options always cut embodied carbon, InFO/Si-interposer
+inflate it for ORIN, MCM+InFO are invalid at ORIN, and every 2.5D option
+is invalid at THOR.
+"""
+
+from repro.studies.drive import drive_study
+
+
+def test_fig5a_homogeneous(benchmark, report_sink):
+    result = benchmark(drive_study, "homogeneous")
+    report_sink("Fig. 5(a) — DRIVE series, homogeneous approach",
+                result.format_table())
+
+    devices = ("PX2", "XAVIER", "ORIN", "THOR")
+    ops = [result.cell(d, "2D").report.operational_kg for d in devices]
+    assert all(a > b for a, b in zip(ops, ops[1:]))
+
+    for device in devices:
+        baseline = result.cell(device, "2D").report.embodied_kg
+        for option in ("Micro", "Hybrid", "M3D"):
+            assert result.cell(device, option).report.embodied_kg < baseline
+
+    orin_2d = result.cell("ORIN", "2D").report.embodied_kg
+    assert result.cell("ORIN", "Si_int").report.embodied_kg > orin_2d
+    assert result.cell("ORIN", "InFO_1").report.embodied_kg > orin_2d
+
+    invalid_orin = {
+        c.option for c in result.cells
+        if c.device == "ORIN" and not c.valid
+    }
+    assert invalid_orin == {"MCM", "InFO_1", "InFO_2"}
+
+    for option in ("MCM", "InFO_1", "InFO_2", "EMIB", "Si_int"):
+        assert not result.cell("THOR", option).valid

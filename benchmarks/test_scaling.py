@@ -1,0 +1,16 @@
+"""Node-scaling study benchmark (the intro's per-node carbon trends)."""
+
+from repro.studies.scaling import format_scaling_table, node_scaling_study
+
+
+def test_node_scaling_study(benchmark, report_sink):
+    points = benchmark(node_scaling_study, 2.0e9)
+    report_sink("Node-scaling trends (2 B-gate reference design)",
+                format_scaling_table(points))
+
+    per_cm2 = [p.carbon_per_cm2_kg for p in points]
+    per_gate = [p.carbon_per_bgate_kg for p in points]
+    # Per-area intensity rises towards finer nodes...
+    assert all(a <= b + 1e-12 for a, b in zip(per_cm2, per_cm2[1:]))
+    # ...but density and yield win: per-gate carbon falls monotonically.
+    assert all(a > b for a, b in zip(per_gate, per_gate[1:]))

@@ -1,0 +1,48 @@
+"""A5 — Design-space exploration throughput.
+
+Benchmarks the sweep utilities an architect would run interactively: the
+full integration sweep for one device and the chiplet-count sweep for
+MCM, plus a fab-location sensitivity row.
+"""
+
+from repro.studies.drive import drive_2d_design
+from repro.studies.sweep import (
+    format_sweep,
+    sweep_die_counts,
+    sweep_fab_locations,
+    sweep_integrations,
+)
+
+
+def test_sweep_integrations(benchmark, report_sink, av_workload):
+    reference = drive_2d_design("ORIN")
+    points = benchmark(sweep_integrations, reference, None, av_workload)
+    report_sink("DSE — integration sweep (ORIN, AV workload)",
+                format_sweep(points))
+    assert len(points) == 8
+    totals = {p.label: p.report.total_kg for p in points}
+    assert totals["m3d"] == min(totals.values())
+
+
+def test_sweep_die_counts(benchmark, report_sink, av_workload):
+    reference = drive_2d_design("ORIN")
+    points = benchmark(
+        sweep_die_counts, reference, "mcm", [2, 3, 4], av_workload
+    )
+    report_sink("DSE — MCM chiplet-count sweep (ORIN)", format_sweep(points))
+    assert len(points) == 3
+    # More, smaller chiplets: better yield but more bonding/IO overheads —
+    # embodied stays finite and positive either way.
+    for point in points:
+        assert point.report.embodied_kg > 0
+
+
+def test_sweep_fab_locations(benchmark, report_sink):
+    reference = drive_2d_design("ORIN")
+    points = benchmark(
+        sweep_fab_locations, reference,
+        ["iceland", "france", "usa", "taiwan", "india"],
+    )
+    report_sink("DSE — fab-location sweep (ORIN 2D)", format_sweep(points))
+    totals = [p.report.embodied_kg for p in points]
+    assert all(a < b for a, b in zip(totals, totals[1:]))

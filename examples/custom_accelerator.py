@@ -1,0 +1,100 @@
+"""Modeling a custom heterogeneous accelerator package.
+
+A from-scratch design that exercises the lower-level API directly: an
+HBM-style stack (base die + two DRAM-like tiers, micro-bump F2B) placed
+next to a compute die on a silicon interposer — the CoWoS-class assembly
+the paper's Table 1 lists under "Silicon Interposer / NVIDIA GPU P100".
+
+Shows: explicit Die objects, mixed area-/gate-specified dies, per-die
+workload shares, BEOL overrides, and parameter-set overrides.
+
+Run:  python examples/custom_accelerator.py
+"""
+
+from repro import (
+    CarbonModel,
+    ChipDesign,
+    ParameterSet,
+    Workload,
+)
+from repro.config.integration import AssemblyFlow, StackingStyle
+from repro.core.design import Die, DieKind, PackageSpec
+
+# --- The memory stack, modeled as its own micro-bump F2B 3D design -------
+hbm_stack = ChipDesign(
+    name="hbm_stack",
+    dies=(
+        Die("hbm_base", "28nm", area_mm2=96.0, kind=DieKind.IO,
+            workload_share=0.0),
+        Die("dram_tier0", "28nm", area_mm2=92.0, kind=DieKind.MEMORY,
+            workload_share=0.0, beol_layers=4),
+        Die("dram_tier1", "28nm", area_mm2=92.0, kind=DieKind.MEMORY,
+            workload_share=0.0, beol_layers=4),
+    ),
+    integration="micro_3d",
+    stacking=StackingStyle.F2B,
+    assembly=AssemblyFlow.D2W,
+    package=PackageSpec("fcbga"),
+)
+
+# --- The full 2.5D assembly: compute die + HBM base die on an interposer -
+assembly = ChipDesign(
+    name="p100_like_accelerator",
+    dies=(
+        Die("gpu_die", "14nm", gate_count=15.3e9, workload_share=1.0,
+            efficiency_tops_per_w=0.85),
+        Die("hbm_site0", "28nm", area_mm2=96.0, kind=DieKind.MEMORY,
+            workload_share=0.0),
+        Die("hbm_site1", "28nm", area_mm2=96.0, kind=DieKind.MEMORY,
+            workload_share=0.0),
+    ),
+    integration="si_interposer",
+    assembly=AssemblyFlow.CHIP_LAST,
+    package=PackageSpec("fcbga"),
+    throughput_tops=21.0,
+)
+
+# Datacenter deployment: Irish fab grid, US-average use grid, 5-year life
+# at 60 % duty.
+workload = Workload.from_activity(
+    "inference_service",
+    throughput_tops=21.0,
+    hours_per_day=14.4,
+    lifetime_years=5.0,
+    use_location="usa",
+)
+
+# Tighter interposer assumptions than the defaults: CoWoS-class 0.5 mm die
+# gap and a slightly larger interposer margin.
+params = ParameterSet.default().with_substrate(
+    die_gap_mm=0.5, si_interposer_scale=1.3
+)
+
+
+def main() -> None:
+    print("--- HBM-style 3D memory stack (standalone) ---")
+    stack_report = CarbonModel(hbm_stack, params, "south_korea").evaluate()
+    print(stack_report.render())
+    print()
+
+    print("--- Full interposer assembly ---")
+    model = CarbonModel(assembly, params, "ireland")
+    report = model.evaluate(workload)
+    print(report.render())
+    print()
+
+    resolved = model.resolved()
+    print("per-die detail:")
+    for rdie, eff_yield in zip(
+        resolved.dies, resolved.stack_yields.per_die
+    ):
+        print(f"  {rdie.name:<12} node={rdie.node.name:<5} "
+              f"area={rdie.area_mm2:7.1f} mm²  "
+              f"BEOL={rdie.beol.layers:5.1f}  yield={eff_yield:6.3f}")
+    substrate = resolved.substrate
+    print(f"  interposer   area={substrate.area_mm2:7.1f} mm²  "
+          f"yield={substrate.raw_yield:6.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Carbon-conscious design-space exploration with 3D-Carbon.
+
+The paper positions the tool for early-design-stage decisions. This
+example sweeps four axes for an ORIN-class accelerator and prints the
+lifecycle-carbon landscape:
+
+1. integration technology (all eight options);
+2. chiplet count for the MCM option;
+3. manufacturing wafer size;
+4. fab location (grid carbon intensity).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import Workload
+from repro.studies.drive import drive_2d_design
+from repro.studies.sweep import (
+    format_sweep,
+    sweep_die_counts,
+    sweep_fab_locations,
+    sweep_integrations,
+    sweep_wafer_diameters,
+)
+
+
+def main() -> None:
+    reference = drive_2d_design("ORIN")
+    workload = Workload.autonomous_vehicle()
+
+    print(format_sweep(
+        sweep_integrations(reference, workload=workload),
+        title="1) Integration-technology sweep (ORIN, AV workload)",
+    ))
+    print()
+
+    print(format_sweep(
+        sweep_die_counts(reference, "mcm", [2, 3, 4], workload=workload),
+        title="2) MCM chiplet-count sweep",
+    ))
+    print()
+
+    print(format_sweep(
+        sweep_wafer_diameters(reference),
+        title="3) Wafer-diameter sweep (embodied only)",
+    ))
+    print()
+
+    print(format_sweep(
+        sweep_fab_locations(reference),
+        title="4) Fab-location sweep (embodied only)",
+    ))
+    print()
+
+    # Headline: which configuration minimizes total lifecycle carbon?
+    points = sweep_integrations(reference, workload=workload)
+    valid = [p for p in points if p.report.valid]
+    best = min(valid, key=lambda p: p.report.total_kg)
+    baseline = next(p for p in points if p.label == "2d")
+    saving = 1.0 - best.report.total_kg / baseline.report.total_kg
+    print(f"Best valid configuration: {best.label} "
+          f"({best.report.total_kg:.2f} kg CO2e, "
+          f"{saving * 100:.1f}% below the 2D baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The full Sec. 5 case study: NVIDIA DRIVE GPUs as 3D/2.5D ICs.
+
+Regenerates Fig. 5(a), Fig. 5(b) and Table 5 — with simple ASCII bar
+charts for the per-device carbon breakdowns and the bandwidth-validity
+markers of the figure.
+
+Run:  python examples/drive_case_study.py
+"""
+
+from repro.studies.decision import PAPER_TABLE5, table5_study
+from repro.studies.drive import drive_study
+
+
+def bars(result, device: str) -> None:
+    """ASCII rendition of one Fig. 5 device group."""
+    cells = [c for c in result.cells if c.device == device]
+    scale = max(c.report.total_kg for c in cells)
+    print(f"\n{device} ({result.approach}):")
+    for cell in cells:
+        emb = cell.report.embodied_kg
+        oper = cell.report.operational_kg
+        width_e = int(40 * emb / scale)
+        width_o = int(40 * oper / scale)
+        marker = "" if cell.valid else "  x INVALID (bandwidth)"
+        print(f"  {cell.option:<7} |{'#' * width_e}{'.' * width_o}| "
+              f"emb {emb:7.2f} + op {oper:6.2f} = {cell.report.total_kg:7.2f} kg"
+              f"{marker}")
+    print("          (# embodied, . operational)")
+
+
+def main() -> None:
+    for approach in ("homogeneous", "heterogeneous"):
+        result = drive_study(approach)
+        print("=" * 72)
+        print(f"Fig. 5({'a' if approach == 'homogeneous' else 'b'}) — "
+              f"{approach} division approach")
+        print("=" * 72)
+        for device in result.devices():
+            bars(result, device)
+        print()
+
+    print("=" * 72)
+    print("Table 5 — choosing/replacing DRIVE ORIN (10-year AV lifetime)")
+    print("=" * 72)
+    result = table5_study()
+    print(result.format_table())
+    print("\nmeasured vs paper (embodied save %):")
+    for option, expected in PAPER_TABLE5.items():
+        measured = result.row(option).metrics.embodied_save_ratio * 100
+        print(f"  {option:<8} {measured:7.2f}  (paper {expected['embodied_save']:7.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Technology-node scaling trends: the intro's core tension, quantified.
+
+"While additional manufacturing steps increase carbon emissions per
+wafer, factors like improved yield, area efficiency, ... could reduce the
+overall carbon footprint" — this example computes manufacturing carbon
+per cm² and per billion gates across 28 → 3 nm, then shows where a fixed
+design should be built (and how the answer changes once operational
+carbon joins).
+
+Run:  python examples/node_scaling_trends.py
+"""
+
+from repro import CarbonModel, ChipDesign, Workload
+from repro.studies.scaling import format_scaling_table, node_scaling_study
+from repro.viz import grouped_comparison
+
+
+def main() -> None:
+    print("=" * 60)
+    print("Manufacturing carbon by node (2 B-gate reference design)")
+    print("=" * 60)
+    points = node_scaling_study(gate_count=2.0e9)
+    print(format_scaling_table(points))
+    print()
+
+    print("Embodied carbon of the reference design by node:")
+    print(grouped_comparison(
+        [(p.node, p.reference_design_kg) for p in points]
+    ))
+    print()
+
+    # Lifecycle view: add a fixed 5-year inference workload. Older nodes
+    # lose twice — more silicon AND more energy per operation.
+    workload = Workload.from_activity(
+        "inference", throughput_tops=50.0, hours_per_day=6.0,
+        lifetime_years=5.0, use_location="usa",
+    )
+    rows = []
+    for node in ("28nm", "14nm", "7nm", "5nm"):
+        design = ChipDesign.planar_2d(
+            f"accel_{node}", node, gate_count=2.0e9, throughput_tops=50.0
+        )
+        report = CarbonModel(design).evaluate(workload)
+        rows.append((node, report.total_kg))
+    print("Total lifecycle carbon (same design + 5-year workload):")
+    print(grouped_comparison(rows))
+
+
+if __name__ == "__main__":
+    main()

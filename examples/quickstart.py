@@ -1,0 +1,49 @@
+"""Quickstart: evaluate the lifecycle carbon of a 3D IC in ~20 lines.
+
+Builds a 2D reference SoC, derives a hybrid-bonded 3D version, evaluates
+both under the autonomous-vehicle workload, and prints the comparison
+plus the Eq. 2 decision metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CarbonModel,
+    ChipDesign,
+    Workload,
+    decision_metrics,
+    format_report_table,
+)
+
+# 1. Describe the 2D reference: 17 B devices at 7 nm, 254 TOPS capacity
+#    (the NVIDIA DRIVE ORIN of the paper's Table 4).
+reference = ChipDesign.planar_2d(
+    "my_soc_2d",
+    node="7nm",
+    gate_count=17e9,
+    throughput_tops=254.0,
+    efficiency_tops_per_w=2.74,
+)
+
+# 2. Derive a two-die hybrid-bonding 3D design (F2F, die-to-wafer).
+stacked = ChipDesign.homogeneous_split(reference, "hybrid_3d")
+
+# 3. Pick a fixed workload: the 10-year AV perception pipeline.
+workload = Workload.autonomous_vehicle()
+
+# 4. Evaluate. Fab in Taiwan (CI_emb = 509 g CO2/kWh), use on a
+#    renewable-leaning charging grid (50 g CO2/kWh).
+report_2d = CarbonModel(reference, fab_location="taiwan").evaluate(workload)
+report_3d = CarbonModel(stacked, fab_location="taiwan").evaluate(workload)
+
+print(format_report_table([report_2d, report_3d], title="2D vs hybrid 3D"))
+print()
+
+# 5. Decision metrics (Eq. 2): indifference point and breakeven time.
+metrics = decision_metrics(report_2d, report_3d)
+print(f"embodied save : {metrics.embodied_save_ratio * 100:6.2f} %")
+print(f"overall save  : {metrics.overall_save_ratio * 100:6.2f} %")
+print(f"regime        : {metrics.regime.value}")
+print(f"choose 3D?    : {'yes' if metrics.choose_recommended else 'no'}")
+print(f"replace 2D?   : {'yes' if metrics.replace_recommended else 'no'} "
+      f"(T_r = {metrics.tr_years:.0f} years vs 10-year life)")

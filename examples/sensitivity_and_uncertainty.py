@@ -1,0 +1,57 @@
+"""How robust are 3D-Carbon's conclusions to its input parameters?
+
+Three analyses on the ORIN hybrid-3D design of the paper's case study:
+
+1. a one-at-a-time tornado study over the Table 2 parameter ranges;
+2. Monte-Carlo propagation of all ranges at once (triangular priors);
+3. the probability that hybrid 3D still beats the 2D baseline under
+   shared parameter draws — decision robustness, not just value spread.
+
+Run:  python examples/sensitivity_and_uncertainty.py
+"""
+
+from repro import ChipDesign, Workload
+from repro.analysis import (
+    comparison_robustness,
+    format_tornado,
+    monte_carlo,
+    tornado,
+)
+from repro.studies.drive import drive_2d_design
+
+
+def main() -> None:
+    reference = drive_2d_design("ORIN")
+    hybrid = ChipDesign.homogeneous_split(reference, "hybrid_3d")
+    workload = Workload.autonomous_vehicle()
+
+    print("=" * 70)
+    print("1) Tornado study — ORIN hybrid 3D, total lifecycle carbon")
+    print("=" * 70)
+    results = tornado(hybrid, workload=workload)
+    print(format_tornado(results))
+    print()
+
+    print("=" * 70)
+    print("2) Monte-Carlo propagation (200 samples, triangular priors)")
+    print("=" * 70)
+    for name, design in (("2D baseline", reference), ("hybrid 3D", hybrid)):
+        dist = monte_carlo(design, workload=workload, samples=200)
+        print(f"{name:<12}: {dist.summary()}")
+    print()
+
+    print("=" * 70)
+    print("3) Decision robustness under shared draws")
+    print("=" * 70)
+    probability = comparison_robustness(
+        reference, hybrid, workload=workload, samples=200
+    )
+    print(f"P(hybrid 3D emits less than 2D over the lifecycle) "
+          f"= {probability * 100:.1f}%")
+    print("The paper's Table 5 'choose hybrid' recommendation is "
+          f"{'robust' if probability > 0.95 else 'sensitive'} to the "
+          "Table 2 parameter ranges.")
+
+
+if __name__ == "__main__":
+    main()

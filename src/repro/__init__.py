@@ -1,0 +1,96 @@
+"""3D-Carbon: analytical carbon modeling for 3D and 2.5D integrated circuits.
+
+Reproduction of Zhao et al., "3D-Carbon: An Analytical Carbon Modeling Tool
+for 3D and 2.5D Integrated Circuits" (DAC 2024). The public API follows the
+paper's structure:
+
+* design description — :class:`ChipDesign`, :class:`Die`,
+  :class:`PackageSpec` (Fig. 3 user input);
+* parameter databases — :class:`ParameterSet` and :mod:`repro.config`
+  (Table 2);
+* evaluation — :class:`CarbonModel` / :func:`evaluate_design` producing
+  :class:`LifecycleReport` (Eq. 1/3/16, Sec. 3.4);
+* decisions — :func:`decision_metrics` (Eq. 2, Table 5);
+* baselines — :mod:`repro.baselines` (ACT, ACT+, LCA, first-order);
+* case studies — :mod:`repro.studies` (EPYC/Lakefield validation, NVIDIA
+  DRIVE series).
+"""
+
+from .config import (
+    DEFAULT_PARAMETERS,
+    AssemblyFlow,
+    BondingMethod,
+    IntegrationFamily,
+    IntegrationSpec,
+    ParameterSet,
+    ProcessNode,
+    StackingStyle,
+    SubstrateKind,
+)
+from .core import (
+    BandwidthResult,
+    CarbonModel,
+    ChipDesign,
+    ChoiceRegime,
+    DecisionMetrics,
+    Die,
+    DieKind,
+    EmbodiedReport,
+    LifecycleReport,
+    OperationalReport,
+    PackageSpec,
+    SuiteOperationalReport,
+    Workload,
+    WorkloadSuite,
+    decision_metrics,
+    embodied_carbon,
+    evaluate_design,
+    format_decision_table,
+    format_report_table,
+)
+from .errors import (
+    CarbonModelError,
+    DesignError,
+    InvalidDesignError,
+    ParameterError,
+    UnknownTechnologyError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyFlow",
+    "BandwidthResult",
+    "BondingMethod",
+    "CarbonModel",
+    "CarbonModelError",
+    "ChipDesign",
+    "ChoiceRegime",
+    "DEFAULT_PARAMETERS",
+    "DecisionMetrics",
+    "Die",
+    "DieKind",
+    "DesignError",
+    "EmbodiedReport",
+    "IntegrationFamily",
+    "IntegrationSpec",
+    "InvalidDesignError",
+    "LifecycleReport",
+    "OperationalReport",
+    "PackageSpec",
+    "ParameterError",
+    "ParameterSet",
+    "ProcessNode",
+    "StackingStyle",
+    "SubstrateKind",
+    "SuiteOperationalReport",
+    "UnknownTechnologyError",
+    "Workload",
+    "WorkloadSuite",
+    "decision_metrics",
+    "embodied_carbon",
+    "evaluate_design",
+    "format_decision_table",
+    "format_report_table",
+    "__version__",
+]

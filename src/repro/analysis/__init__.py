@@ -1,0 +1,29 @@
+"""Analysis extensions: sensitivity, uncertainty, configuration search."""
+
+from .optimizer import Candidate, SearchResult, search_configurations
+from .sensitivity import (
+    SensitivityFactor,
+    SensitivityResult,
+    default_factors,
+    format_tornado,
+    tornado,
+)
+from .uncertainty import (
+    UncertaintyResult,
+    comparison_robustness,
+    monte_carlo,
+)
+
+__all__ = [
+    "Candidate",
+    "SearchResult",
+    "SensitivityFactor",
+    "SensitivityResult",
+    "UncertaintyResult",
+    "comparison_robustness",
+    "default_factors",
+    "format_tornado",
+    "monte_carlo",
+    "search_configurations",
+    "tornado",
+]

@@ -1,0 +1,147 @@
+"""Carbon-aware configuration search.
+
+Given a 2D reference design and a workload, exhaustively evaluate the
+discrete configuration space the paper's case study spans — integration
+technology × division approach × assembly flow (+ optionally wafer size
+and fab location) — and return the valid configuration minimizing total
+lifecycle carbon, plus the embodied-vs-operational Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import AssemblyFlow, StackingStyle
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..core.report import LifecycleReport
+from ..errors import DesignError, ParameterError
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One evaluated configuration."""
+
+    label: str
+    design: ChipDesign
+    report: LifecycleReport
+
+    @property
+    def valid(self) -> bool:
+        return self.report.valid
+
+    @property
+    def total_kg(self) -> float:
+        return self.report.total_kg
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an exhaustive configuration search."""
+
+    candidates: tuple[Candidate, ...]
+    best: Candidate | None
+
+    def valid_candidates(self) -> "list[Candidate]":
+        return [c for c in self.candidates if c.valid]
+
+    def pareto_front(self) -> "list[Candidate]":
+        """Non-dominated valid candidates in (embodied, operational)."""
+        valid = self.valid_candidates()
+        front = []
+        for candidate in valid:
+            dominated = any(
+                other.report.embodied_kg <= candidate.report.embodied_kg
+                and other.report.operational_kg
+                <= candidate.report.operational_kg
+                and (other.report.embodied_kg < candidate.report.embodied_kg
+                     or other.report.operational_kg
+                     < candidate.report.operational_kg)
+                for other in valid
+            )
+            if not dominated:
+                front.append(candidate)
+        front.sort(key=lambda c: c.report.embodied_kg)
+        return front
+
+    def format_table(self) -> str:
+        header = (
+            f"{'configuration':<40} {'emb kg':>9} {'oper kg':>9} "
+            f"{'total kg':>9} {'valid':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for candidate in sorted(self.candidates, key=lambda c: c.total_kg):
+            marker = " <== best" if candidate is self.best else ""
+            lines.append(
+                f"{candidate.label:<40.40} "
+                f"{candidate.report.embodied_kg:9.2f} "
+                f"{candidate.report.operational_kg:9.2f} "
+                f"{candidate.total_kg:9.2f} "
+                f"{'yes' if candidate.valid else 'NO':>6}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def _assembly_options(spec) -> "list[AssemblyFlow]":
+    if spec.is_3d and spec.name != "m3d":
+        return [AssemblyFlow.D2W, AssemblyFlow.W2W]
+    if spec.is_2_5d:
+        return list(spec.allowed_assembly)
+    return [AssemblyFlow.NA]
+
+
+def search_configurations(
+    reference: ChipDesign,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    integrations: "list[str] | None" = None,
+    approaches: "tuple[str, ...]" = ("homogeneous", "heterogeneous"),
+    include_2d: bool = True,
+) -> SearchResult:
+    """Exhaustive search over the discrete integration space."""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if reference.die_count != 1:
+        raise ParameterError("the search needs a single-die 2D reference")
+    if integrations is None:
+        integrations = [
+            "micro_3d", "hybrid_3d", "m3d", "mcm", "info", "emib",
+            "si_interposer",
+        ]
+
+    candidates: list[Candidate] = []
+    if include_2d:
+        report = CarbonModel(reference, params, fab_location).evaluate(workload)
+        candidates.append(Candidate("2d", reference, report))
+
+    for name in integrations:
+        spec = params.integration_spec(name)
+        for approach in approaches:
+            for flow in _assembly_options(spec):
+                try:
+                    if approach == "homogeneous":
+                        design = ChipDesign.homogeneous_split(
+                            reference, name,
+                            stacking=StackingStyle.F2F, assembly=flow,
+                        )
+                    else:
+                        design = ChipDesign.heterogeneous_split(
+                            reference, name,
+                            stacking=StackingStyle.F2F, assembly=flow,
+                        )
+                except DesignError:
+                    continue
+                label = f"{name}/{approach[:5]}/{flow.value}"
+                design = design.with_overrides(
+                    name=f"{reference.name}_{label.replace('/', '_')}"
+                )
+                report = CarbonModel(design, params, fab_location).evaluate(
+                    workload
+                )
+                candidates.append(Candidate(label, design, report))
+
+    valid = [c for c in candidates if c.valid]
+    best = min(valid, key=lambda c: c.total_kg) if valid else None
+    return SearchResult(candidates=tuple(candidates), best=best)

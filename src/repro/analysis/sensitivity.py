@@ -1,0 +1,242 @@
+"""One-at-a-time sensitivity analysis ("tornado" study).
+
+An early-design-stage carbon model is only as credible as its inputs;
+this module quantifies how much each parameter moves the result. For a
+design (and optional workload), every registered parameter is perturbed
+to the low/high end of its plausible range while the rest stay at their
+defaults, and the swing in total carbon is recorded:
+
+    swing = C(high) − C(low)
+    elasticity ≈ (ΔC/C) / (Δp/p) at the default point
+
+The default factor set covers the knobs the paper's Table 2 calls out:
+defect density, fab energy (EPA), grid intensities, bonding energy and
+yield, packaging carbon, I/O area ratio, and the bandwidth-constraint
+traffic intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..config.integration import AssemblyFlow, BondingMethod
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..errors import ParameterError
+
+#: A factor perturbs a ParameterSet to a given multiplier of its default.
+FactorFn = Callable[[ParameterSet, float], ParameterSet]
+
+
+@dataclass(frozen=True)
+class SensitivityFactor:
+    """One tunable input: name, low/high multipliers, and the perturber."""
+
+    name: str
+    low: float
+    high: float
+    apply: FactorFn
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.low <= 1.0 <= self.high:
+            raise ParameterError(
+                f"{self.name}: multipliers must straddle 1.0, "
+                f"got [{self.low}, {self.high}]"
+            )
+
+
+def _scale_node_field(node: str, field: str) -> FactorFn:
+    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
+        value = getattr(params.node(node), field)
+        return params.with_node_override(node, **{field: value * multiplier})
+
+    return apply
+
+
+def _scale_bonding(method: BondingMethod, flow: AssemblyFlow,
+                   field: str) -> FactorFn:
+    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
+        value = getattr(params.bonding.get(method, flow), field)
+        scaled = value * multiplier
+        if field == "bond_yield":
+            scaled = min(scaled, 1.0)
+        return params.with_bonding_override(method, flow, **{field: scaled})
+
+    return apply
+
+
+def _scale_packaging(package_class: str) -> FactorFn:
+    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
+        value = params.packaging.get(package_class).cpa_kg_per_cm2
+        return params.with_packaging_override(
+            package_class, cpa_kg_per_cm2=value * multiplier
+        )
+
+    return apply
+
+
+def _scale_traffic() -> FactorFn:
+    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
+        return params.with_bandwidth(
+            traffic_bytes_per_op=(
+                params.bandwidth.traffic_bytes_per_op * multiplier
+            )
+        )
+
+    return apply
+
+
+def _scale_io_area(integration: str) -> FactorFn:
+    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
+        value = params.integration_spec(integration).io_area_ratio
+        return params.with_integration_override(
+            integration, io_area_ratio=min(value * multiplier, 1.0)
+        )
+
+    return apply
+
+
+def default_factors(
+    node: str = "7nm",
+    integration: str = "hybrid_3d",
+    package_class: str = "fcbga",
+) -> "list[SensitivityFactor]":
+    """The Table 2-inspired factor set for a given design flavour."""
+    factors = [
+        SensitivityFactor(
+            f"defect_density[{node}]", 0.5, 2.0,
+            _scale_node_field(node, "defect_density_per_cm2"),
+        ),
+        SensitivityFactor(
+            f"fab_energy_epa[{node}]", 0.7, 1.4,
+            _scale_node_field(node, "epa_kwh_per_cm2"),
+        ),
+        SensitivityFactor(
+            f"raw_material_mpa[{node}]", 0.7, 1.4,
+            _scale_node_field(node, "mpa_kg_per_cm2"),
+        ),
+        SensitivityFactor(
+            f"packaging_cpa[{package_class}]", 0.5, 2.0,
+            _scale_packaging(package_class),
+        ),
+        SensitivityFactor(
+            "traffic_bytes_per_op", 0.5, 2.0, _scale_traffic()
+        ),
+    ]
+    spec = DEFAULT_PARAMETERS.integration_spec(integration)
+    if spec.bonding is not BondingMethod.NONE:
+        flow = (
+            AssemblyFlow.D2W if spec.is_3d else AssemblyFlow.CHIP_LAST
+        )
+        factors.append(
+            SensitivityFactor(
+                f"bonding_epa[{spec.bonding.value}/{flow.value}]",
+                0.5, 2.0,
+                _scale_bonding(spec.bonding, flow, "epa_kwh_per_cm2"),
+            )
+        )
+        factors.append(
+            SensitivityFactor(
+                f"bond_yield[{spec.bonding.value}/{flow.value}]",
+                0.95, 1.02,
+                _scale_bonding(spec.bonding, flow, "bond_yield"),
+            )
+        )
+    if spec.io_area_ratio > 0:
+        factors.append(
+            SensitivityFactor(
+                f"io_area_ratio[{integration}]", 0.5, 2.0,
+                _scale_io_area(integration),
+            )
+        )
+    return factors
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Swing of one factor around the default evaluation."""
+
+    factor: str
+    low_kg: float
+    base_kg: float
+    high_kg: float
+    low_multiplier: float
+    high_multiplier: float
+
+    @property
+    def swing_kg(self) -> float:
+        return self.high_kg - self.low_kg
+
+    @property
+    def relative_swing(self) -> float:
+        return self.swing_kg / self.base_kg if self.base_kg else 0.0
+
+    @property
+    def elasticity(self) -> float:
+        """d(ln C)/d(ln p) estimated over the sampled interval."""
+        span = self.high_multiplier - self.low_multiplier
+        if span <= 0 or self.base_kg == 0:
+            return 0.0
+        return (self.swing_kg / self.base_kg) / span
+
+
+def _evaluate(design: ChipDesign, params: ParameterSet,
+              workload: Workload | None,
+              fab_location: "str | float") -> float:
+    report = CarbonModel(design, params, fab_location).evaluate(workload)
+    return report.total_kg
+
+
+def tornado(
+    design: ChipDesign,
+    factors: "list[SensitivityFactor] | None" = None,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+) -> "list[SensitivityResult]":
+    """Run the one-at-a-time study; results sorted by swing, largest first."""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if factors is None:
+        node = design.dies[0].node
+        factors = default_factors(node=node, integration=design.integration)
+    base = _evaluate(design, params, workload, fab_location)
+    results = []
+    for factor in factors:
+        low = _evaluate(
+            design, factor.apply(params, factor.low), workload, fab_location
+        )
+        high = _evaluate(
+            design, factor.apply(params, factor.high), workload, fab_location
+        )
+        results.append(
+            SensitivityResult(
+                factor=factor.name,
+                low_kg=low,
+                base_kg=base,
+                high_kg=high,
+                low_multiplier=factor.low,
+                high_multiplier=factor.high,
+            )
+        )
+    results.sort(key=lambda r: abs(r.swing_kg), reverse=True)
+    return results
+
+
+def format_tornado(results: "list[SensitivityResult]") -> str:
+    """Text tornado chart."""
+    if not results:
+        return "(no factors)"
+    base = results[0].base_kg
+    widest = max(abs(r.swing_kg) for r in results) or 1.0
+    lines = [f"base total: {base:.2f} kg CO2e",
+             f"{'factor':<34} {'low kg':>9} {'high kg':>9} {'swing':>8}"]
+    for r in results:
+        bar = "#" * max(1, int(24 * abs(r.swing_kg) / widest))
+        lines.append(
+            f"{r.factor:<34.34} {r.low_kg:9.2f} {r.high_kg:9.2f} "
+            f"{r.swing_kg:8.2f} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Monte-Carlo uncertainty propagation for carbon estimates.
+
+Carbon-model inputs are ranges, not points (the paper's Table 2 lists
+ranges for nearly everything). This module samples the key parameters
+from independent triangular distributions centred on the calibrated
+defaults, evaluates the design for each draw, and summarizes the carbon
+distribution (mean, standard deviation, percentiles).
+
+A deterministic seed makes runs reproducible; numpy powers the sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..errors import ParameterError
+from .sensitivity import SensitivityFactor, default_factors
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Summary of the sampled carbon distribution."""
+
+    samples_kg: tuple[float, ...]
+    base_kg: float
+
+    @property
+    def n(self) -> int:
+        return len(self.samples_kg)
+
+    @property
+    def mean_kg(self) -> float:
+        return float(np.mean(self.samples_kg))
+
+    @property
+    def std_kg(self) -> float:
+        return float(np.std(self.samples_kg))
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.samples_kg, q))
+
+    @property
+    def p05(self) -> float:
+        return self.percentile(5.0)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n}  base={self.base_kg:.2f}  mean={self.mean_kg:.2f} "
+            f"± {self.std_kg:.2f} kg  [p5 {self.p05:.2f}, p50 {self.p50:.2f}, "
+            f"p95 {self.p95:.2f}]"
+        )
+
+
+def _triangular(rng: np.random.Generator, low: float, high: float) -> float:
+    """One multiplier drawn from a triangular(low, 1.0, high) law."""
+    return float(rng.triangular(low, 1.0, high))
+
+
+def monte_carlo(
+    design: ChipDesign,
+    factors: "list[SensitivityFactor] | None" = None,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    samples: int = 200,
+    seed: int = 20240623,
+) -> UncertaintyResult:
+    """Propagate parameter uncertainty into the total-carbon distribution."""
+    if samples < 2:
+        raise ParameterError(f"need >= 2 samples, got {samples}")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if factors is None:
+        factors = default_factors(
+            node=design.dies[0].node, integration=design.integration
+        )
+    base = CarbonModel(design, params, fab_location).evaluate(workload).total_kg
+
+    rng = np.random.default_rng(seed)
+    draws: list[float] = []
+    for _ in range(samples):
+        perturbed = params
+        for factor in factors:
+            perturbed = factor.apply(
+                perturbed, _triangular(rng, factor.low, factor.high)
+            )
+        report = CarbonModel(design, perturbed, fab_location).evaluate(workload)
+        draws.append(report.total_kg)
+    return UncertaintyResult(samples_kg=tuple(draws), base_kg=base)
+
+
+def comparison_robustness(
+    baseline: ChipDesign,
+    alternative: ChipDesign,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    samples: int = 200,
+    seed: int = 20240623,
+) -> float:
+    """P(alternative emits less than baseline) under shared parameter draws.
+
+    Both designs are evaluated under the *same* perturbed parameter set per
+    draw (common random numbers), so the probability reflects genuine
+    design risk rather than sampling noise.
+    """
+    if samples < 2:
+        raise ParameterError(f"need >= 2 samples, got {samples}")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    factors = default_factors(
+        node=alternative.dies[0].node, integration=alternative.integration
+    )
+    rng = np.random.default_rng(seed)
+    wins = 0
+    for _ in range(samples):
+        perturbed = params
+        for factor in factors:
+            perturbed = factor.apply(
+                perturbed, _triangular(rng, factor.low, factor.high)
+            )
+        base_kg = CarbonModel(
+            baseline, perturbed, fab_location
+        ).evaluate(workload).total_kg
+        alt_kg = CarbonModel(
+            alternative, perturbed, fab_location
+        ).evaluate(workload).total_kg
+        if alt_kg < base_kg:
+            wins += 1
+    return wins / samples

@@ -1,0 +1,51 @@
+"""Baseline carbon models the paper compares 3D-Carbon against (Sec. 4)."""
+
+from .act import (
+    ACT_FIXED_YIELD,
+    ACT_PACKAGING_KG,
+    ActDieEstimate,
+    ActEstimate,
+    act_die_carbon_kg,
+    act_estimate,
+)
+from .act_plus import (
+    ACT_PLUS_25D_COST_FACTOR,
+    ActPlusEstimate,
+    act_plus_estimate,
+)
+from .first_order import (
+    FIRST_ORDER_KG_PER_CM2,
+    FIRST_ORDER_PACKAGING_KG,
+    FirstOrderEstimate,
+    first_order_estimate,
+)
+from .lca import (
+    GABI_CPA_KG_PER_CM2,
+    GABI_FINEST_NODE,
+    GABI_PACKAGING_KG,
+    LcaEstimate,
+    gabi_factor,
+    lca_estimate,
+)
+
+__all__ = [
+    "ACT_FIXED_YIELD",
+    "ACT_PACKAGING_KG",
+    "ACT_PLUS_25D_COST_FACTOR",
+    "ActDieEstimate",
+    "ActEstimate",
+    "ActPlusEstimate",
+    "FIRST_ORDER_KG_PER_CM2",
+    "FIRST_ORDER_PACKAGING_KG",
+    "FirstOrderEstimate",
+    "GABI_CPA_KG_PER_CM2",
+    "GABI_FINEST_NODE",
+    "GABI_PACKAGING_KG",
+    "LcaEstimate",
+    "act_die_carbon_kg",
+    "act_estimate",
+    "act_plus_estimate",
+    "first_order_estimate",
+    "gabi_factor",
+    "lca_estimate",
+]

@@ -1,0 +1,106 @@
+"""ACT baseline (Gupta et al., ISCA 2022) — 2D architectural carbon model.
+
+Reimplementation of the ACT embodied model as the paper describes and
+compares against (Sec. 4):
+
+    CFP = (CI_fab · EPA + GPA + MPA) · A_die / Y  +  C_packaging
+
+with a *fixed* process yield (ACT's default 0.875 — no area dependence, no
+dies-per-wafer geometry, no BEOL awareness) and a *fixed* per-package
+carbon of 0.15 kg (the constant the paper contrasts with 3D-Carbon's
+area-based 3.47 kg for EPYC). Node-level EPA/GPA/MPA reuse the shared
+technology table, which is itself ACT-informed, so the comparison isolates
+the modeling differences rather than the data differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..errors import ParameterError
+from ..units import mm2_to_cm2
+
+#: ACT defaults.
+ACT_FIXED_YIELD = 0.875
+ACT_PACKAGING_KG = 0.15
+
+
+@dataclass(frozen=True)
+class ActDieEstimate:
+    """ACT carbon for one die."""
+
+    name: str
+    node: str
+    area_mm2: float
+    carbon_kg: float
+
+
+@dataclass(frozen=True)
+class ActEstimate:
+    """ACT total: per-die manufacturing plus fixed packaging."""
+
+    dies: tuple[ActDieEstimate, ...]
+    packaging_kg: float
+
+    @property
+    def die_kg(self) -> float:
+        return sum(d.carbon_kg for d in self.dies)
+
+    @property
+    def total_kg(self) -> float:
+        return self.die_kg + self.packaging_kg
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "die": self.die_kg,
+            "bonding": 0.0,
+            "packaging": self.packaging_kg,
+            "interposer": 0.0,
+        }
+
+
+def act_die_carbon_kg(
+    node_name: str,
+    area_mm2: float,
+    ci_fab_kg_per_kwh: float,
+    params: ParameterSet | None = None,
+    process_yield: float = ACT_FIXED_YIELD,
+) -> float:
+    """ACT per-die embodied carbon (no DPW, no BEOL, fixed yield)."""
+    if area_mm2 <= 0:
+        raise ParameterError(f"die area must be positive, got {area_mm2}")
+    if not 0.0 < process_yield <= 1.0:
+        raise ParameterError(f"yield must lie in (0, 1], got {process_yield}")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    node = params.node(node_name)
+    cpa = (
+        ci_fab_kg_per_kwh * node.epa_kwh_per_cm2
+        + node.gpa_kg_per_cm2
+        + node.mpa_kg_per_cm2
+    )
+    return cpa * mm2_to_cm2(area_mm2) / process_yield
+
+
+def act_estimate(
+    dies: "list[tuple[str, str, float]]",
+    ci_fab_kg_per_kwh: float,
+    params: ParameterSet | None = None,
+    process_yield: float = ACT_FIXED_YIELD,
+    packaging_kg: float = ACT_PACKAGING_KG,
+) -> ActEstimate:
+    """ACT for a chip given ``(name, node, area_mm2)`` die tuples."""
+    if not dies:
+        raise ParameterError("ACT estimate needs at least one die")
+    records = tuple(
+        ActDieEstimate(
+            name=name,
+            node=node,
+            area_mm2=area,
+            carbon_kg=act_die_carbon_kg(
+                node, area, ci_fab_kg_per_kwh, params, process_yield
+            ),
+        )
+        for name, node, area in dies
+    )
+    return ActEstimate(dies=records, packaging_kg=packaging_kg)

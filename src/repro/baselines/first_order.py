@@ -1,0 +1,52 @@
+"""First-order baseline (Eeckhout, IEEE CAL 2022).
+
+The paper's related work cites a first-order sustainability model that
+"estimates the embodied footprint per chip based on die size" [10]. The
+model is a linear per-area intensity with a flat packaging adder — useful
+as the simplest possible sanity baseline and as the lower bound on model
+fidelity in the comparison benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..units import mm2_to_cm2
+
+#: First-order silicon carbon intensity (kg CO₂ per cm² of die), the
+#: mid-range of published per-wafer LCAs across recent logic nodes.
+FIRST_ORDER_KG_PER_CM2 = 1.5
+
+#: Flat packaging + assembly adder (kg CO₂ per chip).
+FIRST_ORDER_PACKAGING_KG = 0.3
+
+
+@dataclass(frozen=True)
+class FirstOrderEstimate:
+    """First-order embodied estimate: k·A + c."""
+
+    die_area_mm2: float
+    die_kg: float
+    packaging_kg: float
+
+    @property
+    def total_kg(self) -> float:
+        return self.die_kg + self.packaging_kg
+
+
+def first_order_estimate(
+    total_die_area_mm2: float,
+    kg_per_cm2: float = FIRST_ORDER_KG_PER_CM2,
+    packaging_kg: float = FIRST_ORDER_PACKAGING_KG,
+) -> FirstOrderEstimate:
+    """Die-size-only embodied model: carbon = k · area + packaging."""
+    if total_die_area_mm2 <= 0:
+        raise ParameterError("die area must be positive")
+    if kg_per_cm2 < 0 or packaging_kg < 0:
+        raise ParameterError("model coefficients must be >= 0")
+    return FirstOrderEstimate(
+        die_area_mm2=total_die_area_mm2,
+        die_kg=kg_per_cm2 * mm2_to_cm2(total_die_area_mm2),
+        packaging_kg=packaging_kg,
+    )

@@ -1,0 +1,253 @@
+"""Command-line interface: ``carbon3d`` (or ``python -m repro.cli``).
+
+Sub-commands mirror the paper's artifacts:
+
+* ``evaluate DESIGN.json`` — run 3D-Carbon on a JSON design description;
+* ``validate-epyc`` / ``validate-lakefield`` — the Fig. 4 comparisons;
+* ``drive --approach homogeneous|heterogeneous`` — the Fig. 5 grid;
+* ``table5`` — the Sec. 5.2 decision table;
+* ``nodes`` / ``technologies`` — inspect the parameter databases.
+
+The JSON design schema matches :class:`repro.core.design.ChipDesign`::
+
+    {
+      "name": "my_chip",
+      "integration": "hybrid_3d",
+      "stacking": "f2f",
+      "assembly": "d2w",
+      "package": {"class": "fcbga"},
+      "throughput_tops": 254,
+      "dies": [
+        {"name": "top", "node": "7nm", "gate_count": 8.5e9,
+         "workload_share": 0.5},
+        {"name": "bottom", "node": "7nm", "gate_count": 8.5e9,
+         "workload_share": 0.5}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .analysis.optimizer import search_configurations
+from .analysis.sensitivity import format_tornado, tornado
+from .config.parameters import DEFAULT_PARAMETERS
+from .core.model import CarbonModel
+from .core.operational import Workload
+from .errors import CarbonModelError
+from .io.designs import design_from_dict
+from .io.results import drive_study_rows, table5_rows, write_csv, write_json
+from .studies.decision import table5_study
+from .studies.drive import drive_study
+from .studies.validation import epyc_validation, lakefield_validation
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    with open(args.design, encoding="utf-8") as handle:
+        data = json.load(handle)
+    design = design_from_dict(data)
+    workload = None
+    if args.workload == "av":
+        workload = Workload.autonomous_vehicle()
+    elif args.workload == "none":
+        workload = None
+    model = CarbonModel(design, fab_location=args.fab_location)
+    report = model.evaluate(workload)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
+def _cmd_validate_epyc(args: argparse.Namespace) -> int:
+    result = epyc_validation(fab_location=args.fab_location)
+    print("Fig. 4(a) — EPYC 7452 embodied carbon (kg CO2e)")
+    for model, die_kg, pkg_kg, total_kg in result.rows():
+        print(f"  {model:<12} die={die_kg:7.2f} pkg={pkg_kg:6.2f} "
+              f"total={total_kg:7.2f}")
+    print(f"  LCA vs 2D-adjusted 3D-Carbon discrepancy: "
+          f"{result.lca_vs_2d_discrepancy * 100:.1f}% (paper: ~4.4%)")
+    return 0
+
+
+def _cmd_validate_lakefield(args: argparse.Namespace) -> int:
+    result = lakefield_validation(fab_location=args.fab_location)
+    print("Fig. 4(b) — Lakefield embodied carbon (kg CO2e)")
+    for model, total_kg in result.rows():
+        print(f"  {model:<18} {total_kg:6.3f}")
+    print(f"  D2W yields: logic {result.d2w_logic_yield * 100:.1f}% "
+          f"(paper 89.3%), memory {result.d2w_memory_yield * 100:.1f}% "
+          f"(paper 88.4%); W2W {result.w2w_yield * 100:.1f}% (paper 79.7%)")
+    return 0
+
+
+def _cmd_drive(args: argparse.Namespace) -> int:
+    result = drive_study(approach=args.approach, fab_location=args.fab_location)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    result = table5_study(fab_location=args.fab_location)
+    print("Table 5 — choosing/replacing DRIVE ORIN 2D with 3D/2.5D ICs")
+    print(result.format_table())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    with open(args.design, encoding="utf-8") as handle:
+        reference = design_from_dict(json.load(handle))
+    result = search_configurations(
+        reference, Workload.autonomous_vehicle(),
+        fab_location=args.fab_location,
+    )
+    print(result.format_table())
+    if result.best is not None:
+        print(f"\nbest valid configuration: {result.best.label} "
+              f"({result.best.total_kg:.2f} kg CO2e)")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    with open(args.design, encoding="utf-8") as handle:
+        design = design_from_dict(json.load(handle))
+    results = tornado(
+        design, workload=Workload.autonomous_vehicle(),
+        fab_location=args.fab_location,
+    )
+    print(format_tornado(results))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    if args.study == "drive":
+        rows = drive_study_rows(
+            drive_study(args.approach, fab_location=args.fab_location)
+        )
+    else:
+        rows = table5_rows(table5_study(fab_location=args.fab_location))
+    if args.output.endswith(".json"):
+        write_json(rows, args.output)
+    else:
+        write_csv(rows, args.output)
+    print(f"wrote {len(rows)} rows to {args.output}")
+    return 0
+
+
+def _cmd_nodes(_: argparse.Namespace) -> int:
+    print(f"{'node':<12} {'λ (nm)':>7} {'EPA':>6} {'GPA':>6} {'MPA':>6} "
+          f"{'D0':>6} {'maxBEOL':>8}")
+    for node in DEFAULT_PARAMETERS.technology:
+        print(
+            f"{node.name:<12} {node.feature_nm:7.1f} "
+            f"{node.epa_kwh_per_cm2:6.2f} {node.gpa_kg_per_cm2:6.2f} "
+            f"{node.mpa_kg_per_cm2:6.2f} {node.defect_density_per_cm2:6.3f} "
+            f"{node.max_beol_layers:8d}"
+        )
+    return 0
+
+
+def _cmd_technologies(_: argparse.Namespace) -> int:
+    print(f"{'technology':<15} {'family':>6} {'bond':>7} {'Gbps':>6} "
+          f"{'fJ/bit':>7} {'IO/mm/ly':>9}")
+    for spec in DEFAULT_PARAMETERS.integration:
+        print(
+            f"{spec.name:<15} {spec.family.value:>6} {spec.bonding.value:>7} "
+            f"{spec.data_rate_gbps:6.1f} {spec.energy_per_bit_fj:7.0f} "
+            f"{spec.io_density_per_mm_per_layer:9.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="carbon3d",
+        description="3D-Carbon: carbon modeling for 3D/2.5D ICs (DAC'24)",
+    )
+    parser.add_argument(
+        "--fab-location",
+        default="taiwan",
+        help="manufacturing grid (name or g CO2/kWh; default: taiwan)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a JSON design")
+    p_eval.add_argument("design", help="path to the design JSON file")
+    p_eval.add_argument(
+        "--workload",
+        choices=("av", "none"),
+        default="av",
+        help="operational workload (default: the AV case-study workload)",
+    )
+    p_eval.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    sub.add_parser(
+        "validate-epyc", help="Fig. 4(a) EPYC 7452 validation"
+    ).set_defaults(func=_cmd_validate_epyc)
+    sub.add_parser(
+        "validate-lakefield", help="Fig. 4(b) Lakefield validation"
+    ).set_defaults(func=_cmd_validate_lakefield)
+
+    p_drive = sub.add_parser("drive", help="Fig. 5 NVIDIA DRIVE study")
+    p_drive.add_argument(
+        "--approach",
+        choices=("homogeneous", "heterogeneous"),
+        default="homogeneous",
+    )
+    p_drive.set_defaults(func=_cmd_drive)
+
+    sub.add_parser("table5", help="Sec. 5.2 decision table").set_defaults(
+        func=_cmd_table5
+    )
+
+    p_search = sub.add_parser(
+        "search", help="find the lowest-carbon valid configuration"
+    )
+    p_search.add_argument("design", help="path to a 2D reference JSON design")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="one-at-a-time tornado study for a design"
+    )
+    p_sens.add_argument("design", help="path to the design JSON file")
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_export = sub.add_parser(
+        "export", help="export a study's rows to CSV/JSON"
+    )
+    p_export.add_argument("study", choices=("drive", "table5"))
+    p_export.add_argument("output", help="output path (.csv or .json)")
+    p_export.add_argument(
+        "--approach",
+        choices=("homogeneous", "heterogeneous"),
+        default="homogeneous",
+    )
+    p_export.set_defaults(func=_cmd_export)
+    sub.add_parser("nodes", help="list process nodes").set_defaults(
+        func=_cmd_nodes
+    )
+    sub.add_parser(
+        "technologies", help="list integration technologies"
+    ).set_defaults(func=_cmd_technologies)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CarbonModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

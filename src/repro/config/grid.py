@@ -1,0 +1,110 @@
+"""Electrical-grid carbon intensity database (CI_emb / CI_use, Table 2).
+
+The paper sources fab and use-phase carbon intensities from industry
+environmental reports; the quoted range is 30–700 g CO₂/kWh. This module
+provides a location-keyed table spanning that range plus helpers to express
+intensities directly. Values are annual grid averages (IEA-style); fab
+locations map to the grids of the major foundry sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..errors import ParameterError, UnknownTechnologyError
+from ..units import grams_per_kwh
+
+#: Paper Table 2 bounds, used for validation.
+MIN_G_PER_KWH = 5.0
+MAX_G_PER_KWH = 900.0
+
+
+@dataclass(frozen=True)
+class GridProfile:
+    """Carbon intensity of one electrical grid."""
+
+    name: str
+    g_co2_per_kwh: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not MIN_G_PER_KWH <= self.g_co2_per_kwh <= MAX_G_PER_KWH:
+            raise ParameterError(
+                f"{self.name}: carbon intensity {self.g_co2_per_kwh} g/kWh "
+                f"outside [{MIN_G_PER_KWH}, {MAX_G_PER_KWH}]"
+            )
+
+    @property
+    def kg_co2_per_kwh(self) -> float:
+        """Carbon intensity in kg CO₂/kWh (internal unit)."""
+        return grams_per_kwh(self.g_co2_per_kwh)
+
+
+_BUILTIN_GRIDS: tuple[GridProfile, ...] = (
+    GridProfile("world", 475.0, "world average grid"),
+    GridProfile("taiwan", 509.0, "TSMC fab sites (Taipower grid)"),
+    GridProfile("south_korea", 415.0, "Samsung fab sites"),
+    GridProfile("usa", 380.0, "US average grid"),
+    GridProfile("usa_az", 350.0, "Arizona (Intel/TSMC US fabs)"),
+    GridProfile("ireland", 296.0, "Intel Leixlip"),
+    GridProfile("israel", 558.0, "Intel Kiryat Gat"),
+    GridProfile("china", 555.0, "SMIC fab sites"),
+    GridProfile("japan", 462.0, "Kioxia/Sony fab sites"),
+    GridProfile("germany", 366.0, "European fabs"),
+    GridProfile("india", 700.0, "coal-heavy grid upper bound"),
+    GridProfile("iceland", 30.0, "near-fully renewable grid (Table 2 lower bound)"),
+    GridProfile("sweden", 45.0, "hydro/nuclear grid"),
+    GridProfile("france", 85.0, "nuclear-heavy grid"),
+    GridProfile("renewable_charging", 50.0,
+                "renewable-leaning EV charging mix used for the AV case study"),
+)
+
+
+class GridTable:
+    """Lookup of :class:`GridProfile` by location name."""
+
+    def __init__(self, grids: Mapping[str, GridProfile] | None = None) -> None:
+        if grids is None:
+            self._grids = {g.name: g for g in _BUILTIN_GRIDS}
+        else:
+            self._grids = dict(grids)
+
+    def get(self, location: "str | float | GridProfile") -> GridProfile:
+        """Resolve a location name — or a raw g/kWh number — to a profile."""
+        if isinstance(location, GridProfile):
+            return location
+        if isinstance(location, (int, float)):
+            return GridProfile(f"custom_{float(location):g}", float(location))
+        key = str(location).strip().lower().replace(" ", "_")
+        try:
+            return self._grids[key]
+        except KeyError:
+            known = ", ".join(sorted(self._grids))
+            raise UnknownTechnologyError(
+                f"unknown grid location {location!r}; known: {known}"
+            ) from None
+
+    def __contains__(self, location: object) -> bool:
+        try:
+            self.get(location)  # type: ignore[arg-type]
+        except UnknownTechnologyError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[GridProfile]:
+        return iter(self._grids.values())
+
+    def __len__(self) -> int:
+        return len(self._grids)
+
+    def names(self) -> list[str]:
+        return list(self._grids)
+
+    def register(self, grid: GridProfile, overwrite: bool = False) -> None:
+        if grid.name in self._grids and not overwrite:
+            raise ParameterError(f"grid {grid.name!r} already registered")
+        self._grids[grid.name] = grid
+
+
+DEFAULT_GRID_TABLE = GridTable()

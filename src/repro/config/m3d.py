@@ -1,0 +1,59 @@
+"""Monolithic-3D (M3D) manufacturing parameters.
+
+M3D builds tiers *sequentially* on one substrate (Sec. 2.1.1): tier 2's FEOL
+is processed on top of tier 1 through inter-layer dielectric (ILD), with
+fine-pitch MIVs (< 0.6 µm) connecting tiers. Relative to bonding-based 3D,
+this changes the embodied model in three ways (Kim DAC'21, Stow ISVLSI'16):
+
+* no bonding step (Eq. 11 contributes zero);
+* one wafer, one raw-material footprint (MPA charged once on the footprint),
+  but the FEOL is processed once per tier at reduced incremental cost —
+  ``feol_overhead`` is the *extra* FEOL fraction for each additional tier
+  (low-temperature processing reuses alignment/lithography infrastructure);
+* sequential processing slightly degrades the effective defect density of
+  the combined stack (``defect_density_factor``), because tier-2 devices are
+  fabricated over topography and cannot be yield-tested independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class M3DParameters:
+    """Sequential-manufacturing cost/yield knobs for monolithic 3D."""
+
+    #: Extra FEOL electricity+gas per additional tier, as a fraction of one
+    #: full FEOL pass (0.30 ⇒ a 2-tier M3D die pays 1.30× one FEOL).
+    feol_overhead: float = 0.30
+    #: ILD deposition/planarization energy between tiers, kWh/cm² per
+    #: inter-tier interface.
+    ild_epa_kwh_per_cm2: float = 0.05
+    #: Multiplier on the node defect density for the monolithic stack.
+    defect_density_factor: float = 1.10
+    #: Maximum number of sequential tiers supported (paper Table 1: 2).
+    max_tiers: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.feol_overhead <= 1.0:
+            raise ParameterError(
+                f"feol_overhead must lie in [0, 1], got {self.feol_overhead}"
+            )
+        if self.ild_epa_kwh_per_cm2 < 0:
+            raise ParameterError("ild_epa_kwh_per_cm2 must be >= 0")
+        if self.defect_density_factor < 1.0:
+            raise ParameterError(
+                "defect_density_factor must be >= 1 (sequential processing "
+                "cannot improve the defect density)"
+            )
+        if self.max_tiers < 2:
+            raise ParameterError("max_tiers must be >= 2")
+
+    def with_overrides(self, **overrides) -> "M3DParameters":
+        return replace(self, **overrides)
+
+
+DEFAULT_M3D_PARAMETERS = M3DParameters()

@@ -1,0 +1,110 @@
+"""Packaging carbon characterization (Eq. 12).
+
+3D-Carbon estimates packaging carbon as ``CPA_packaging · A_package`` where
+``A_package`` follows a linear empirical model from the Chiplet Actuary cost
+study (Feng DAC'22): the package area is a technology-dependent multiple of
+the *largest* die for 3D stacks and of the *total* die area for 2.5D
+assemblies (Sec. 3.2.3).
+
+``CPA_packaging`` defaults to 0.0787 kg CO₂/cm² of package area for organic
+laminate packages — calibrated so the EPYC 7452 validation of Sec. 4.1
+reproduces the paper's 3.47 kg packaging footprint on its 58.5 × 75.4 mm
+SP3 package (Nagapurkar et al., SUSCOM'22 embodied-energy characterization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..errors import ParameterError, UnknownTechnologyError
+
+
+@dataclass(frozen=True)
+class PackageClass:
+    """One package family: carbon per area plus the area scale factor s."""
+
+    name: str
+    cpa_kg_per_cm2: float
+    #: Package area = scale × base die area (max die for 3D, Σ dies for 2.5D,
+    #: the single die for 2D). Table 2: s ≥ 1.
+    area_scale: float
+    #: Additive margin (mm²) for BGA field / keep-out, the intercept of the
+    #: linear empirical equation.
+    area_margin_mm2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpa_kg_per_cm2 < 0:
+            raise ParameterError(f"{self.name}: CPA must be >= 0")
+        if self.area_scale < 1.0:
+            raise ParameterError(
+                f"{self.name}: package area scale must be >= 1 (Table 2)"
+            )
+        if self.area_margin_mm2 < 0:
+            raise ParameterError(f"{self.name}: area margin must be >= 0")
+
+    def package_area_mm2(self, base_area_mm2: float) -> float:
+        """Linear empirical package-area model A_pkg = s·A_base + margin."""
+        if base_area_mm2 < 0:
+            raise ParameterError("base area must be >= 0")
+        return self.area_scale * base_area_mm2 + self.area_margin_mm2
+
+    def with_overrides(self, **overrides) -> "PackageClass":
+        return replace(self, **overrides)
+
+
+def _default_classes() -> dict[str, PackageClass]:
+    classes = (
+        # Large flip-chip BGA, e.g. server CPUs / automotive SoCs. The 4.42
+        # scale maps a 458 mm² ORIN-class die onto a ~45×45 mm body, and a
+        # 712 mm² EPYC die complement onto its 4411 mm² SP3 package.
+        PackageClass("fcbga", cpa_kg_per_cm2=0.0787, area_scale=4.42),
+        # EPYC-style multi-die server package: the SP3 body is ~6.2× the
+        # total silicon area (Sec. 4.1 inputs).
+        PackageClass("server_mcm", cpa_kg_per_cm2=0.0787, area_scale=6.20),
+        # Mobile package-on-package (Lakefield: 12×12 mm over a 92 mm² base
+        # die, scale ≈ 1.57).
+        PackageClass("pop_mobile", cpa_kg_per_cm2=0.0787, area_scale=1.57),
+        # Fan-out wafer-level package: RDL is the substrate, small margin.
+        PackageClass("fowlp", cpa_kg_per_cm2=0.060, area_scale=1.30),
+    )
+    return {c.name: c for c in classes}
+
+
+class PackagingTable:
+    """Lookup of :class:`PackageClass` by name."""
+
+    def __init__(self, classes: Mapping[str, PackageClass] | None = None) -> None:
+        self._classes = _default_classes() if classes is None else dict(classes)
+
+    def get(self, name: "str | PackageClass") -> PackageClass:
+        if isinstance(name, PackageClass):
+            return name
+        key = str(name).strip().lower()
+        try:
+            return self._classes[key]
+        except KeyError:
+            known = ", ".join(sorted(self._classes))
+            raise UnknownTechnologyError(
+                f"unknown package class {name!r}; known: {known}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def names(self) -> list[str]:
+        return list(self._classes)
+
+    def register(self, package: PackageClass, overwrite: bool = False) -> None:
+        if package.name in self._classes and not overwrite:
+            raise ParameterError(f"package {package.name!r} already registered")
+        self._classes[package.name] = package
+
+    def with_class_override(self, name: str, **overrides) -> "PackagingTable":
+        package = self.get(name).with_overrides(**overrides)
+        classes = dict(self._classes)
+        classes[package.name] = package
+        return PackagingTable(classes)
+
+
+DEFAULT_PACKAGING_TABLE = PackagingTable()

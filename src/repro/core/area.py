@@ -1,0 +1,133 @@
+"""Die area estimation (Eq. 7–9).
+
+``A_die = A_gate + A_TSV + A_IO`` where
+
+* ``A_gate = N_g · β · λ²`` (Eq. 8), scaled by the integration technology's
+  ``gate_area_factor`` (repeater savings from shorter wires) and, for
+  memory dies, by the node's SRAM density factor;
+* ``A_TSV`` (3D only) depends on the stacking style: Rent's-rule TSV count
+  for F2B, external-I/O count for F2F (Sec. 3.2.1);
+* ``A_IO = γ · A_gate`` (Eq. 9) for micro-bump 3D and 2.5D technologies,
+  whose coarse connections need explicit driver macros.
+
+Dies specified by explicit area skip the estimation (die-photo areas
+already include every overhead) but still get an equivalent gate count for
+the wirelength/BEOL model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import IntegrationSpec, StackingStyle
+from ..config.technology import ProcessNode
+from ..errors import DesignError
+from ..rent import tsv as tsv_model
+from ..units import um2_to_mm2
+from .design import Die, DieKind
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Resolved area of one die (all mm²)."""
+
+    gate_area_mm2: float
+    tsv_area_mm2: float
+    io_area_mm2: float
+    #: Equivalent 2D gate count (input or derived from the area).
+    gate_count: float
+
+    @property
+    def total_mm2(self) -> float:
+        return self.gate_area_mm2 + self.tsv_area_mm2 + self.io_area_mm2
+
+
+def gate_area_mm2(
+    gate_count: float,
+    node: ProcessNode,
+    kind: DieKind = DieKind.LOGIC,
+    gate_area_factor: float = 1.0,
+) -> float:
+    """Eq. 8: A_gate = N_g·β·λ², with kind- and integration-scaling."""
+    if gate_count <= 0:
+        raise DesignError(f"gate count must be positive, got {gate_count}")
+    per_gate_um2 = node.gate_area_um2
+    if kind is DieKind.MEMORY:
+        per_gate_um2 *= node.sram_density_factor
+    return um2_to_mm2(gate_count * per_gate_um2 * gate_area_factor)
+
+
+def equivalent_gate_count(
+    area_mm2: float, node: ProcessNode, kind: DieKind = DieKind.LOGIC
+) -> float:
+    """Inverse of Eq. 8 for area-specified dies (BEOL model needs N_g)."""
+    if area_mm2 <= 0:
+        raise DesignError(f"area must be positive, got {area_mm2}")
+    per_gate_um2 = node.gate_area_um2
+    if kind is DieKind.MEMORY:
+        per_gate_um2 *= node.sram_density_factor
+    return area_mm2 / um2_to_mm2(per_gate_um2)
+
+
+def tsv_area_for_die(
+    gate_count: float,
+    node: ProcessNode,
+    spec: IntegrationSpec,
+    stacking: StackingStyle,
+    is_top_die: bool,
+) -> float:
+    """A_TSV of Eq. 7 for one die of a 3D stack (mm²).
+
+    The top die of a stack needs no TSVs of its own (signals exit through
+    the dies below); M3D uses MIVs instead, which are negligible but still
+    modeled for completeness.
+    """
+    if not spec.is_3d:
+        return 0.0
+    if spec.name == "m3d":
+        if is_top_die:
+            return 0.0
+        miv_count = tsv_model.rent_terminal_count(gate_count, node.rent_exponent)
+        return tsv_model.miv_area_mm2(miv_count, node.miv_diameter_um)
+    if is_top_die:
+        return 0.0
+    if stacking is StackingStyle.F2B:
+        count = tsv_model.f2b_tsv_count(gate_count, node.rent_exponent)
+    else:
+        count = tsv_model.f2f_tsv_count()
+    return tsv_model.tsv_area_mm2(count, node.tsv_diameter_um)
+
+
+def io_driver_area_mm2(gate_area: float, spec: IntegrationSpec) -> float:
+    """Eq. 9: A_IO = γ · A_gate for coarse-pitch interfaces."""
+    if gate_area < 0:
+        raise DesignError(f"gate area must be >= 0, got {gate_area}")
+    return spec.io_area_ratio * gate_area
+
+
+def resolve_area(
+    die: Die,
+    node: ProcessNode,
+    spec: IntegrationSpec,
+    stacking: StackingStyle,
+    is_top_die: bool,
+) -> AreaBreakdown:
+    """Full Eq. 7 area breakdown for one die."""
+    if die.area_mm2 is not None:
+        # Measured areas are final: overheads are already inside them.
+        return AreaBreakdown(
+            gate_area_mm2=die.area_mm2,
+            tsv_area_mm2=0.0,
+            io_area_mm2=0.0,
+            gate_count=equivalent_gate_count(die.area_mm2, node, die.kind),
+        )
+    assert die.gate_count is not None  # enforced by Die.__post_init__
+    gate = gate_area_mm2(die.gate_count, node, die.kind, spec.gate_area_factor)
+    tsv = tsv_area_for_die(die.gate_count, node, spec, stacking, is_top_die)
+    io = io_driver_area_mm2(gate, spec)
+    return AreaBreakdown(
+        gate_area_mm2=gate,
+        tsv_area_mm2=tsv,
+        io_area_mm2=io,
+        gate_count=die.gate_count,
+    )

@@ -1,0 +1,106 @@
+"""I/O bandwidth constraint (Sec. 3.4, Eq. 18).
+
+2.5D ICs replace on-chip wires with off-die interfaces; the paper requires
+them to sustain the on-chip bandwidth of their 2D counterpart. Per die,
+
+    BW = N_I/O · BW_per_I/O            (Eq. 18)
+    N_I/O = L_edge · D_pitch · N_BEOL  (the N_pitch of Eq. 17)
+
+and the assembly's link bandwidth is limited by its weakest die interface.
+Following MCM-GPU (Arunkumar ISCA'17), throughput degrades by 20 % when
+the interface provides half of the on-chip bandwidth; below that ratio the
+fixed-throughput requirement cannot be met and the design is *invalid*.
+3D ICs are assumed to match on-chip bandwidth (fine vertical pitch), so
+the constraint binds only for 2.5D technologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import ParameterSet
+from ..units import gbps_to_bits_per_s, terabytes_per_s
+from .resolve import ResolvedDesign, ResolvedDie
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Outcome of the Sec. 3.4 check for one design."""
+
+    constrained: bool            # False for 2D/3D (matches on-chip BW)
+    required_tb_s: float
+    achieved_tb_s: float
+    ratio: float                 # achieved / required (1.0 when unconstrained)
+    degradation: float           # throughput loss fraction
+    valid: bool
+    io_lanes_per_die: tuple[float, ...] = ()
+
+    @property
+    def runtime_stretch(self) -> float:
+        """Fixed-work runtime multiplier 1/(1−degradation)."""
+        return 1.0 / (1.0 - self.degradation) if self.degradation < 1.0 else float("inf")
+
+
+_UNCONSTRAINED = BandwidthResult(
+    constrained=False,
+    required_tb_s=0.0,
+    achieved_tb_s=0.0,
+    ratio=1.0,
+    degradation=0.0,
+    valid=True,
+)
+
+
+def io_lane_count(rdie: ResolvedDie, spec_density_per_mm_per_layer: float) -> float:
+    """N_pitch of Eq. 17: die edge × linear I/O density × BEOL layers."""
+    return (
+        rdie.edge_mm * spec_density_per_mm_per_layer * rdie.beol.layers
+    )
+
+
+def degradation_from_ratio(ratio: float, params: ParameterSet) -> float:
+    """Linear MCM-GPU degradation model through (1, 0) and (0.5, 20 %)."""
+    bw = params.bandwidth
+    if ratio >= 1.0:
+        return 0.0
+    slope = bw.degradation_at_half_bw / (1.0 - bw.invalid_bw_ratio)
+    return min(1.0, (1.0 - ratio) * slope)
+
+
+def evaluate_bandwidth(
+    resolved: ResolvedDesign, params: ParameterSet
+) -> BandwidthResult:
+    """Run the Sec. 3.4 constraint for a resolved design."""
+    spec = resolved.spec
+    bw = params.bandwidth
+    if (
+        not bw.enabled
+        or spec.bandwidth_matches_2d
+        or resolved.design.throughput_tops is None
+    ):
+        return _UNCONSTRAINED
+
+    # Required: the 2D counterpart's on-chip bandwidth (TB/s); TOPS ×
+    # bytes/op = 1e12 byte/s = 1 TB/s per unit product.
+    required = resolved.design.throughput_tops * bw.traffic_bytes_per_op
+
+    lanes = tuple(
+        io_lane_count(rdie, spec.io_density_per_mm_per_layer)
+        for rdie in resolved.dies
+    )
+    per_die_tb_s = [
+        terabytes_per_s(n * gbps_to_bits_per_s(spec.data_rate_gbps))
+        for n in lanes
+    ]
+    achieved = min(per_die_tb_s)
+    ratio = achieved / required if required > 0 else 1.0
+    degradation = degradation_from_ratio(ratio, params)
+    return BandwidthResult(
+        constrained=True,
+        required_tb_s=required,
+        achieved_tb_s=achieved,
+        ratio=ratio,
+        degradation=degradation,
+        valid=ratio >= bw.invalid_bw_ratio,
+        io_lanes_per_die=lanes,
+    )

@@ -1,0 +1,104 @@
+"""Bonding carbon (Eq. 11).
+
+``C_bonding = Σ CI_emb · EPA_bond · A_die_i / Y_bonding_i`` where the EPA
+and the effective yield depend on the bonding method (C4 / micro-bump /
+hybrid) and assembly flow (D2W / W2W or chip-first / chip-last):
+
+* 3D stacks of N dies perform N−1 inter-die bonds (Eq. 11's sum bound);
+  bond i attaches die i+1 onto die i and is charged die i's area;
+* 2.5D assemblies attach each of the N dies to the substrate with C4
+  bumps, so N die-attach steps are charged;
+* 2D designs and monolithic 3D (sequential manufacturing) have no bonds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import BondingMethod
+from ..config.parameters import ParameterSet
+from ..units import mm2_to_cm2
+from .resolve import ResolvedDesign
+
+
+@dataclass(frozen=True)
+class BondRecord:
+    """One bonding step."""
+
+    step: str
+    method: str
+    area_mm2: float
+    epa_kwh_per_cm2: float
+    effective_yield: float
+    carbon_kg: float
+
+
+@dataclass(frozen=True)
+class BondingCarbonResult:
+    """Eq. 11 total with per-step records."""
+
+    records: tuple[BondRecord, ...]
+
+    @property
+    def total_kg(self) -> float:
+        return sum(r.carbon_kg for r in self.records)
+
+
+def bonding_carbon(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> BondingCarbonResult:
+    """Eq. 11 for the whole design."""
+    spec = resolved.spec
+    if spec.is_2d or resolved.is_m3d:
+        return BondingCarbonResult(records=())
+
+    design = resolved.design
+    records: list[BondRecord] = []
+
+    if spec.is_3d:
+        process = params.bonding.get(spec.bonding, design.assembly)
+        # N-1 bonds; bond i joins die i+1 onto die i, charged A_die_i.
+        for i in range(len(resolved.dies) - 1):
+            area = resolved.dies[i].area_mm2
+            eff_yield = resolved.stack_yields.per_bond[i]
+            carbon = (
+                ci_fab_kg_per_kwh
+                * process.epa_kwh_per_cm2
+                * mm2_to_cm2(area)
+                / eff_yield
+            )
+            records.append(
+                BondRecord(
+                    step=f"bond_{resolved.dies[i].name}"
+                         f"__{resolved.dies[i + 1].name}",
+                    method=f"{spec.bonding.value}/{design.assembly.value}",
+                    area_mm2=area,
+                    epa_kwh_per_cm2=process.epa_kwh_per_cm2,
+                    effective_yield=eff_yield,
+                    carbon_kg=carbon,
+                )
+            )
+        return BondingCarbonResult(records=tuple(records))
+
+    # 2.5D: N die-attach steps onto the substrate.
+    process = params.bonding.get(BondingMethod.C4, design.assembly)
+    for rdie, eff_yield in zip(resolved.dies, resolved.stack_yields.per_bond):
+        carbon = (
+            ci_fab_kg_per_kwh
+            * process.epa_kwh_per_cm2
+            * mm2_to_cm2(rdie.area_mm2)
+            / eff_yield
+        )
+        records.append(
+            BondRecord(
+                step=f"attach_{rdie.name}",
+                method=f"c4/{design.assembly.value}",
+                area_mm2=rdie.area_mm2,
+                epa_kwh_per_cm2=process.epa_kwh_per_cm2,
+                effective_yield=eff_yield,
+                carbon_kg=carbon,
+            )
+        )
+    return BondingCarbonResult(records=tuple(records))

@@ -1,0 +1,111 @@
+"""Die manufacturing carbon (Eq. 4).
+
+``C_die = Σ_i C_wafer_i / DPW_i · 1/Y_die_i`` — per die: the BEOL-aware
+wafer carbon (Eq. 6) divided across the dies on the wafer (Eq. 5), divided
+by the Table 3 effective yield. Monolithic 3D prices one merged sequential
+die on the tier footprint instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import ParameterSet
+from ..units import mm2_to_cm2
+from .dpw import effective_area_per_die_mm2
+from .resolve import ResolvedDesign
+from .wafer import m3d_wafer_carbon_per_cm2, wafer_carbon_per_cm2
+
+
+@dataclass(frozen=True)
+class DieCarbonRecord:
+    """Manufacturing carbon of one die (or one M3D merged die)."""
+
+    name: str
+    node: str
+    die_area_mm2: float
+    effective_wafer_area_mm2: float  # A_wafer / DPW share
+    beol_layers: float
+    carbon_per_cm2: float            # BEOL-aware Eq. 6 per-area carbon
+    effective_yield: float           # Table 3 composed yield
+    carbon_kg: float
+
+
+@dataclass(frozen=True)
+class DieCarbonResult:
+    """Eq. 4 total with per-die records."""
+
+    records: tuple[DieCarbonRecord, ...]
+
+    @property
+    def total_kg(self) -> float:
+        return sum(r.carbon_kg for r in self.records)
+
+
+def die_manufacturing_carbon(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> DieCarbonResult:
+    """Eq. 4 over all dies of the design."""
+    if resolved.is_m3d:
+        return _m3d_die_carbon(resolved, params, ci_fab_kg_per_kwh)
+
+    records = []
+    for rdie, eff_yield in zip(resolved.dies, resolved.stack_yields.per_die):
+        breakdown = wafer_carbon_per_cm2(
+            rdie.node,
+            ci_fab_kg_per_kwh,
+            beol_layers=rdie.beol.layers,
+            beol_aware=params.beol_aware,
+        )
+        eff_area = effective_area_per_die_mm2(
+            params.wafer_diameter_mm, rdie.area_mm2
+        )
+        carbon = (
+            breakdown.total_kg_per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+        )
+        records.append(
+            DieCarbonRecord(
+                name=rdie.name,
+                node=rdie.node.name,
+                die_area_mm2=rdie.area_mm2,
+                effective_wafer_area_mm2=eff_area,
+                beol_layers=rdie.beol.layers,
+                carbon_per_cm2=breakdown.total_kg_per_cm2,
+                effective_yield=eff_yield,
+                carbon_kg=carbon,
+            )
+        )
+    return DieCarbonResult(records=tuple(records))
+
+
+def _m3d_die_carbon(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> DieCarbonResult:
+    stack = resolved.m3d_stack
+    assert stack is not None
+    breakdown = m3d_wafer_carbon_per_cm2(
+        tiers=list(zip(stack.tier_nodes, stack.tier_layers)),
+        ci_fab_kg_per_kwh=ci_fab_kg_per_kwh,
+        m3d=params.m3d,
+        beol_aware=params.beol_aware,
+    )
+    eff_area = effective_area_per_die_mm2(
+        params.wafer_diameter_mm, stack.footprint_mm2
+    )
+    eff_yield = resolved.stack_yields.per_die[0]
+    carbon = breakdown.total_kg_per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+    record = DieCarbonRecord(
+        name=f"{resolved.design.name}_m3d_stack",
+        node="+".join(node.name for node in stack.tier_nodes),
+        die_area_mm2=stack.footprint_mm2,
+        effective_wafer_area_mm2=eff_area,
+        beol_layers=sum(stack.tier_layers),
+        carbon_per_cm2=breakdown.total_kg_per_cm2,
+        effective_yield=eff_yield,
+        carbon_kg=carbon,
+    )
+    return DieCarbonResult(records=(record,))

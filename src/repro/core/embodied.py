@@ -1,0 +1,89 @@
+"""Embodied-carbon orchestration (Eq. 3).
+
+``C_emb = C_die + C_bonding + C_packaging + C_int`` — this module resolves
+the design once and runs the four component calculators, returning an
+:class:`EmbodiedReport` with the full breakdown the paper's Fig. 4/5 bars
+are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import ParameterSet
+from .bonding_carbon import BondingCarbonResult, bonding_carbon
+from .design import ChipDesign
+from .die_carbon import DieCarbonResult, die_manufacturing_carbon
+from .interposer_carbon import InterposerCarbonResult, interposer_carbon
+from .packaging_carbon import PackagingCarbonResult, packaging_carbon
+from .resolve import ResolvedDesign, resolve_design
+
+
+@dataclass(frozen=True)
+class EmbodiedReport:
+    """Eq. 3 breakdown for one design."""
+
+    design_name: str
+    integration: str
+    die: DieCarbonResult
+    bonding: BondingCarbonResult
+    packaging: PackagingCarbonResult
+    interposer: InterposerCarbonResult
+
+    @property
+    def die_kg(self) -> float:
+        return self.die.total_kg
+
+    @property
+    def bonding_kg(self) -> float:
+        return self.bonding.total_kg
+
+    @property
+    def packaging_kg(self) -> float:
+        return self.packaging.carbon_kg
+
+    @property
+    def interposer_kg(self) -> float:
+        return self.interposer.carbon_kg
+
+    @property
+    def total_kg(self) -> float:
+        return (
+            self.die_kg + self.bonding_kg + self.packaging_kg
+            + self.interposer_kg
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Component → kg CO₂ mapping (sums to ``total_kg``)."""
+        return {
+            "die": self.die_kg,
+            "bonding": self.bonding_kg,
+            "packaging": self.packaging_kg,
+            "interposer": self.interposer_kg,
+        }
+
+
+def embodied_carbon(
+    design: "ChipDesign | ResolvedDesign",
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> EmbodiedReport:
+    """Eq. 3: full embodied carbon of a design.
+
+    Accepts either a raw :class:`ChipDesign` (resolved internally) or an
+    already-resolved design (to share resolution with the operational and
+    bandwidth models).
+    """
+    resolved = (
+        design
+        if isinstance(design, ResolvedDesign)
+        else resolve_design(design, params)
+    )
+    return EmbodiedReport(
+        design_name=resolved.design.name,
+        integration=resolved.spec.name,
+        die=die_manufacturing_carbon(resolved, params, ci_fab_kg_per_kwh),
+        bonding=bonding_carbon(resolved, params, ci_fab_kg_per_kwh),
+        packaging=packaging_carbon(resolved, params),
+        interposer=interposer_carbon(resolved, params, ci_fab_kg_per_kwh),
+    )

@@ -1,0 +1,82 @@
+"""2.5D substrate carbon: RDL / EMIB / silicon interposer (Eq. 13–14).
+
+Silicon substrates (interposer, EMIB bridge) are "modeled similarly to die
+carbon" (Sec. 3.2.4): BEOL-only wafer carbon on the dedicated interposer
+node, divided by interposer-per-wafer (Eq. 5) and the Table 3 effective
+substrate yield. InFO's RDL uses the per-area RDL characterization
+``CPA_RDL`` instead (panel-level build-up, not a processed silicon wafer).
+MCM's organic substrate is part of the package (zero here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import SubstrateKind
+from ..config.parameters import ParameterSet
+from ..units import mm2_to_cm2
+from .dpw import effective_area_per_die_mm2
+from .resolve import ResolvedDesign
+from .wafer import wafer_carbon_per_cm2
+
+
+@dataclass(frozen=True)
+class InterposerCarbonResult:
+    """Eq. 13–14 output (zero for designs without a priced substrate)."""
+
+    kind: SubstrateKind
+    area_mm2: float
+    effective_yield: float
+    carbon_kg: float
+
+
+_NO_SUBSTRATE = InterposerCarbonResult(
+    kind=SubstrateKind.NONE, area_mm2=0.0, effective_yield=1.0, carbon_kg=0.0
+)
+
+
+def interposer_carbon(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> InterposerCarbonResult:
+    """C_int of Eq. 3 for the design's substrate (if any)."""
+    substrate = resolved.substrate
+    if substrate is None or substrate.kind is SubstrateKind.ORGANIC:
+        return _NO_SUBSTRATE
+
+    eff_yield = resolved.stack_yields.substrate
+    if eff_yield is None:
+        eff_yield = substrate.raw_yield
+
+    if substrate.kind is SubstrateKind.RDL:
+        carbon = (
+            params.substrate.rdl_cpa_kg_per_cm2
+            * mm2_to_cm2(substrate.area_mm2)
+            / eff_yield
+        )
+        return InterposerCarbonResult(
+            kind=substrate.kind,
+            area_mm2=substrate.area_mm2,
+            effective_yield=eff_yield,
+            carbon_kg=carbon,
+        )
+
+    # Silicon interposer or EMIB bridge: priced like a (BEOL-only) die.
+    node = params.node(params.substrate.silicon_node)
+    breakdown = wafer_carbon_per_cm2(
+        node,
+        ci_fab_kg_per_kwh,
+        beol_layers=float(node.max_beol_layers),
+        beol_aware=params.beol_aware,
+    )
+    eff_area = effective_area_per_die_mm2(
+        params.substrate.wafer_diameter_mm, substrate.area_mm2
+    )
+    carbon = breakdown.total_kg_per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+    return InterposerCarbonResult(
+        kind=substrate.kind,
+        area_mm2=substrate.area_mm2,
+        effective_yield=eff_yield,
+        carbon_kg=carbon,
+    )

@@ -1,0 +1,163 @@
+"""Sustainable decision-making metrics (Sec. 2.2.2, Eq. 2).
+
+Indifference point and breakeven time, following GreenChip (Kline et al.,
+SUSCOM'19), generalized to signed embodied/operational deltas:
+
+* **Choosing** a 3D/2.5D IC over a 2D IC for a new deployment:
+  ``T_c = (C_emb^3D − C_emb^2D) / (CI_use · (P^2D − P^3D))`` — with a
+  fixed workload, the denominator is the *annual operational-carbon
+  difference*. Four regimes exist depending on the signs of the embodied
+  delta and the operational savings rate.
+* **Replacing** an already-deployed 2D IC (its embodied carbon is sunk):
+  ``T_r = C_emb^3D / (CI_use · (P^2D − P^3D))`` — the new chip's full
+  embodied cost must be amortized by operational savings; infinite when
+  the alternative does not save operational carbon.
+
+Both are compared against the device's (remaining) lifetime ``T_life``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import InvalidDesignError, ParameterError
+from .report import LifecycleReport
+
+
+class ChoiceRegime(str, Enum):
+    """Sign structure of the choosing decision."""
+
+    ALWAYS_BETTER = "always"        # saves embodied AND operational
+    BETTER_UNTIL_TC = "until_tc"    # saves embodied, costs operational
+    BETTER_AFTER_TC = "after_tc"    # costs embodied, saves operational
+    NEVER_BETTER = "never"          # costs both
+
+
+@dataclass(frozen=True)
+class DecisionMetrics:
+    """Eq. 2 outputs for one (2D baseline, 3D/2.5D alternative) pair."""
+
+    baseline_name: str
+    alternative_name: str
+    lifetime_years: float
+    embodied_delta_kg: float          # C_emb_alt − C_emb_base
+    annual_op_savings_kg: float       # (C_op_base − C_op_alt) / lifetime
+    embodied_save_ratio: float        # 1 − C_emb_alt / C_emb_base
+    overall_save_ratio: float         # 1 − C_total_alt / C_total_base
+    tc_years: float
+    tr_years: float
+    regime: ChoiceRegime
+
+    @property
+    def choose_recommended(self) -> bool:
+        """Should a new deployment pick the alternative? (Sec. 5.2 rule)."""
+        if self.regime is ChoiceRegime.ALWAYS_BETTER:
+            return True
+        if self.regime is ChoiceRegime.NEVER_BETTER:
+            return False
+        if self.regime is ChoiceRegime.BETTER_UNTIL_TC:
+            return self.lifetime_years <= self.tc_years
+        return self.lifetime_years >= self.tc_years
+
+    @property
+    def replace_recommended(self) -> bool:
+        """Should an installed 2D baseline be replaced mid-life?"""
+        return self.tr_years < self.lifetime_years
+
+
+def decision_metrics(
+    baseline: LifecycleReport,
+    alternative: LifecycleReport,
+    lifetime_years: float | None = None,
+) -> DecisionMetrics:
+    """Compute T_c/T_r and save ratios for an alternative vs a baseline.
+
+    Both reports need operational results over the same workload; the
+    alternative must satisfy the bandwidth constraint (the paper excludes
+    invalid designs from Table 5).
+    """
+    if baseline.operational is None or alternative.operational is None:
+        raise ParameterError(
+            "decision metrics need operational results on both reports"
+        )
+    if not alternative.valid:
+        raise InvalidDesignError(
+            f"{alternative.design_name} violates the bandwidth constraint; "
+            f"the paper classifies it invalid (Sec. 3.4)"
+        )
+    if lifetime_years is None:
+        lifetime_years = baseline.operational.lifetime_years
+    if lifetime_years <= 0:
+        raise ParameterError("lifetime must be positive")
+
+    emb_delta = alternative.embodied_kg - baseline.embodied_kg
+    op_savings_rate = (
+        baseline.operational.total_kg - alternative.operational.total_kg
+    ) / baseline.operational.lifetime_years
+
+    if emb_delta <= 0 and op_savings_rate >= 0:
+        regime = ChoiceRegime.ALWAYS_BETTER
+        tc = 0.0
+    elif emb_delta <= 0 and op_savings_rate < 0:
+        regime = ChoiceRegime.BETTER_UNTIL_TC
+        tc = emb_delta / op_savings_rate  # both negative → positive years
+    elif emb_delta > 0 and op_savings_rate > 0:
+        regime = ChoiceRegime.BETTER_AFTER_TC
+        tc = emb_delta / op_savings_rate
+    else:
+        regime = ChoiceRegime.NEVER_BETTER
+        tc = math.inf
+
+    tr = (
+        alternative.embodied_kg / op_savings_rate
+        if op_savings_rate > 0
+        else math.inf
+    )
+
+    emb_save = (
+        1.0 - alternative.embodied_kg / baseline.embodied_kg
+        if baseline.embodied_kg > 0
+        else 0.0
+    )
+    overall_save = (
+        1.0 - alternative.total_kg / baseline.total_kg
+        if baseline.total_kg > 0
+        else 0.0
+    )
+
+    return DecisionMetrics(
+        baseline_name=baseline.design_name,
+        alternative_name=alternative.design_name,
+        lifetime_years=lifetime_years,
+        embodied_delta_kg=emb_delta,
+        annual_op_savings_kg=op_savings_rate,
+        embodied_save_ratio=emb_save,
+        overall_save_ratio=overall_save,
+        tc_years=tc,
+        tr_years=tr,
+        regime=regime,
+    )
+
+
+def format_decision_table(metrics: "list[DecisionMetrics]") -> str:
+    """Table 5-style text rendering."""
+    header = (
+        f"{'alternative':<34} {'emb save':>9} {'ovr save':>9} "
+        f"{'Tc (y)':>8} {'Tr (y)':>8} {'choose':>7} {'replace':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for m in metrics:
+        tc = "inf" if math.isinf(m.tc_years) else (
+            ">0" if m.regime is ChoiceRegime.ALWAYS_BETTER
+            else f"{m.tc_years:.1f}"
+        )
+        tr = "inf" if math.isinf(m.tr_years) else f"{m.tr_years:.1f}"
+        lines.append(
+            f"{m.alternative_name:<34.34} {m.embodied_save_ratio * 100:8.2f}% "
+            f"{m.overall_save_ratio * 100:8.2f}% {tc:>8} {tr:>8} "
+            f"{'yes' if m.choose_recommended else 'no':>7} "
+            f"{'yes' if m.replace_recommended else 'no':>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Lifecycle report: the combined output object of the tool (Fig. 3 right).
+
+:class:`LifecycleReport` bundles the embodied breakdown (Eq. 3), the
+operational result (Eq. 16), and the bandwidth check (Sec. 3.4), with
+serialization (``to_dict``) and a plain-text rendering used by the CLI and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bandwidth import BandwidthResult
+from .embodied import EmbodiedReport
+from .operational import OperationalReport
+
+
+@dataclass(frozen=True)
+class LifecycleReport:
+    """Total life-cycle carbon of one design (Eq. 1)."""
+
+    design_name: str
+    integration: str
+    embodied: EmbodiedReport
+    bandwidth: BandwidthResult
+    operational: OperationalReport | None = None
+
+    @property
+    def embodied_kg(self) -> float:
+        return self.embodied.total_kg
+
+    @property
+    def operational_kg(self) -> float:
+        return self.operational.total_kg if self.operational else 0.0
+
+    @property
+    def total_kg(self) -> float:
+        """Eq. 1: C_total = C_operational + C_emb."""
+        return self.embodied_kg + self.operational_kg
+
+    @property
+    def valid(self) -> bool:
+        """False when the Sec. 3.4 bandwidth constraint is violated."""
+        return self.bandwidth.valid
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (stable key ordering)."""
+        data: dict = {
+            "design": self.design_name,
+            "integration": self.integration,
+            "valid": self.valid,
+            "embodied_kg": self.embodied_kg,
+            "embodied_breakdown_kg": self.embodied.breakdown(),
+            "per_die": [
+                {
+                    "name": r.name,
+                    "node": r.node,
+                    "area_mm2": r.die_area_mm2,
+                    "beol_layers": r.beol_layers,
+                    "yield": r.effective_yield,
+                    "carbon_kg": r.carbon_kg,
+                }
+                for r in self.embodied.die.records
+            ],
+            "bandwidth": {
+                "constrained": self.bandwidth.constrained,
+                "required_tb_s": self.bandwidth.required_tb_s,
+                "achieved_tb_s": self.bandwidth.achieved_tb_s,
+                "ratio": self.bandwidth.ratio,
+                "degradation": self.bandwidth.degradation,
+            },
+            "total_kg": self.total_kg,
+        }
+        if self.operational is not None:
+            data["operational_kg"] = self.operational.total_kg
+            data["operational"] = {
+                "workload": self.operational.workload_name,
+                "compute_energy_kwh": self.operational.compute_energy_kwh,
+                "io_energy_kwh": self.operational.io_energy_kwh,
+                "lifetime_years": self.operational.lifetime_years,
+                "use_ci_kg_per_kwh": self.operational.use_ci_kg_per_kwh,
+            }
+        return data
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"design        : {self.design_name}",
+            f"integration   : {self.integration}",
+            f"valid         : {'yes' if self.valid else 'NO (bandwidth)'}",
+            f"embodied      : {self.embodied_kg:9.3f} kg CO2e",
+        ]
+        for component, kg in self.embodied.breakdown().items():
+            lines.append(f"  - {component:<11}: {kg:9.3f} kg CO2e")
+        if self.operational is not None:
+            lines.append(
+                f"operational   : {self.operational.total_kg:9.3f} kg CO2e "
+                f"({self.operational.workload_name}, "
+                f"{self.operational.lifetime_years:g} y)"
+            )
+        if self.bandwidth.constrained:
+            lines.append(
+                f"bandwidth     : {self.bandwidth.achieved_tb_s:8.2f} / "
+                f"{self.bandwidth.required_tb_s:8.2f} TB/s "
+                f"(deg {self.bandwidth.degradation * 100:.1f}%)"
+            )
+        lines.append(f"total         : {self.total_kg:9.3f} kg CO2e")
+        return "\n".join(lines)
+
+
+def format_report_table(
+    reports: "list[LifecycleReport]", title: str = ""
+) -> str:
+    """Fixed-width comparison table across designs (Fig. 5-style rows)."""
+    header = (
+        f"{'design':<34} {'integ.':<14} {'die':>8} {'bond':>7} {'pkg':>7} "
+        f"{'subst':>7} {'emb':>8} {'oper':>8} {'total':>8} {'valid':>6}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for report in reports:
+        b = report.embodied.breakdown()
+        lines.append(
+            f"{report.design_name:<34.34} {report.integration:<14} "
+            f"{b['die']:8.2f} {b['bonding']:7.2f} {b['packaging']:7.2f} "
+            f"{b['interposer']:7.2f} {report.embodied_kg:8.2f} "
+            f"{report.operational_kg:8.2f} {report.total_kg:8.2f} "
+            f"{'yes' if report.valid else 'NO':>6}"
+        )
+    return "\n".join(lines)

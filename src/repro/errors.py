@@ -1,0 +1,35 @@
+"""Exception hierarchy for the 3D-Carbon reproduction.
+
+All library-raised exceptions derive from :class:`CarbonModelError` so callers
+can catch one base type. Input problems raise :class:`DesignError` or
+:class:`ParameterError`; evaluating a design that violates the bandwidth
+constraint of Sec. 3.4 does *not* raise — it returns a report flagged invalid
+— but asking for metrics that require a valid design raises
+:class:`InvalidDesignError`.
+"""
+
+from __future__ import annotations
+
+
+class CarbonModelError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DesignError(CarbonModelError):
+    """The hardware design description is inconsistent or incomplete."""
+
+
+class ParameterError(CarbonModelError):
+    """A configuration parameter is out of its physical/documented range."""
+
+
+class UnknownTechnologyError(ParameterError):
+    """A process node or integration technology name is not in the database."""
+
+
+class InvalidDesignError(CarbonModelError):
+    """The design fails a deployment constraint (e.g. I/O bandwidth)."""
+
+
+class UnitError(CarbonModelError):
+    """A quantity was supplied in an unconvertible or negative unit."""

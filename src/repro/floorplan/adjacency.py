@@ -1,0 +1,33 @@
+"""Adjacent-edge-length extraction for Eq. 14.
+
+``A_RDL/EMIB = s · D_gap · Σ l_adjacent`` — the substrate area of a bridge
+or routing region is proportional to the total length of die edges that
+face each other across the die gap. This module measures those lengths on
+a :class:`repro.floorplan.placer.Floorplan`.
+"""
+
+from __future__ import annotations
+
+from .placer import Floorplan
+
+#: Facing edges further apart than gap × this slack are not "adjacent";
+#: the slack absorbs floating-point placement error.
+_GAP_SLACK = 1.5
+
+
+def adjacent_pairs(floorplan: Floorplan) -> list[tuple[str, str, float]]:
+    """All adjacent die pairs with their shared facing length (mm)."""
+    max_gap = floorplan.die_gap_mm * _GAP_SLACK + 1e-9
+    pairs: list[tuple[str, str, float]] = []
+    dies = floorplan.dies
+    for i, a in enumerate(dies):
+        for b in dies[i + 1:]:
+            length = a.rect.facing_length(b.rect, max_gap)
+            if length > 0.0:
+                pairs.append((a.name, b.name, length))
+    return pairs
+
+
+def total_adjacent_length_mm(floorplan: Floorplan) -> float:
+    """Σ l_adjacent of Eq. 14 (mm)."""
+    return sum(length for _, _, length in adjacent_pairs(floorplan))

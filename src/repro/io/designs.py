@@ -1,0 +1,123 @@
+"""Design serialization: :class:`ChipDesign` ↔ plain dictionaries / JSON.
+
+The schema is the one the CLI documents::
+
+    {
+      "name": "my_chip",
+      "integration": "hybrid_3d",
+      "stacking": "f2f",
+      "assembly": "d2w",
+      "package": {"class": "fcbga", "area_mm2": null},
+      "throughput_tops": 254,
+      "dies": [
+        {"name": "top", "node": "7nm", "gate_count": 8.5e9,
+         "workload_share": 0.5}
+      ]
+    }
+
+Round-trips are exact: ``design_from_dict(design_to_dict(d)) == d``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..config.integration import AssemblyFlow, StackingStyle
+from ..core.design import ChipDesign, Die, DieKind, PackageSpec
+from ..errors import DesignError
+
+
+def die_to_dict(die: Die) -> dict:
+    """One die as a JSON-ready dictionary (defaults omitted)."""
+    data: dict = {"name": die.name, "node": die.node}
+    if die.gate_count is not None:
+        data["gate_count"] = die.gate_count
+    if die.area_mm2 is not None:
+        data["area_mm2"] = die.area_mm2
+    if die.kind is not DieKind.LOGIC:
+        data["kind"] = die.kind.value
+    if die.workload_share != 1.0:
+        data["workload_share"] = die.workload_share
+    if die.beol_layers is not None:
+        data["beol_layers"] = die.beol_layers
+    if die.yield_override is not None:
+        data["yield"] = die.yield_override
+    if die.efficiency_tops_per_w is not None:
+        data["efficiency_tops_per_w"] = die.efficiency_tops_per_w
+    return data
+
+
+def die_from_dict(data: dict) -> Die:
+    """Inverse of :func:`die_to_dict`."""
+    try:
+        name = data["name"]
+        node = data["node"]
+    except KeyError as missing:
+        raise DesignError(f"die record missing key {missing}") from None
+    return Die(
+        name=name,
+        node=node,
+        gate_count=data.get("gate_count"),
+        area_mm2=data.get("area_mm2"),
+        kind=DieKind(data.get("kind", "logic")),
+        workload_share=data.get("workload_share", 1.0),
+        beol_layers=data.get("beol_layers"),
+        yield_override=data.get("yield"),
+        efficiency_tops_per_w=data.get("efficiency_tops_per_w"),
+    )
+
+
+def design_to_dict(design: ChipDesign) -> dict:
+    """A full design as a JSON-ready dictionary."""
+    data: dict = {
+        "name": design.name,
+        "integration": design.integration,
+        "dies": [die_to_dict(die) for die in design.dies],
+    }
+    if design.stacking is not StackingStyle.NA:
+        data["stacking"] = design.stacking.value
+    if design.assembly is not AssemblyFlow.NA:
+        data["assembly"] = design.assembly.value
+    package: dict = {"class": design.package.package_class}
+    if design.package.area_mm2 is not None:
+        package["area_mm2"] = design.package.area_mm2
+    data["package"] = package
+    if design.throughput_tops is not None:
+        data["throughput_tops"] = design.throughput_tops
+    return data
+
+
+def design_from_dict(data: dict) -> ChipDesign:
+    """Inverse of :func:`design_to_dict`."""
+    if "name" not in data:
+        raise DesignError("design record missing 'name'")
+    if not data.get("dies"):
+        raise DesignError("design record has no dies")
+    package_data = data.get("package", {})
+    return ChipDesign(
+        name=data["name"],
+        dies=tuple(die_from_dict(d) for d in data["dies"]),
+        integration=data.get("integration", "2d"),
+        stacking=StackingStyle(data.get("stacking", "n/a")),
+        assembly=AssemblyFlow(data.get("assembly", "n/a")),
+        package=PackageSpec(
+            package_class=package_data.get("class", "fcbga"),
+            area_mm2=package_data.get("area_mm2"),
+        ),
+        throughput_tops=data.get("throughput_tops"),
+    )
+
+
+def save_design(design: ChipDesign, path: "str | Path") -> None:
+    """Write a design to a JSON file."""
+    Path(path).write_text(
+        json.dumps(design_to_dict(design), indent=2), encoding="utf-8"
+    )
+
+
+def load_design(path: "str | Path") -> ChipDesign:
+    """Read a design from a JSON file."""
+    return design_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

@@ -1,0 +1,36 @@
+"""Fig. 1 lifecycle extensions: transport and end-of-life phases.
+
+The paper's quantitative model (Eq. 1) covers embodied + operational
+carbon; these modules add the remaining Fig. 1 phases so their
+(small) magnitude can be verified rather than assumed.
+"""
+
+from .eol import (
+    DEFAULT_EOL,
+    EolParameters,
+    end_of_life_carbon_kg,
+    eol_share_of_total,
+)
+from .transport import (
+    DEFAULT_ROUTE,
+    EMISSION_FACTORS_KG_PER_TONNE_KM,
+    FreightMode,
+    TransportLeg,
+    package_mass_kg,
+    transport_carbon_kg,
+    transport_share_of_total,
+)
+
+__all__ = [
+    "DEFAULT_EOL",
+    "DEFAULT_ROUTE",
+    "EMISSION_FACTORS_KG_PER_TONNE_KM",
+    "EolParameters",
+    "FreightMode",
+    "TransportLeg",
+    "end_of_life_carbon_kg",
+    "eol_share_of_total",
+    "package_mass_kg",
+    "transport_carbon_kg",
+    "transport_share_of_total",
+]

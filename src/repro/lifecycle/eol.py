@@ -1,0 +1,71 @@
+"""End-of-life carbon (extension beyond the paper's Eq. 1).
+
+Completes the Fig. 1 lifecycle with a simple end-of-life model: shredding
+and smelting energy for the package mass, minus a recycling credit for
+recovered copper/gold (avoided primary production). Parameters follow
+WEEE-recycling LCA ranges. Like transport, the magnitude is grams —
+evidence for the paper's scoping of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .transport import package_mass_kg
+
+
+@dataclass(frozen=True)
+class EolParameters:
+    """End-of-life processing assumptions."""
+
+    #: Processing (collection, shredding, smelting) kg CO₂ per kg device.
+    processing_kg_per_kg: float = 0.35
+    #: Recoverable metal fraction of device mass.
+    metal_fraction: float = 0.15
+    #: Avoided primary-production carbon per kg of recovered metal.
+    recycling_credit_kg_per_kg: float = 1.8
+    #: Share of devices actually collected for recycling.
+    collection_rate: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.processing_kg_per_kg < 0:
+            raise ParameterError("processing intensity must be >= 0")
+        if not 0.0 <= self.metal_fraction <= 1.0:
+            raise ParameterError("metal fraction must lie in [0, 1]")
+        if self.recycling_credit_kg_per_kg < 0:
+            raise ParameterError("recycling credit must be >= 0")
+        if not 0.0 <= self.collection_rate <= 1.0:
+            raise ParameterError("collection rate must lie in [0, 1]")
+
+
+DEFAULT_EOL = EolParameters()
+
+
+def end_of_life_carbon_kg(
+    package_area_mm2: float, params: EolParameters = DEFAULT_EOL
+) -> float:
+    """Net end-of-life carbon for one device (can be negative: net credit)."""
+    mass = package_mass_kg(package_area_mm2)
+    processed_mass = mass * params.collection_rate
+    processing = processed_mass * params.processing_kg_per_kg
+    credit = (
+        processed_mass * params.metal_fraction
+        * params.recycling_credit_kg_per_kg
+    )
+    landfilled = mass * (1.0 - params.collection_rate)
+    landfill = landfilled * 0.02  # inert disposal, near-zero
+    return processing + landfill - credit
+
+
+def eol_share_of_total(
+    package_area_mm2: float,
+    total_lifecycle_kg: float,
+    params: EolParameters = DEFAULT_EOL,
+) -> float:
+    """|EOL| as a fraction of the lifecycle footprint (typically ≪ 1 %)."""
+    if total_lifecycle_kg <= 0:
+        raise ParameterError("total lifecycle carbon must be positive")
+    return abs(end_of_life_carbon_kg(package_area_mm2, params)) / (
+        total_lifecycle_kg
+    )

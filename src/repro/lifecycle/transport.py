@@ -1,0 +1,105 @@
+"""Transport-phase carbon (extension beyond the paper's Eq. 1).
+
+The paper's Fig. 1 shows the full IC lifecycle — manufacturing, transport,
+use, end-of-life — but its quantitative model covers only embodied and
+operational carbon (Eq. 1), noting transport/EOL are comparatively small.
+This module implements the missing transport leg with standard logistics
+emission factors so users can test that claim:
+
+    C_transport = Σ_legs  mass · distance · EF_mode
+
+Emission factors follow GLEC/DEFRA freight averages (kg CO₂ per
+tonne-km). Packaged-IC shipping masses are grams, so the result is
+typically a few grams of CO₂ — confirming the paper's scoping decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ParameterError
+
+
+class FreightMode(str, Enum):
+    """Transport modes with GLEC-style emission factors."""
+
+    AIR = "air"
+    SEA = "sea"
+    RAIL = "rail"
+    TRUCK = "truck"
+
+
+#: kg CO₂ per tonne-km (GLEC/DEFRA long-haul averages).
+EMISSION_FACTORS_KG_PER_TONNE_KM: dict[FreightMode, float] = {
+    FreightMode.AIR: 0.60,
+    FreightMode.SEA: 0.011,
+    FreightMode.RAIL: 0.023,
+    FreightMode.TRUCK: 0.085,
+}
+
+
+@dataclass(frozen=True)
+class TransportLeg:
+    """One freight leg of the supply chain."""
+
+    name: str
+    mode: FreightMode
+    distance_km: float
+
+    def __post_init__(self) -> None:
+        if self.distance_km <= 0:
+            raise ParameterError(
+                f"leg {self.name!r}: distance must be positive"
+            )
+
+    def carbon_kg(self, shipped_mass_kg: float) -> float:
+        """Carbon of this leg for a given shipped mass."""
+        if shipped_mass_kg <= 0:
+            raise ParameterError("shipped mass must be positive")
+        factor = EMISSION_FACTORS_KG_PER_TONNE_KM[self.mode]
+        return shipped_mass_kg / 1000.0 * self.distance_km * factor
+
+
+#: A representative route: wafer fab (Taiwan) → OSAT (Malaysia) by air,
+#: OSAT → distribution (US) by sea, distribution → customer by truck.
+DEFAULT_ROUTE: tuple[TransportLeg, ...] = (
+    TransportLeg("fab_to_osat", FreightMode.AIR, 3200.0),
+    TransportLeg("osat_to_region", FreightMode.SEA, 16000.0),
+    TransportLeg("region_to_customer", FreightMode.TRUCK, 800.0),
+)
+
+#: Packaged-device shipping mass per package area (kg per cm²): substrate,
+#: lid, tray share — a 45×45 mm FCBGA weighs ~80 g.
+MASS_PER_PACKAGE_CM2_KG = 0.004
+
+
+def package_mass_kg(package_area_mm2: float) -> float:
+    """Estimated shipping mass of one packaged device."""
+    if package_area_mm2 <= 0:
+        raise ParameterError("package area must be positive")
+    return package_area_mm2 / 100.0 * MASS_PER_PACKAGE_CM2_KG
+
+
+def transport_carbon_kg(
+    package_area_mm2: float,
+    route: "tuple[TransportLeg, ...] | list[TransportLeg]" = DEFAULT_ROUTE,
+) -> float:
+    """C_transport for one device over a route."""
+    mass = package_mass_kg(package_area_mm2)
+    return sum(leg.carbon_kg(mass) for leg in route)
+
+
+def transport_share_of_total(
+    package_area_mm2: float,
+    total_lifecycle_kg: float,
+    route: "tuple[TransportLeg, ...] | list[TransportLeg]" = DEFAULT_ROUTE,
+) -> float:
+    """Fraction of the lifecycle footprint contributed by transport.
+
+    For realistic ICs this lands well below 1 %, supporting the paper's
+    decision to model only embodied + operational carbon in Eq. 1.
+    """
+    if total_lifecycle_kg <= 0:
+        raise ParameterError("total lifecycle carbon must be positive")
+    return transport_carbon_kg(package_area_mm2, route) / total_lifecycle_kg

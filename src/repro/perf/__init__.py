@@ -1,0 +1,27 @@
+"""Performance substrates: degradation curve and bandwidth requirements."""
+
+from .degradation import (
+    ANCHOR_LOSS,
+    ANCHOR_RATIO,
+    degradation,
+    runtime_stretch,
+    throughput_factor,
+)
+from .requirements import (
+    AV_PERCEPTION_LAYERS,
+    DnnLayer,
+    network_traffic_intensity,
+    onchip_bandwidth_tb_s,
+)
+
+__all__ = [
+    "ANCHOR_LOSS",
+    "ANCHOR_RATIO",
+    "AV_PERCEPTION_LAYERS",
+    "DnnLayer",
+    "degradation",
+    "network_traffic_intensity",
+    "onchip_bandwidth_tb_s",
+    "runtime_stretch",
+    "throughput_factor",
+]

@@ -1,0 +1,62 @@
+"""Bandwidth→throughput degradation substrate (MCM-GPU, Arunkumar ISCA'17).
+
+The paper anchors its Sec. 3.4 constraint on one MCM-GPU observation: a 2×
+inter-die bandwidth reduction costs >20 % throughput for DNN-style GPU
+workloads. This module provides the full degradation *curve* around that
+anchor — the core model only needs the linear segment, but the ablation
+benches exercise the saturating tail as well.
+
+``throughput_factor(r)`` returns the fraction of 2D throughput retained at
+bandwidth ratio ``r = BW_achieved / BW_2D``:
+
+* r ≥ 1 — no loss (compute-bound);
+* r < 1 — linear loss through (1, 1) and (0.5, 0.8) (the MCM-GPU anchor);
+* r → 0 — the design degenerates to bandwidth-bound operation: retained
+  throughput cannot exceed the roofline ceiling proportional to the
+  bandwidth itself, so the curve is capped by ``r·(1−loss)/ratio`` (which
+  also passes through the anchor) and goes to zero with the bandwidth.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+#: MCM-GPU anchor: at half bandwidth, 20 % throughput loss.
+ANCHOR_RATIO = 0.5
+ANCHOR_LOSS = 0.20
+
+
+def throughput_factor(
+    bandwidth_ratio: float,
+    anchor_ratio: float = ANCHOR_RATIO,
+    anchor_loss: float = ANCHOR_LOSS,
+) -> float:
+    """Retained throughput fraction at a given bandwidth ratio."""
+    if bandwidth_ratio < 0:
+        raise ParameterError("bandwidth ratio must be >= 0")
+    if not 0.0 < anchor_ratio < 1.0:
+        raise ParameterError("anchor ratio must lie in (0, 1)")
+    if not 0.0 < anchor_loss < 1.0:
+        raise ParameterError("anchor loss must lie in (0, 1)")
+    if bandwidth_ratio >= 1.0:
+        return 1.0
+    slope = anchor_loss / (1.0 - anchor_ratio)
+    linear = 1.0 - slope * (1.0 - bandwidth_ratio)
+    # Roofline ceiling: a fully bandwidth-bound design retains at most a
+    # throughput proportional to its bandwidth (the cap passes through the
+    # anchor point, so it only binds below the anchor ratio).
+    ceiling = bandwidth_ratio * (1.0 - anchor_loss) / anchor_ratio
+    return max(0.0, min(1.0, linear, ceiling))
+
+
+def degradation(bandwidth_ratio: float, **kwargs: float) -> float:
+    """Throughput loss fraction: 1 − throughput_factor."""
+    return 1.0 - throughput_factor(bandwidth_ratio, **kwargs)
+
+
+def runtime_stretch(bandwidth_ratio: float, **kwargs: float) -> float:
+    """Fixed-work runtime multiplier at a bandwidth ratio."""
+    factor = throughput_factor(bandwidth_ratio, **kwargs)
+    if factor <= 0.0:
+        return float("inf")
+    return 1.0 / factor

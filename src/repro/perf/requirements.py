@@ -1,0 +1,72 @@
+"""Workload bandwidth-requirement model (Sec. 3.4 inputs).
+
+The Sec. 3.4 constraint compares a 2.5D interface against "the 2D on-chip
+bandwidth" of the counterpart design. For the DNN workloads of the AV case
+study, on-chip bandwidth tracks compute throughput through the workload's
+traffic intensity (bytes of on-chip movement per operation):
+
+    BW_onchip [TB/s] = throughput [TOPS] × traffic [B/op]
+
+This module also estimates traffic intensities from DNN layer shapes, so
+studies can derive the constant from a workload description instead of
+assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+
+def onchip_bandwidth_tb_s(
+    throughput_tops: float, traffic_bytes_per_op: float
+) -> float:
+    """On-chip bandwidth demand of a fixed-throughput DNN workload."""
+    if throughput_tops <= 0:
+        raise ParameterError("throughput must be positive")
+    if traffic_bytes_per_op <= 0:
+        raise ParameterError("traffic intensity must be positive")
+    # TOPS × B/op = 1e12 B/s = 1 TB/s per unit product.
+    return throughput_tops * traffic_bytes_per_op
+
+
+@dataclass(frozen=True)
+class DnnLayer:
+    """One DNN layer: MACs and bytes moved on chip (weights + activations)."""
+
+    name: str
+    macs: float
+    onchip_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.macs <= 0 or self.onchip_bytes < 0:
+            raise ParameterError(f"layer {self.name!r}: invalid shape")
+
+    @property
+    def bytes_per_op(self) -> float:
+        # 1 MAC = 2 ops (multiply + accumulate), the TOPS convention.
+        return self.onchip_bytes / (2.0 * self.macs)
+
+
+def network_traffic_intensity(layers: "list[DnnLayer]") -> float:
+    """MAC-weighted average bytes/op across a network's layers."""
+    if not layers:
+        raise ParameterError("need at least one layer")
+    total_ops = sum(2.0 * layer.macs for layer in layers)
+    total_bytes = sum(layer.onchip_bytes for layer in layers)
+    return total_bytes / total_ops
+
+
+#: A representative AV perception backbone (ResNet-like shapes at the
+#: resolution Sudhakar IEEE Micro'23 assumes). MAC-weighted traffic
+#: intensity ≈ 0.13 B/op — the calibrated default of
+#: :class:`repro.config.parameters.BandwidthConstraintParameters`.
+AV_PERCEPTION_LAYERS: tuple[DnnLayer, ...] = (
+    DnnLayer("stem_conv7x7", macs=2.4e9, onchip_bytes=6.1e8),
+    DnnLayer("stage1_convs", macs=8.2e9, onchip_bytes=1.9e9),
+    DnnLayer("stage2_convs", macs=1.1e10, onchip_bytes=2.9e9),
+    DnnLayer("stage3_convs", macs=1.6e10, onchip_bytes=4.6e9),
+    DnnLayer("stage4_convs", macs=9.4e9, onchip_bytes=3.0e9),
+    DnnLayer("detection_head", macs=3.8e9, onchip_bytes=1.3e9),
+)

@@ -1,0 +1,19 @@
+"""Operational power plug-ins (Fig. 3's power-estimation interface)."""
+
+from .dnn import AnalyticalDnnPlugin
+from .plugin import (
+    DEFAULT_REGISTRY,
+    CallablePlugin,
+    PluginRegistry,
+    PowerPlugin,
+)
+from .surveyed import SurveyedEfficiencyPlugin
+
+__all__ = [
+    "AnalyticalDnnPlugin",
+    "CallablePlugin",
+    "DEFAULT_REGISTRY",
+    "PluginRegistry",
+    "PowerPlugin",
+    "SurveyedEfficiencyPlugin",
+]

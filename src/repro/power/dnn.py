@@ -1,0 +1,54 @@
+"""Analytical DNN inference power plug-in.
+
+A minimal bottom-up estimator for accelerator-style dies, standing in for
+the heavyweight third-party tools (McPAT-monolithic et al.) the paper
+plugs in. Energy per MAC scales with the square of the feature size
+relative to a 7 nm reference (capacitance-dominated dynamic energy),
+plus a memory-access surcharge governed by the workload's arithmetic
+intensity:
+
+    E_op = E_mac(λ) + bytes_per_op · E_byte(λ)
+    Eff  = 1 / E_op   (TOPS/W == ops/s per W == 1 / (J per op) · 1e-12)
+"""
+
+from __future__ import annotations
+
+from ..core.resolve import ResolvedDie
+from ..errors import ParameterError
+from .plugin import DEFAULT_REGISTRY
+
+#: Reference energies at 7 nm (INT8 inference, survey mid-range).
+REFERENCE_FEATURE_NM = 7.0
+E_MAC_7NM_PJ = 0.28
+E_SRAM_BYTE_7NM_PJ = 1.1
+
+
+class AnalyticalDnnPlugin:
+    """Feature-size-scaled DNN energy model."""
+
+    name = "dnn"
+
+    def __init__(self, bytes_per_op: float = 0.05) -> None:
+        if bytes_per_op < 0:
+            raise ParameterError("bytes_per_op must be >= 0")
+        self.bytes_per_op = bytes_per_op
+
+    def energy_per_op_pj(self, feature_nm: float) -> float:
+        """Dynamic energy of one operation at the given node (pJ)."""
+        if feature_nm <= 0:
+            raise ParameterError("feature size must be positive")
+        scale = (feature_nm / REFERENCE_FEATURE_NM) ** 2
+        return (
+            E_MAC_7NM_PJ * scale
+            + self.bytes_per_op * E_SRAM_BYTE_7NM_PJ * scale
+        )
+
+    def efficiency_tops_per_w(self, die: ResolvedDie) -> float:
+        if die.die.efficiency_tops_per_w is not None:
+            return die.die.efficiency_tops_per_w
+        energy_pj = self.energy_per_op_pj(die.node.feature_nm)
+        # TOPS/W = 1e12 op/s per W = 1 / (J/op · 1e12) = 1 / (pJ/op).
+        return 1.0 / energy_pj
+
+
+DEFAULT_REGISTRY.register(AnalyticalDnnPlugin(), overwrite=True)

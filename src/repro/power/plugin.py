@@ -1,0 +1,77 @@
+"""Operational power plug-in protocol (Fig. 3: "operational power
+estimation plug-ins").
+
+3D-Carbon does not model microarchitectural power itself; it consumes
+per-die energy efficiencies from external estimators (McPAT-monolithic,
+GPU power tools) or surveyed data. A plug-in maps a resolved die to an
+efficiency in TOPS/W; a registry lets studies select plug-ins by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..core.resolve import ResolvedDie
+from ..errors import ParameterError, UnknownTechnologyError
+
+
+class PowerPlugin(Protocol):
+    """Anything that can rate a die's energy efficiency."""
+
+    name: str
+
+    def efficiency_tops_per_w(self, die: ResolvedDie) -> float:
+        """Sustained energy efficiency of ``die`` (TOPS/W)."""
+        ...  # pragma: no cover - protocol
+
+
+class PluginRegistry:
+    """Name → plug-in registry with override support."""
+
+    def __init__(self) -> None:
+        self._plugins: dict[str, PowerPlugin] = {}
+
+    def register(self, plugin: PowerPlugin, overwrite: bool = False) -> None:
+        key = plugin.name.lower()
+        if key in self._plugins and not overwrite:
+            raise ParameterError(f"plugin {plugin.name!r} already registered")
+        self._plugins[key] = plugin
+
+    def get(self, name: str) -> PowerPlugin:
+        try:
+            return self._plugins[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(self._plugins)) or "(none)"
+            raise UnknownTechnologyError(
+                f"unknown power plugin {name!r}; known: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._plugins)
+
+    def __len__(self) -> int:
+        return len(self._plugins)
+
+
+class CallablePlugin:
+    """Adapter turning a plain function into a :class:`PowerPlugin`."""
+
+    def __init__(
+        self, name: str, fn: Callable[[ResolvedDie], float]
+    ) -> None:
+        if not name:
+            raise ParameterError("plugin needs a non-empty name")
+        self.name = name
+        self._fn = fn
+
+    def efficiency_tops_per_w(self, die: ResolvedDie) -> float:
+        value = self._fn(die)
+        if value <= 0:
+            raise ParameterError(
+                f"plugin {self.name!r} returned non-positive efficiency"
+            )
+        return value
+
+
+#: Process-wide default registry (studies may build private ones).
+DEFAULT_REGISTRY = PluginRegistry()

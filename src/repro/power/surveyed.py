@@ -1,0 +1,39 @@
+"""Surveyed-efficiency power plug-in (the paper's default, Sec. 3.3).
+
+"In the absence of specific input for Eff_die, we utilize surveyed
+parameters (e.g., as in [19]) to estimate Eff_die" — this plug-in resolves
+a die's efficiency from, in priority order: the die's own override, a
+product-level survey entry (Table 4), or the per-node survey.
+"""
+
+from __future__ import annotations
+
+from ..config.power import (
+    DEFAULT_DEVICE_SURVEY,
+    DeviceSurveyTable,
+    surveyed_efficiency,
+)
+from ..core.resolve import ResolvedDie
+from .plugin import DEFAULT_REGISTRY
+
+
+class SurveyedEfficiencyPlugin:
+    """Survey-based efficiency lookup."""
+
+    name = "surveyed"
+
+    def __init__(self, devices: DeviceSurveyTable | None = None) -> None:
+        self._devices = devices if devices is not None else DEFAULT_DEVICE_SURVEY
+
+    def efficiency_tops_per_w(self, die: ResolvedDie) -> float:
+        if die.die.efficiency_tops_per_w is not None:
+            return die.die.efficiency_tops_per_w
+        # Product-level match: die names in the case studies embed the
+        # device name (e.g. "ORIN_2D_die").
+        for device in self._devices:
+            if device.name.lower() in die.name.lower():
+                return device.efficiency_tops_per_w
+        return surveyed_efficiency(die.node.name)
+
+
+DEFAULT_REGISTRY.register(SurveyedEfficiencyPlugin(), overwrite=True)

@@ -1,0 +1,81 @@
+"""Case studies: Sec. 4 validation and the Sec. 5 NVIDIA DRIVE analysis."""
+
+from .decision import (
+    PAPER_TABLE5,
+    TABLE5_OPTIONS,
+    Table5Result,
+    Table5Row,
+    table5_study,
+)
+from .products import (
+    hbm_stack_design,
+    p100_class_design,
+    ryzen_5800x3d_design,
+)
+from .scaling import (
+    SCALING_NODES,
+    NodeScalingPoint,
+    format_scaling_table,
+    node_scaling_study,
+)
+from .drive import (
+    APPROACHES,
+    FIG5_OPTIONS,
+    DriveCell,
+    DriveStudyResult,
+    drive_2d_design,
+    drive_design,
+    drive_study,
+)
+from .sweep import (
+    SweepPoint,
+    format_sweep,
+    sweep_die_counts,
+    sweep_fab_locations,
+    sweep_integrations,
+    sweep_wafer_diameters,
+)
+from .validation import (
+    EpycValidation,
+    LakefieldValidation,
+    epyc_2d_equivalent_design,
+    epyc_7452_design,
+    epyc_validation,
+    lakefield_design,
+    lakefield_validation,
+)
+
+__all__ = [
+    "APPROACHES",
+    "NodeScalingPoint",
+    "SCALING_NODES",
+    "format_scaling_table",
+    "hbm_stack_design",
+    "node_scaling_study",
+    "p100_class_design",
+    "ryzen_5800x3d_design",
+    "DriveCell",
+    "DriveStudyResult",
+    "EpycValidation",
+    "FIG5_OPTIONS",
+    "LakefieldValidation",
+    "PAPER_TABLE5",
+    "SweepPoint",
+    "TABLE5_OPTIONS",
+    "Table5Result",
+    "Table5Row",
+    "drive_2d_design",
+    "drive_design",
+    "drive_study",
+    "epyc_2d_equivalent_design",
+    "epyc_7452_design",
+    "epyc_validation",
+    "format_sweep",
+    "lakefield_design",
+    "lakefield_validation",
+    "sweep_die_counts",
+    "sweep_fab_locations",
+    "sweep_integrations",
+    "sweep_wafer_diameters",
+    "table5_study",
+]

@@ -1,0 +1,86 @@
+"""Table 5: sustainable decision-making for NVIDIA DRIVE ORIN (Sec. 5.2).
+
+Evaluates the five *valid* 3D/2.5D alternatives to the 2D ORIN under the
+homogeneous division approach — EMIB, silicon interposer, micro-bump 3D,
+hybrid-bonding 3D and M3D — and derives the Table 5 columns: embodied and
+overall carbon save ratios plus the choosing (T_c) and replacing (T_r)
+metrics against the 10-year AV lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.metrics import DecisionMetrics, decision_metrics, format_decision_table
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..core.report import LifecycleReport
+from .drive import drive_design
+
+#: Table 5 columns, in paper order.
+TABLE5_OPTIONS: tuple[str, ...] = ("EMIB", "Si_int", "Micro", "Hybrid", "M3D")
+
+#: Paper's reference values for Table 5 (save ratios in %), used by the
+#: benchmark harness to print paper-vs-measured.
+PAPER_TABLE5 = {
+    "EMIB": {"embodied_save": 23.69, "overall_save": 6.50},
+    "Si_int": {"embodied_save": -9.59, "overall_save": -9.86},
+    "Micro": {"embodied_save": 25.88, "overall_save": 7.63},
+    "Hybrid": {"embodied_save": 35.64, "overall_save": 21.71},
+    "M3D": {"embodied_save": 65.53, "overall_save": 41.03},
+}
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One Table 5 column (an alternative IC) as a row."""
+
+    option: str
+    report: LifecycleReport
+    metrics: DecisionMetrics
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Full Table 5 with the 2D baseline report."""
+
+    baseline: LifecycleReport
+    rows: tuple[Table5Row, ...]
+
+    def row(self, option: str) -> Table5Row:
+        for row in self.rows:
+            if row.option.lower() == option.lower():
+                return row
+        raise KeyError(option)
+
+    def format_table(self) -> str:
+        return format_decision_table([row.metrics for row in self.rows])
+
+
+def table5_study(
+    device: str = "ORIN",
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+) -> Table5Result:
+    """Reproduce Table 5 (defaults: ORIN, AV workload, 10-year lifetime)."""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    workload = (
+        workload if workload is not None else Workload.autonomous_vehicle()
+    )
+    baseline = CarbonModel(
+        drive_design(device, "2D"), params, fab_location
+    ).evaluate(workload)
+    rows = []
+    for option in TABLE5_OPTIONS:
+        design = drive_design(device, option, approach="homogeneous")
+        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        rows.append(
+            Table5Row(
+                option=option,
+                report=report,
+                metrics=decision_metrics(baseline, report),
+            )
+        )
+    return Table5Result(baseline=baseline, rows=tuple(rows))

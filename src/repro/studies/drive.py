@@ -1,0 +1,204 @@
+"""NVIDIA DRIVE case study (Sec. 5, Fig. 5, Table 4).
+
+Compares the original 2D DRIVE GPUs (PX 2, XAVIER, ORIN, THOR — Table 4)
+against hypothetical 2-die 3D/2.5D designs built with two division
+approaches:
+
+* **homogeneous** — the 2D IC split into two similar dies (Fig. 5a);
+* **heterogeneous** — memory/I/O isolated on a separate 28 nm die
+  (Fig. 5b).
+
+3D designs use F2F stacking with D2W assembly (Sec. 5); 2.5D designs use
+their technology's native assembly flow, with InFO evaluated both
+chip-first (InFO_1) and chip-last (InFO_2). Every design is evaluated
+under the fixed AV workload, and the Sec. 3.4 bandwidth constraint marks
+under-provisioned 2.5D designs invalid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import AssemblyFlow, StackingStyle
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..config.power import NVIDIA_DRIVE_SERIES, DeviceSurvey
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..core.report import LifecycleReport
+from ..errors import ParameterError
+
+#: Fig. 5 x-axis: integration options per device. InFO appears twice with
+#: the chip-first (InFO_1) and chip-last (InFO_2) approaches.
+FIG5_OPTIONS: tuple[tuple[str, str, AssemblyFlow | None], ...] = (
+    ("2D", "2d", None),
+    ("Micro", "micro_3d", AssemblyFlow.D2W),
+    ("Hybrid", "hybrid_3d", AssemblyFlow.D2W),
+    ("M3D", "m3d", None),
+    ("MCM", "mcm", AssemblyFlow.CHIP_LAST),
+    ("InFO_1", "info", AssemblyFlow.CHIP_FIRST),
+    ("InFO_2", "info", AssemblyFlow.CHIP_LAST),
+    ("EMIB", "emib", AssemblyFlow.CHIP_LAST),
+    ("Si_int", "si_interposer", AssemblyFlow.CHIP_LAST),
+)
+
+APPROACHES = ("homogeneous", "heterogeneous")
+
+
+def drive_2d_design(device: "DeviceSurvey | str") -> ChipDesign:
+    """Table 4 row → 2D reference design."""
+    if isinstance(device, str):
+        device = _lookup_device(device)
+    return ChipDesign.planar_2d(
+        f"{device.name}_2D",
+        node=device.node,
+        gate_count=device.gate_count,
+        package_class="fcbga",
+        throughput_tops=device.throughput_tops,
+        efficiency_tops_per_w=device.efficiency_tops_per_w,
+    )
+
+
+def _lookup_device(name: str) -> DeviceSurvey:
+    for device in NVIDIA_DRIVE_SERIES:
+        if device.name.lower() == name.lower():
+            return device
+    known = ", ".join(d.name for d in NVIDIA_DRIVE_SERIES)
+    raise ParameterError(f"unknown DRIVE device {name!r}; known: {known}")
+
+
+def drive_design(
+    device: "DeviceSurvey | str",
+    option_label: str,
+    approach: str = "homogeneous",
+) -> ChipDesign:
+    """One Fig. 5 bar: a device × integration-option design."""
+    if isinstance(device, str):
+        device = _lookup_device(device)
+    if approach not in APPROACHES:
+        raise ParameterError(
+            f"approach must be one of {APPROACHES}, got {approach!r}"
+        )
+    option = _option_by_label(option_label)
+    label, integration, assembly = option
+    reference = drive_2d_design(device)
+    if integration == "2d":
+        return reference
+    if approach == "homogeneous":
+        design = ChipDesign.homogeneous_split(
+            reference,
+            integration,
+            n_dies=2,
+            stacking=StackingStyle.F2F,
+            assembly=assembly if assembly is not None else AssemblyFlow.D2W,
+        )
+    else:
+        design = ChipDesign.heterogeneous_split(
+            reference,
+            integration,
+            memory_node="28nm",
+            stacking=StackingStyle.F2F,
+            assembly=assembly if assembly is not None else AssemblyFlow.D2W,
+        )
+    return design.with_overrides(
+        name=f"{device.name}_{label}_{approach[:5]}"
+    )
+
+
+def _option_by_label(label: str) -> tuple[str, str, AssemblyFlow | None]:
+    for option in FIG5_OPTIONS:
+        if option[0].lower() == label.lower():
+            return option
+    known = ", ".join(o[0] for o in FIG5_OPTIONS)
+    raise ParameterError(f"unknown Fig. 5 option {label!r}; known: {known}")
+
+
+@dataclass(frozen=True)
+class DriveCell:
+    """One bar of Fig. 5: device × option."""
+
+    device: str
+    option: str
+    report: LifecycleReport
+
+    @property
+    def valid(self) -> bool:
+        return self.report.valid
+
+
+@dataclass(frozen=True)
+class DriveStudyResult:
+    """All Fig. 5 bars for one division approach."""
+
+    approach: str
+    workload: Workload
+    cells: tuple[DriveCell, ...]
+
+    def cell(self, device: str, option: str) -> DriveCell:
+        for cell in self.cells:
+            if (
+                cell.device.lower() == device.lower()
+                and cell.option.lower() == option.lower()
+            ):
+                return cell
+        raise ParameterError(f"no cell for ({device}, {option})")
+
+    def devices(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.device not in seen:
+                seen.append(cell.device)
+        return seen
+
+    def format_table(self) -> str:
+        """Fig. 5-style rows: one line per device × option."""
+        header = (
+            f"{'device':<8} {'option':<8} {'emb kg':>9} {'oper kg':>9} "
+            f"{'total kg':>9} {'BW ach/req (TB/s)':>20} {'valid':>6}"
+        )
+        lines = [f"Fig. 5 ({self.approach} approach)", header, "-" * len(header)]
+        for cell in self.cells:
+            bw = cell.report.bandwidth
+            bw_text = (
+                f"{bw.achieved_tb_s:8.1f}/{bw.required_tb_s:8.1f}"
+                if bw.constrained
+                else f"{'matches 2D':>17}"
+            )
+            lines.append(
+                f"{cell.device:<8} {cell.option:<8} "
+                f"{cell.report.embodied_kg:9.2f} "
+                f"{cell.report.operational_kg:9.2f} "
+                f"{cell.report.total_kg:9.2f} {bw_text:>20} "
+                f"{'yes' if cell.valid else 'NO':>6}"
+            )
+        return "\n".join(lines)
+
+
+def drive_study(
+    approach: str = "homogeneous",
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    devices: "list[str] | None" = None,
+) -> DriveStudyResult:
+    """Evaluate the full Fig. 5 grid for one division approach."""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    workload = (
+        workload if workload is not None else Workload.autonomous_vehicle()
+    )
+    device_list = (
+        [_lookup_device(name) for name in devices]
+        if devices is not None
+        else list(NVIDIA_DRIVE_SERIES)
+    )
+    cells = []
+    for device in device_list:
+        for label, _, _ in FIG5_OPTIONS:
+            design = drive_design(device, label, approach)
+            report = CarbonModel(design, params, fab_location).evaluate(workload)
+            cells.append(
+                DriveCell(device=device.name, option=label, report=report)
+            )
+    return DriveStudyResult(
+        approach=approach, workload=workload, cells=tuple(cells)
+    )

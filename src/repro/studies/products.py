@@ -1,0 +1,130 @@
+"""Additional commercial-product models from the paper's Table 1.
+
+Table 1 names representative products for each integration technology;
+beyond the two used for validation (EPYC, Lakefield), this module models:
+
+* **AMD Ryzen 7 5800X3D** — 3D V-Cache: a 64 MB SRAM die hybrid-bonded
+  face-to-face on top of a 7 nm CCD (Wuu ISSCC'22; Table 1's hybrid-
+  bonding rows);
+* **HBM-class memory stack** — micro-bumping F2B with ≥ 2 dies (Table 1's
+  micro-bumping F2B row): a base logic die plus four DRAM-like tiers;
+* **NVIDIA P100-class GPU** — silicon-interposer 2.5D (Table 1's silicon
+  interposer row): a large GPU die plus four HBM sites on a CoWoS-style
+  interposer.
+
+These are exercised by tests and examples as realistic end-to-end
+workloads for the model, not as validation anchors (no public LCA
+exists for them).
+"""
+
+from __future__ import annotations
+
+from ..config.integration import AssemblyFlow, StackingStyle
+from ..core.design import ChipDesign, Die, DieKind, PackageSpec
+
+#: Zen3 CCD and V-Cache die sizes (Wuu et al., ISSCC'22).
+V_CACHE_CCD_AREA_MM2 = 81.0
+V_CACHE_SRAM_AREA_MM2 = 41.0
+
+#: HBM-style stack: base die + DRAM tiers (JEDEC-class geometry).
+HBM_BASE_AREA_MM2 = 96.0
+HBM_DRAM_AREA_MM2 = 92.0
+
+#: P100-class assembly (Table 1: NVIDIA GPU P100).
+P100_GPU_AREA_MM2 = 610.0
+P100_HBM_SITE_AREA_MM2 = 96.0
+
+
+def ryzen_5800x3d_design() -> ChipDesign:
+    """AMD 3D V-Cache: SRAM die hybrid-bonded F2F onto the CCD."""
+    ccd = Die(
+        name="ccd",
+        node="7nm",
+        area_mm2=V_CACHE_CCD_AREA_MM2,
+        workload_share=1.0,
+        efficiency_tops_per_w=2.74,
+    )
+    v_cache = Die(
+        name="v_cache",
+        node="7nm",
+        area_mm2=V_CACHE_SRAM_AREA_MM2,
+        kind=DieKind.MEMORY,
+        workload_share=0.0,
+    )
+    return ChipDesign(
+        name="Ryzen7_5800X3D",
+        dies=(ccd, v_cache),
+        integration="hybrid_3d",
+        stacking=StackingStyle.F2F,
+        assembly=AssemblyFlow.D2W,  # AMD stacks known-good dies
+        package=PackageSpec("fcbga"),
+    )
+
+
+def hbm_stack_design(dram_tiers: int = 4) -> ChipDesign:
+    """HBM-class stack: base die + N DRAM tiers, micro-bump F2B."""
+    if dram_tiers < 1:
+        raise ValueError("an HBM stack needs at least one DRAM tier")
+    dies = [
+        Die(
+            name="hbm_base",
+            node="28nm",
+            area_mm2=HBM_BASE_AREA_MM2,
+            kind=DieKind.IO,
+            workload_share=0.0,
+        )
+    ]
+    dies.extend(
+        Die(
+            name=f"dram{i}",
+            node="28nm",
+            area_mm2=HBM_DRAM_AREA_MM2,
+            kind=DieKind.MEMORY,
+            workload_share=0.0,
+            beol_layers=4,
+        )
+        for i in range(dram_tiers)
+    )
+    # DRAM tiers carry no compute; give the base die a token share so the
+    # operational model has an owner when a workload is attached.
+    dies[0] = dies[0].with_overrides(workload_share=1.0,
+                                     efficiency_tops_per_w=0.5)
+    return ChipDesign(
+        name=f"HBM_{dram_tiers}high",
+        dies=tuple(dies),
+        integration="micro_3d",
+        stacking=StackingStyle.F2B,
+        assembly=AssemblyFlow.D2W,
+        package=PackageSpec("pop_mobile"),
+    )
+
+
+def p100_class_design() -> ChipDesign:
+    """P100-class GPU + 4 HBM sites on a silicon interposer."""
+    dies = [
+        Die(
+            name="gpu",
+            node="16nm",
+            area_mm2=P100_GPU_AREA_MM2,
+            workload_share=1.0,
+            efficiency_tops_per_w=0.75,
+        )
+    ]
+    dies.extend(
+        Die(
+            name=f"hbm{i}",
+            node="28nm",
+            area_mm2=P100_HBM_SITE_AREA_MM2,
+            kind=DieKind.MEMORY,
+            workload_share=0.0,
+        )
+        for i in range(4)
+    )
+    return ChipDesign(
+        name="P100_class",
+        dies=tuple(dies),
+        integration="si_interposer",
+        assembly=AssemblyFlow.CHIP_LAST,
+        package=PackageSpec("fcbga"),
+        throughput_tops=21.0,
+    )

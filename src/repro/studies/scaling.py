@@ -1,0 +1,90 @@
+"""Node-scaling trend study (ACT-style carbon-per-area/gate curves).
+
+The intro's tension — newer nodes are more carbon-intensive per area but
+pack more gates — is quantified here: per node, the study computes the
+manufacturing carbon per cm² (Eq. 6 at max BEOL), the carbon per billion
+gates (folding in density and yield for a reference die size), and the
+embodied carbon of a fixed-gate-count reference design. Used by the
+scaling example and as a sanity harness for the technology table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..errors import ParameterError
+
+#: Logic nodes in scaling order (coarse → fine).
+SCALING_NODES: tuple[str, ...] = (
+    "28nm", "22nm", "20nm", "16nm", "14nm", "12nm", "10nm", "7nm", "5nm",
+    "3nm",
+)
+
+
+@dataclass(frozen=True)
+class NodeScalingPoint:
+    """Carbon characteristics of one node."""
+
+    node: str
+    feature_nm: float
+    carbon_per_cm2_kg: float      # Eq. 6 at the node's max BEOL stack
+    gate_density_m_per_mm2: float  # million gates per mm²
+    carbon_per_bgate_kg: float    # embodied kg per billion gates (ref die)
+    reference_design_kg: float    # full Eq. 3 for the reference design
+
+
+def node_scaling_study(
+    gate_count: float = 2.0e9,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    nodes: "tuple[str, ...]" = SCALING_NODES,
+) -> "list[NodeScalingPoint]":
+    """Evaluate the scaling trend for a fixed-gate-count reference design."""
+    if gate_count <= 0:
+        raise ParameterError("gate count must be positive")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    ci = params.grid(fab_location).kg_co2_per_kwh
+
+    from ..core.wafer import wafer_carbon_per_cm2
+
+    points = []
+    for name in nodes:
+        node = params.node(name)
+        per_cm2 = wafer_carbon_per_cm2(
+            node, ci, beol_layers=float(node.max_beol_layers)
+        ).total_kg_per_cm2
+        density = 1.0 / node.gate_area_um2  # gates per µm² → M/mm²
+        design = ChipDesign.planar_2d(
+            f"ref_{name}", name, gate_count=gate_count
+        )
+        report = CarbonModel(design, params, fab_location).embodied()
+        points.append(
+            NodeScalingPoint(
+                node=name,
+                feature_nm=node.feature_nm,
+                carbon_per_cm2_kg=per_cm2,
+                gate_density_m_per_mm2=density,
+                carbon_per_bgate_kg=report.total_kg / (gate_count / 1e9),
+                reference_design_kg=report.total_kg,
+            )
+        )
+    return points
+
+
+def format_scaling_table(points: "list[NodeScalingPoint]") -> str:
+    """Fixed-width rendering of the scaling study."""
+    header = (
+        f"{'node':<7} {'kg/cm2':>8} {'Mgate/mm2':>10} "
+        f"{'kg/Bgate':>9} {'ref design kg':>14}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.node:<7} {p.carbon_per_cm2_kg:8.3f} "
+            f"{p.gate_density_m_per_mm2:10.1f} {p.carbon_per_bgate_kg:9.3f} "
+            f"{p.reference_design_kg:14.3f}"
+        )
+    return "\n".join(lines)

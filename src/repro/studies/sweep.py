@@ -1,0 +1,134 @@
+"""Design-space exploration helpers (the "carbon-conscious design" use).
+
+The paper positions 3D-Carbon as an early-design-stage tool; these sweeps
+exercise it the way an architect would: vary one design axis, hold the
+rest, and compare lifecycle carbon. Used by the ablation benches and the
+``design_space_exploration`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.integration import AssemblyFlow, StackingStyle
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..core.report import LifecycleReport
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration in a sweep."""
+
+    label: str
+    report: LifecycleReport
+
+
+def sweep_integrations(
+    reference: ChipDesign,
+    integrations: "list[str] | None" = None,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+) -> list[SweepPoint]:
+    """Evaluate a 2D reference against every (or selected) integration."""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if integrations is None:
+        integrations = [
+            "2d", "micro_3d", "hybrid_3d", "m3d",
+            "mcm", "info", "emib", "si_interposer",
+        ]
+    points = []
+    for name in integrations:
+        if params.integration_spec(name).is_2d:
+            design = reference
+        else:
+            design = ChipDesign.homogeneous_split(reference, name)
+        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        points.append(SweepPoint(label=name, report=report))
+    return points
+
+
+def sweep_die_counts(
+    reference: ChipDesign,
+    integration: str = "mcm",
+    die_counts: "list[int] | None" = None,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+) -> list[SweepPoint]:
+    """How does chiplet count change lifecycle carbon for one technology?"""
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if die_counts is None:
+        die_counts = [2, 3, 4]
+    spec = params.integration_spec(integration)
+    if spec.is_2d:
+        raise ParameterError("die-count sweeps need a multi-die technology")
+    points = []
+    for n in die_counts:
+        if spec.max_dies is not None and n > spec.max_dies:
+            continue
+        design = ChipDesign.homogeneous_split(
+            reference, integration, n_dies=n,
+            stacking=StackingStyle.F2F, assembly=AssemblyFlow.D2W,
+        ).with_overrides(name=f"{reference.name}_{integration}_{n}die")
+        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        points.append(SweepPoint(label=f"{n} dies", report=report))
+    return points
+
+
+def sweep_wafer_diameters(
+    design: ChipDesign,
+    diameters_mm: "list[float] | None" = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+) -> list[SweepPoint]:
+    """Embodied carbon vs wafer size (Table 2's 200–450 mm range)."""
+    base = params if params is not None else DEFAULT_PARAMETERS
+    if diameters_mm is None:
+        diameters_mm = [200.0, 300.0, 450.0]
+    points = []
+    for diameter in diameters_mm:
+        swept = base.with_wafer_diameter(diameter)
+        report = CarbonModel(design, swept, fab_location).evaluate()
+        points.append(SweepPoint(label=f"{diameter:.0f} mm", report=report))
+    return points
+
+
+def sweep_fab_locations(
+    design: ChipDesign,
+    locations: "list[str] | None" = None,
+    params: ParameterSet | None = None,
+) -> list[SweepPoint]:
+    """Embodied carbon vs manufacturing grid (Table 2's 30–700 g/kWh)."""
+    base = params if params is not None else DEFAULT_PARAMETERS
+    if locations is None:
+        locations = ["iceland", "france", "usa", "taiwan", "india"]
+    points = []
+    for location in locations:
+        report = CarbonModel(design, base, location).evaluate()
+        points.append(SweepPoint(label=location, report=report))
+    return points
+
+
+def format_sweep(points: "list[SweepPoint]", title: str = "") -> str:
+    """Fixed-width rendering of a sweep."""
+    header = (
+        f"{'configuration':<22} {'embodied kg':>12} {'oper kg':>9} "
+        f"{'total kg':>9} {'valid':>6}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, "-" * len(header)])
+    for point in points:
+        lines.append(
+            f"{point.label:<22.22} {point.report.embodied_kg:12.2f} "
+            f"{point.report.operational_kg:9.2f} "
+            f"{point.report.total_kg:9.2f} "
+            f"{'yes' if point.report.valid else 'NO':>6}"
+        )
+    return "\n".join(lines)

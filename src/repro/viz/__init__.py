@@ -1,0 +1,5 @@
+"""Plain-text visualization of carbon reports and distributions."""
+
+from .ascii import grouped_comparison, histogram, stacked_bars
+
+__all__ = ["grouped_comparison", "histogram", "stacked_bars"]

@@ -1,0 +1,66 @@
+"""Shared fixtures: parameter sets, reference designs, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChipDesign, ParameterSet, Workload
+from repro.config.integration import AssemblyFlow, StackingStyle
+from repro.core.design import Die, DieKind, PackageSpec
+
+
+@pytest.fixture(scope="session")
+def params() -> ParameterSet:
+    return ParameterSet.default()
+
+
+@pytest.fixture(scope="session")
+def orin_2d() -> ChipDesign:
+    """The Table 4 ORIN as a 2D reference (17 B gates, 7 nm, 254 TOPS)."""
+    return ChipDesign.planar_2d(
+        "ORIN_2D", "7nm", gate_count=17e9, throughput_tops=254.0,
+        efficiency_tops_per_w=2.74,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_2d() -> ChipDesign:
+    """A small area-specified 2D design for fast unit tests."""
+    return ChipDesign.planar_2d("small", "14nm", area_mm2=100.0)
+
+
+@pytest.fixture(scope="session")
+def hybrid_stack(orin_2d) -> ChipDesign:
+    return ChipDesign.homogeneous_split(orin_2d, "hybrid_3d")
+
+
+@pytest.fixture(scope="session")
+def emib_assembly(orin_2d) -> ChipDesign:
+    return ChipDesign.homogeneous_split(orin_2d, "emib")
+
+
+@pytest.fixture(scope="session")
+def m3d_stack(orin_2d) -> ChipDesign:
+    return ChipDesign.homogeneous_split(orin_2d, "m3d")
+
+
+@pytest.fixture(scope="session")
+def av_workload() -> Workload:
+    return Workload.autonomous_vehicle()
+
+
+@pytest.fixture()
+def lakefield_like() -> ChipDesign:
+    """A Lakefield-shaped micro-bump stack (area-specified dies)."""
+    return ChipDesign(
+        name="lakefield_like",
+        dies=(
+            Die("base", "14nm", area_mm2=92.0, kind=DieKind.MEMORY,
+                workload_share=0.0),
+            Die("logic", "7nm", area_mm2=82.0, workload_share=1.0),
+        ),
+        integration="micro_3d",
+        stacking=StackingStyle.F2F,
+        assembly=AssemblyFlow.D2W,
+        package=PackageSpec("pop_mobile", area_mm2=144.0),
+    )

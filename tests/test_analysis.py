@@ -1,0 +1,176 @@
+"""Analysis-extension tests: tornado, Monte Carlo, configuration search."""
+
+import pytest
+
+from repro import ChipDesign, ParameterSet, Workload
+from repro.analysis import (
+    SensitivityFactor,
+    comparison_robustness,
+    default_factors,
+    format_tornado,
+    monte_carlo,
+    search_configurations,
+    tornado,
+)
+from repro.errors import ParameterError
+from repro.studies.drive import drive_2d_design
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+
+
+@pytest.fixture(scope="module")
+def hybrid_orin():
+    return ChipDesign.homogeneous_split(drive_2d_design("ORIN"), "hybrid_3d")
+
+
+class TestSensitivity:
+    def test_factor_validation(self):
+        with pytest.raises(ParameterError):
+            SensitivityFactor("bad", 1.5, 2.0, lambda p, m: p)
+
+    def test_default_factors_cover_table2_knobs(self):
+        names = {f.name.split("[")[0] for f in default_factors()}
+        assert {"defect_density", "fab_energy_epa", "packaging_cpa",
+                "bonding_epa"} <= names
+
+    def test_2d_has_no_bonding_factor(self):
+        names = [f.name for f in default_factors(integration="2d")]
+        assert not any("bonding" in n for n in names)
+
+    def test_tornado_sorted_by_swing(self, hybrid_orin):
+        results = tornado(hybrid_orin, workload=WL)
+        swings = [abs(r.swing_kg) for r in results]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_tornado_base_consistent(self, hybrid_orin):
+        results = tornado(hybrid_orin, workload=WL)
+        bases = {round(r.base_kg, 9) for r in results}
+        assert len(bases) == 1
+
+    def test_defect_density_dominates(self, hybrid_orin):
+        """Yield is the paper's largest embodied lever for big 7 nm dies."""
+        results = tornado(hybrid_orin, workload=WL)
+        assert results[0].factor.startswith("defect_density")
+
+    def test_monotone_factors_have_positive_swing(self, hybrid_orin):
+        results = tornado(hybrid_orin, workload=WL)
+        for r in results:
+            if r.factor.startswith(("defect_density", "fab_energy",
+                                    "packaging")):
+                assert r.swing_kg > 0, r.factor
+
+    def test_bond_yield_swing_negative(self, hybrid_orin):
+        """Raising the bond yield lowers carbon: high multiplier, low kg."""
+        results = tornado(hybrid_orin, workload=WL)
+        bond = next(r for r in results if r.factor.startswith("bond_yield"))
+        assert bond.swing_kg < 0
+
+    def test_elasticity_sign_matches_swing(self, hybrid_orin):
+        for r in tornado(hybrid_orin, workload=WL):
+            if r.swing_kg != 0:
+                assert (r.elasticity > 0) == (r.swing_kg > 0)
+
+    def test_format(self, hybrid_orin):
+        text = format_tornado(tornado(hybrid_orin, workload=WL))
+        assert "base total" in text and "#" in text
+
+    def test_format_empty(self):
+        assert format_tornado([]) == "(no factors)"
+
+
+class TestMonteCarlo:
+    def test_reproducible(self, hybrid_orin):
+        a = monte_carlo(hybrid_orin, workload=WL, samples=20, seed=7)
+        b = monte_carlo(hybrid_orin, workload=WL, samples=20, seed=7)
+        assert a.samples_kg == b.samples_kg
+
+    def test_seed_changes_samples(self, hybrid_orin):
+        a = monte_carlo(hybrid_orin, workload=WL, samples=20, seed=1)
+        b = monte_carlo(hybrid_orin, workload=WL, samples=20, seed=2)
+        assert a.samples_kg != b.samples_kg
+
+    def test_distribution_brackets_base(self, hybrid_orin):
+        result = monte_carlo(hybrid_orin, workload=WL, samples=60)
+        assert result.p05 < result.base_kg * 1.25
+        assert result.p95 > result.base_kg * 0.85
+        assert result.p05 <= result.p50 <= result.p95
+
+    def test_std_positive(self, hybrid_orin):
+        assert monte_carlo(hybrid_orin, workload=WL, samples=30).std_kg > 0
+
+    def test_summary_text(self, hybrid_orin):
+        text = monte_carlo(hybrid_orin, workload=WL, samples=10).summary()
+        assert "p95" in text
+
+    def test_rejects_tiny_sample_count(self, hybrid_orin):
+        with pytest.raises(ParameterError):
+            monte_carlo(hybrid_orin, samples=1)
+
+    def test_robustness_hybrid_beats_2d(self, hybrid_orin):
+        """Hybrid's savings survive parameter uncertainty (common draws)."""
+        probability = comparison_robustness(
+            drive_2d_design("ORIN"), hybrid_orin, workload=WL, samples=40
+        )
+        assert probability > 0.9
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return search_configurations(drive_2d_design("ORIN"), WL)
+
+    def test_best_is_m3d_homogeneous(self, result):
+        assert result.best is not None
+        assert result.best.label.startswith("m3d/homog")
+
+    def test_best_is_valid_and_minimal(self, result):
+        assert result.best.valid
+        for candidate in result.valid_candidates():
+            assert result.best.total_kg <= candidate.total_kg + 1e-9
+
+    def test_includes_2d_baseline(self, result):
+        assert any(c.label == "2d" for c in result.candidates)
+
+    def test_invalid_candidates_excluded_from_best(self, result):
+        invalid = [c for c in result.candidates if not c.valid]
+        assert invalid  # MCM/InFO @ ORIN at least
+        assert all(c is not result.best for c in invalid)
+
+    def test_pareto_front_is_nondominated(self, result):
+        front = result.pareto_front()
+        assert front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    b.report.embodied_kg <= a.report.embodied_kg
+                    and b.report.operational_kg <= a.report.operational_kg
+                    and (b.report.embodied_kg < a.report.embodied_kg
+                         or b.report.operational_kg < a.report.operational_kg)
+                )
+                assert not dominates
+
+    def test_pareto_sorted_by_embodied(self, result):
+        front = result.pareto_front()
+        embodied = [c.report.embodied_kg for c in front]
+        assert embodied == sorted(embodied)
+
+    def test_format_table(self, result):
+        text = result.format_table()
+        assert "<== best" in text
+        assert "NO" in text
+
+    def test_multi_die_reference_rejected(self, hybrid_orin):
+        with pytest.raises(ParameterError):
+            search_configurations(hybrid_orin, WL)
+
+    def test_restricted_search(self):
+        result = search_configurations(
+            drive_2d_design("ORIN"), WL,
+            integrations=["hybrid_3d"], approaches=("homogeneous",),
+            include_2d=False,
+        )
+        labels = {c.label for c in result.candidates}
+        assert labels == {"hybrid_3d/homog/d2w", "hybrid_3d/homog/w2w"}

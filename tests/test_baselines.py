@@ -1,0 +1,149 @@
+"""Baseline-model tests: ACT, ACT+, LCA, first-order (Sec. 4 comparators)."""
+
+import pytest
+
+from repro import ChipDesign, ParameterSet
+from repro.baselines import (
+    ACT_FIXED_YIELD,
+    ACT_PACKAGING_KG,
+    act_die_carbon_kg,
+    act_estimate,
+    act_plus_estimate,
+    first_order_estimate,
+    gabi_factor,
+    lca_estimate,
+)
+from repro.config.integration import AssemblyFlow
+from repro.errors import ParameterError
+
+PARAMS = ParameterSet.default()
+CI = PARAMS.grid("taiwan").kg_co2_per_kwh
+
+
+class TestAct:
+    def test_closed_form(self):
+        node = PARAMS.node("7nm")
+        expected = (
+            (CI * node.epa_kwh_per_cm2 + node.gpa_kg_per_cm2
+             + node.mpa_kg_per_cm2)
+            * 1.0  # 100 mm² = 1 cm²
+            / ACT_FIXED_YIELD
+        )
+        assert act_die_carbon_kg("7nm", 100.0, CI, PARAMS) == pytest.approx(
+            expected
+        )
+
+    def test_fixed_packaging(self):
+        estimate = act_estimate([("d", "7nm", 100.0)], CI, PARAMS)
+        assert estimate.packaging_kg == ACT_PACKAGING_KG
+
+    def test_linear_in_area(self):
+        """ACT has no yield-area coupling: carbon is linear in area."""
+        small = act_die_carbon_kg("7nm", 100.0, CI, PARAMS)
+        large = act_die_carbon_kg("7nm", 400.0, CI, PARAMS)
+        assert large == pytest.approx(4.0 * small)
+
+    def test_breakdown_sums(self):
+        estimate = act_estimate(
+            [("a", "7nm", 74.0), ("b", "14nm", 416.0)], CI, PARAMS
+        )
+        assert sum(estimate.breakdown().values()) == pytest.approx(
+            estimate.total_kg
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            act_estimate([], CI, PARAMS)
+
+    def test_rejects_bad_yield(self):
+        with pytest.raises(ParameterError):
+            act_die_carbon_kg("7nm", 100.0, CI, PARAMS, process_yield=0.0)
+
+
+class TestActPlus:
+    def test_3d_treated_as_2d(self, lakefield_like):
+        """ACT+ cannot tell D2W from W2W (Sec. 4.2)."""
+        d2w = act_plus_estimate(lakefield_like, CI, PARAMS)
+        w2w = act_plus_estimate(
+            lakefield_like.with_overrides(assembly=AssemblyFlow.W2W),
+            CI, PARAMS,
+        )
+        assert d2w.total_kg == pytest.approx(w2w.total_kg)
+
+    def test_25d_cost_factor_applied(self, orin_2d, emib_assembly):
+        est = act_plus_estimate(emib_assembly, CI, PARAMS)
+        assert est.cost_factor > 1.0
+        est_3d = act_plus_estimate(
+            ChipDesign.homogeneous_split(orin_2d, "hybrid_3d"), CI, PARAMS
+        )
+        assert est_3d.cost_factor == 1.0
+
+    def test_no_bonding_or_interposer(self, emib_assembly):
+        est = act_plus_estimate(emib_assembly, CI, PARAMS)
+        breakdown = est.breakdown()
+        assert breakdown["bonding"] == 0.0
+        assert breakdown["interposer"] == 0.0
+
+    def test_underestimates_3d_carbon(self, lakefield_like):
+        """ACT+ misses stacking yields and bonding energy."""
+        from repro.core.embodied import embodied_carbon
+
+        full = embodied_carbon(lakefield_like, PARAMS, CI)
+        simplified = act_plus_estimate(lakefield_like, CI, PARAMS)
+        assert simplified.total_kg < full.total_kg
+
+
+class TestLca:
+    def test_sub_14nm_clamps(self):
+        factor_7, clamped_7 = gabi_factor("7nm", PARAMS)
+        factor_14, clamped_14 = gabi_factor("14nm", PARAMS)
+        assert clamped_7 and not clamped_14
+        assert factor_7 == factor_14
+
+    def test_coarse_node_clamps_to_coarsest(self):
+        factor, clamped = gabi_factor("interposer", PARAMS)
+        assert clamped
+        assert factor == gabi_factor("65nm", PARAMS)[0]
+
+    def test_monolithic_exceeds_per_die(self):
+        """One huge die yields worse than many small ones (Sec. 4.1)."""
+        dies = [("14nm", 178.0)] * 4
+        mono = lca_estimate(dies, PARAMS, monolithic=True)
+        split = lca_estimate(dies, PARAMS, monolithic=False)
+        assert mono.die_kg > split.die_kg
+
+    def test_clamp_recorded(self):
+        estimate = lca_estimate([("7nm", 82.0)], PARAMS)
+        assert "7nm" in estimate.clamped_nodes
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            lca_estimate([], PARAMS)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ParameterError):
+            lca_estimate([("14nm", -1.0)], PARAMS)
+
+
+class TestFirstOrder:
+    def test_linear_model(self):
+        estimate = first_order_estimate(200.0, kg_per_cm2=1.0,
+                                        packaging_kg=0.5)
+        assert estimate.die_kg == pytest.approx(2.0)
+        assert estimate.total_kg == pytest.approx(2.5)
+
+    def test_defaults(self):
+        estimate = first_order_estimate(100.0)
+        assert estimate.total_kg > 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            first_order_estimate(0.0)
+        with pytest.raises(ParameterError):
+            first_order_estimate(100.0, kg_per_cm2=-1.0)
+
+    def test_insensitive_to_partitioning(self):
+        """The first-order model cannot see die splits at all."""
+        whole = first_order_estimate(458.0)
+        split = first_order_estimate(229.0)
+        assert whole.die_kg == pytest.approx(2.0 * split.die_kg)

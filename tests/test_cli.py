@@ -1,0 +1,149 @@
+"""CLI tests (argument parsing, JSON schema, study subcommands)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, design_from_dict, main
+
+
+@pytest.fixture()
+def design_json(tmp_path):
+    data = {
+        "name": "cli_chip",
+        "integration": "hybrid_3d",
+        "stacking": "f2f",
+        "assembly": "d2w",
+        "package": {"class": "fcbga"},
+        "throughput_tops": 254.0,
+        "dies": [
+            {"name": "top", "node": "7nm", "gate_count": 8.5e9,
+             "workload_share": 0.5, "efficiency_tops_per_w": 2.74},
+            {"name": "bottom", "node": "7nm", "gate_count": 8.5e9,
+             "workload_share": 0.5, "efficiency_tops_per_w": 2.74},
+        ],
+    }
+    path = tmp_path / "design.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestDesignFromDict:
+    def test_full_schema(self, design_json):
+        data = json.loads(design_json.read_text())
+        design = design_from_dict(data)
+        assert design.name == "cli_chip"
+        assert design.die_count == 2
+        assert design.integration == "hybrid_3d"
+
+    def test_minimal_2d(self):
+        design = design_from_dict(
+            {"name": "mini", "dies": [{"name": "d", "node": "7nm",
+                                       "area_mm2": 100.0}]}
+        )
+        assert design.integration == "2d"
+        assert design.dies[0].area_mm2 == 100.0
+
+
+class TestCommands:
+    def test_evaluate_text(self, design_json, capsys):
+        assert main(["evaluate", str(design_json)]) == 0
+        out = capsys.readouterr().out
+        assert "cli_chip" in out
+        assert "total" in out
+
+    def test_evaluate_json(self, design_json, capsys):
+        assert main(["evaluate", str(design_json), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["design"] == "cli_chip"
+        assert data["valid"] is True
+
+    def test_evaluate_without_workload(self, design_json, capsys):
+        assert main(
+            ["evaluate", str(design_json), "--workload", "none", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "operational" not in data
+
+    def test_validate_epyc(self, capsys):
+        assert main(["validate-epyc"]) == 0
+        out = capsys.readouterr().out
+        assert "EPYC" in out and "LCA" in out and "ACT+" in out
+
+    def test_validate_lakefield(self, capsys):
+        assert main(["validate-lakefield"]) == 0
+        out = capsys.readouterr().out
+        assert "89.3%" in out and "W2W" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "M3D" in out
+
+    def test_nodes(self, capsys):
+        assert main(["nodes"]) == 0
+        assert "7nm" in capsys.readouterr().out
+
+    def test_technologies(self, capsys):
+        assert main(["technologies"]) == 0
+        out = capsys.readouterr().out
+        assert "si_interposer" in out
+
+    def test_fab_location_flag(self, design_json, capsys):
+        assert main(
+            ["--fab-location", "iceland", "evaluate", str(design_json),
+             "--json"]
+        ) == 0
+        clean = json.loads(capsys.readouterr().out)["embodied_kg"]
+        assert main(["evaluate", str(design_json), "--json"]) == 0
+        default = json.loads(capsys.readouterr().out)["embodied_kg"]
+        assert clean < default
+
+    def test_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "dies": [
+            {"name": "d", "node": "9nm", "area_mm2": 10.0}]}))
+        assert main(["evaluate", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAnalysisCommands:
+    @pytest.fixture()
+    def reference_json(self, tmp_path):
+        data = {
+            "name": "ref_2d",
+            "throughput_tops": 254.0,
+            "dies": [{"name": "die", "node": "7nm", "gate_count": 17e9,
+                      "efficiency_tops_per_w": 2.74}],
+        }
+        path = tmp_path / "ref.json"
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_search(self, reference_json, capsys):
+        assert main(["search", str(reference_json)]) == 0
+        out = capsys.readouterr().out
+        assert "best valid configuration: m3d" in out
+
+    def test_sensitivity(self, design_json, capsys):
+        assert main(["sensitivity", str(design_json)]) == 0
+        out = capsys.readouterr().out
+        assert "defect_density" in out
+
+    def test_export_table5_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "t5.csv"
+        assert main(["export", "table5", str(out_path)]) == 0
+        content = out_path.read_text()
+        assert "embodied_save_pct" in content
+        assert "M3D" in content
+
+    def test_export_drive_json(self, tmp_path, capsys):
+        out_path = tmp_path / "drive.json"
+        assert main(["export", "drive", str(out_path)]) == 0
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 36

@@ -1,0 +1,176 @@
+"""Process-node database tests (Table 2's foundry parameters)."""
+
+import pytest
+
+from repro.config.technology import (
+    DEFAULT_TECHNOLOGY_TABLE,
+    ProcessNode,
+    TechnologyTable,
+)
+from repro.errors import ParameterError, UnknownTechnologyError
+
+
+def node(name: str) -> ProcessNode:
+    return DEFAULT_TECHNOLOGY_TABLE.get(name)
+
+
+class TestTableLookup:
+    def test_all_paper_nodes_present(self):
+        """Table 2: process range 3–28 nm (plus interposer extras)."""
+        for name in ("3nm", "5nm", "7nm", "10nm", "12nm", "14nm", "16nm",
+                     "20nm", "22nm", "28nm"):
+            assert name in DEFAULT_TECHNOLOGY_TABLE
+
+    def test_flexible_spellings(self):
+        table = DEFAULT_TECHNOLOGY_TABLE
+        assert table.get("7nm") is table.get("7 nm")
+        assert table.get(7) is table.get("7nm")
+        assert table.get(7.0) is table.get("7")
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(UnknownTechnologyError):
+            DEFAULT_TECHNOLOGY_TABLE.get("1nm")
+
+    def test_contains(self):
+        assert "7nm" in DEFAULT_TECHNOLOGY_TABLE
+        assert "9nm" not in DEFAULT_TECHNOLOGY_TABLE
+
+    def test_iteration_and_len(self):
+        names = [n.name for n in DEFAULT_TECHNOLOGY_TABLE]
+        assert len(names) == len(DEFAULT_TECHNOLOGY_TABLE)
+        assert len(set(names)) == len(names)
+
+    def test_get_passthrough(self):
+        record = node("7nm")
+        assert DEFAULT_TECHNOLOGY_TABLE.get(record) is record
+
+
+class TestParameterRanges:
+    """Defaults must respect the published Table 2 ranges."""
+
+    def test_epa_range(self):
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 0.3 <= n.epa_kwh_per_cm2 <= 2.75
+
+    def test_gpa_mpa_range(self):
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 0.0 < n.gpa_kg_per_cm2 <= 0.5
+            assert 0.0 < n.mpa_kg_per_cm2 <= 0.5
+
+    def test_rent_exponent_range(self):
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 0.6 <= n.rent_exponent <= 0.8
+
+    def test_fanout_range(self):
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 1.0 <= n.fanout <= 5.0
+
+    def test_tsv_diameter_range(self):
+        """Table 2: D_TSV 0.3–25 µm."""
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 0.3 <= n.tsv_diameter_um <= 25.0
+
+    def test_miv_below_0_6_um(self):
+        """MIVs are < 0.6 µm (Sec. 2.1.1)."""
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert n.miv_diameter_um <= 0.6
+
+    def test_beta_range(self):
+        """β 450–850 (Table 2) for logic nodes."""
+        for n in DEFAULT_TECHNOLOGY_TABLE:
+            assert 450.0 <= n.beta <= 850.0
+
+
+class TestMonotonicTrends:
+    """Finer nodes are more carbon-intensive and defect-prone."""
+
+    ORDER = ["28nm", "22nm", "20nm", "16nm", "14nm", "12nm", "10nm",
+             "7nm", "5nm", "3nm"]
+
+    def test_epa_non_decreasing_towards_finer_nodes(self):
+        values = [node(n).epa_kwh_per_cm2 for n in self.ORDER]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_defect_density_non_decreasing(self):
+        values = [node(n).defect_density_per_cm2 for n in self.ORDER]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_max_beol_non_decreasing(self):
+        values = [node(n).max_beol_layers for n in self.ORDER]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestDerivedQuantities:
+    def test_wire_pitch_is_3_6_lambda(self):
+        assert node("7nm").wire_pitch_nm == pytest.approx(3.6 * 7.0)
+
+    def test_gate_area_orin_calibration(self):
+        """17 B gates at 7 nm ≈ 458 mm² (NVIDIA ORIN die size)."""
+        area_mm2 = 17e9 * node("7nm").gate_area_um2 / 1e6
+        assert area_mm2 == pytest.approx(458.0, rel=0.01)
+
+    def test_epa_split_reassembles(self):
+        n = node("7nm")
+        reassembled = (
+            n.epa_feol_kwh_per_cm2()
+            + n.max_beol_layers * n.epa_per_beol_layer_kwh_per_cm2()
+        )
+        assert reassembled == pytest.approx(n.epa_kwh_per_cm2)
+
+    def test_gpa_split_reassembles(self):
+        n = node("14nm")
+        reassembled = (
+            n.gpa_feol_kg_per_cm2()
+            + n.max_beol_layers * n.gpa_per_beol_layer_kg_per_cm2()
+        )
+        assert reassembled == pytest.approx(n.gpa_kg_per_cm2)
+
+    def test_interposer_node_is_beol_only_cheap(self):
+        """A passive interposer has no FEOL: far cheaper than logic."""
+        assert (node("interposer").epa_kwh_per_cm2
+                < node("28nm").epa_kwh_per_cm2)
+
+
+class TestValidationAndOverrides:
+    def test_out_of_range_epa_rejected(self):
+        with pytest.raises(ParameterError):
+            node("7nm").with_overrides(epa_kwh_per_cm2=100.0)
+
+    def test_bad_rent_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            node("7nm").with_overrides(rent_exponent=1.5)
+
+    def test_zero_beol_rejected(self):
+        with pytest.raises(ParameterError):
+            node("7nm").with_overrides(max_beol_layers=0)
+
+    def test_override_returns_new_record(self):
+        original = node("7nm")
+        modified = original.with_overrides(defect_density_per_cm2=0.2)
+        assert modified.defect_density_per_cm2 == 0.2
+        assert original.defect_density_per_cm2 != 0.2
+
+    def test_table_override_is_isolated(self):
+        table = TechnologyTable()
+        modified = table.with_node_override("7nm", defect_density_per_cm2=0.3)
+        assert modified.get("7nm").defect_density_per_cm2 == 0.3
+        assert table.get("7nm").defect_density_per_cm2 != 0.3
+
+    def test_register_duplicate_rejected(self):
+        table = TechnologyTable()
+        with pytest.raises(ParameterError):
+            table.register(table.get("7nm"))
+
+    def test_register_custom_node(self):
+        table = TechnologyTable()
+        custom = table.get("7nm").with_overrides(beta=600.0)
+        table.register(
+            ProcessNode(
+                name="7nm_custom", feature_nm=7.0, beta=600.0,
+                epa_kwh_per_cm2=1.52, gpa_kg_per_cm2=0.18,
+                mpa_kg_per_cm2=0.5, defect_density_per_cm2=0.139,
+                alpha=10.0, max_beol_layers=13,
+            )
+        )
+        assert "7nm_custom" in table
+        assert custom.beta == 600.0

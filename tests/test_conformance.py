@@ -1,0 +1,216 @@
+"""Paper-conformance and cross-consistency tests.
+
+These pin the remaining structural facts of the paper that no other file
+covers: the full DRIVE golden column for the older generations, the
+internal consistency between study-level and direct decision metrics,
+design-level monotonicities across parameter axes, and renderer edge
+cases.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    CarbonModel,
+    ChipDesign,
+    ParameterSet,
+    Workload,
+    decision_metrics,
+)
+from repro.core.metrics import format_decision_table
+from repro.core.report import format_report_table
+from repro.studies.decision import table5_study
+from repro.studies.drive import drive_2d_design, drive_design
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+RTOL = 0.005
+
+
+class TestGoldenOlderGenerations:
+    """Pin the PX2/XAVIER/THOR 2D columns (ORIN is pinned elsewhere)."""
+
+    EXPECTED_2D = {
+        "PX2": (301.74, 46.39),
+        "XAVIER": (173.79, 34.79),
+        "THOR": (133.91, 2.78),
+    }
+
+    @pytest.mark.parametrize("device", sorted(EXPECTED_2D))
+    def test_2d_columns(self, device):
+        report = CarbonModel(
+            drive_2d_design(device), PARAMS, "taiwan"
+        ).evaluate(WL)
+        emb, op = self.EXPECTED_2D[device]
+        assert report.embodied_kg == pytest.approx(emb, rel=RTOL)
+        assert report.operational_kg == pytest.approx(op, rel=RTOL)
+
+    def test_embodied_tracks_die_size_across_generations(self):
+        """PX2's huge 16 nm die complement dominates ORIN's 7 nm die."""
+        px2 = CarbonModel(drive_2d_design("PX2"), PARAMS).embodied()
+        orin = CarbonModel(drive_2d_design("ORIN"), PARAMS).embodied()
+        assert px2.total_kg > 10.0 * orin.total_kg
+
+
+class TestStudyVsDirectMetrics:
+    """table5_study must agree with hand-built decision_metrics calls."""
+
+    def test_same_numbers_both_paths(self):
+        study = table5_study()
+        baseline = CarbonModel(
+            drive_2d_design("ORIN"), PARAMS, "taiwan"
+        ).evaluate(WL)
+        direct_alt = CarbonModel(
+            drive_design("ORIN", "Hybrid"), PARAMS, "taiwan"
+        ).evaluate(WL)
+        direct = decision_metrics(baseline, direct_alt)
+        from_study = study.row("Hybrid").metrics
+        assert direct.embodied_save_ratio == pytest.approx(
+            from_study.embodied_save_ratio
+        )
+        assert direct.overall_save_ratio == pytest.approx(
+            from_study.overall_save_ratio
+        )
+        assert direct.tr_years == pytest.approx(from_study.tr_years)
+
+    def test_baseline_consistency(self):
+        study = table5_study()
+        assert study.baseline.embodied_kg == pytest.approx(16.96, rel=RTOL)
+
+
+class TestDesignLevelMonotonicity:
+    def test_embodied_monotone_in_wafer_diameter(self, orin_2d):
+        totals = [
+            CarbonModel(
+                orin_2d, PARAMS.with_wafer_diameter(d)
+            ).embodied().total_kg
+            for d in (200.0, 300.0, 450.0)
+        ]
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_operational_monotone_in_use_ci(self, orin_2d):
+        model = CarbonModel(orin_2d, PARAMS)
+        kgs = [
+            model.operational(
+                Workload("w", 1e9, use_location=ci)
+            ).total_kg
+            for ci in (30.0, 300.0, 700.0)
+        ]
+        assert kgs[0] < kgs[1] < kgs[2]
+
+    def test_embodied_monotone_in_defect_density(self, orin_2d):
+        totals = [
+            CarbonModel(
+                orin_2d,
+                PARAMS.with_node_override("7nm", defect_density_per_cm2=d0),
+            ).embodied().total_kg
+            for d0 in (0.05, 0.139, 0.30)
+        ]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_bandwidth_monotone_in_io_density(self, orin_2d):
+        emib = ChipDesign.homogeneous_split(orin_2d, "emib")
+        ratios = [
+            CarbonModel(
+                emib,
+                PARAMS.with_integration_override(
+                    "emib", io_density_per_mm_per_layer=density
+                ),
+            ).bandwidth().ratio
+            for density in (200.0, 350.0, 500.0)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_m3d_footprint_shrinks_with_gate_area_factor(self, orin_2d):
+        m3d = ChipDesign.homogeneous_split(orin_2d, "m3d")
+        tight = CarbonModel(
+            m3d,
+            PARAMS.with_integration_override("m3d", gate_area_factor=0.7),
+        ).resolved().m3d_stack.footprint_mm2
+        loose = CarbonModel(
+            m3d,
+            PARAMS.with_integration_override("m3d", gate_area_factor=0.95),
+        ).resolved().m3d_stack.footprint_mm2
+        assert tight < loose
+
+
+class TestRenderersEdgeCases:
+    def test_decision_table_never_row(self, orin_2d):
+        base = CarbonModel(orin_2d, PARAMS).evaluate(WL)
+        si = CarbonModel(
+            ChipDesign.homogeneous_split(orin_2d, "si_interposer"), PARAMS
+        ).evaluate(WL)
+        metrics = decision_metrics(base, si)
+        text = format_decision_table([metrics])
+        assert "inf" in text
+        assert "no" in text
+
+    def test_report_table_handles_long_names(self, orin_2d):
+        long_named = orin_2d.with_overrides(
+            name="a_very_long_design_name_that_exceeds_the_column_width"
+        )
+        report = CarbonModel(long_named, PARAMS).evaluate()
+        table = format_report_table([report])
+        # Name truncated to the column, table stays aligned.
+        lines = table.splitlines()
+        assert len(lines[-1]) <= len(lines[0]) + 2
+
+    def test_report_render_without_bandwidth_section(self, orin_2d):
+        text = CarbonModel(orin_2d, PARAMS).evaluate().render()
+        assert "bandwidth" not in text  # unconstrained 2D design
+
+
+class TestSecFourClaims:
+    """The two Sec. 4 modeling-difference claims, as direct assertions."""
+
+    def test_packaging_area_based_vs_fixed(self):
+        """3D-Carbon's packaging scales with area; ACT+'s cannot."""
+        from repro.baselines import act_plus_estimate
+
+        small = ChipDesign.planar_2d("s", "7nm", area_mm2=50.0)
+        large = ChipDesign.planar_2d("l", "7nm", area_mm2=500.0)
+        ci = PARAMS.grid("taiwan").kg_co2_per_kwh
+        ours_small = CarbonModel(small, PARAMS).embodied().packaging_kg
+        ours_large = CarbonModel(large, PARAMS).embodied().packaging_kg
+        assert ours_large > 5.0 * ours_small
+        act_small = act_plus_estimate(small, ci, PARAMS).packaging_kg
+        act_large = act_plus_estimate(large, ci, PARAMS).packaging_kg
+        assert act_small == act_large
+
+    def test_beol_configurations_differentiate_dies(self):
+        """Same area, different routing demand → different carbon."""
+        ci = PARAMS.grid("taiwan").kg_co2_per_kwh
+        dense = ChipDesign.planar_2d("dense", "7nm", gate_count=2.7e9)
+        sparse_die = dense.dies[0].with_overrides(beol_layers=6)
+        sparse = dense.with_overrides(name="sparse", dies=(sparse_die,))
+        dense_kg = CarbonModel(dense, PARAMS, ci * 1000).embodied().die_kg
+        sparse_kg = CarbonModel(sparse, PARAMS, ci * 1000).embodied().die_kg
+        assert sparse_kg < dense_kg
+
+
+class TestDecisionLifetimeSensitivity:
+    def test_emib_choice_flips_beyond_tc(self, orin_2d):
+        """Choosing EMIB is right at 10 years but wrong past T_c."""
+        base = CarbonModel(orin_2d, PARAMS).evaluate(WL)
+        emib = CarbonModel(
+            ChipDesign.homogeneous_split(orin_2d, "emib"), PARAMS
+        ).evaluate(WL)
+        metrics_10 = decision_metrics(base, emib, lifetime_years=10.0)
+        assert metrics_10.choose_recommended
+        beyond = metrics_10.tc_years + 5.0
+        metrics_beyond = decision_metrics(base, emib, lifetime_years=beyond)
+        assert not metrics_beyond.choose_recommended
+
+    def test_m3d_replacement_flips_beyond_tr(self, orin_2d):
+        base = CarbonModel(orin_2d, PARAMS).evaluate(WL)
+        m3d = CarbonModel(
+            ChipDesign.homogeneous_split(orin_2d, "m3d"), PARAMS
+        ).evaluate(WL)
+        metrics = decision_metrics(base, m3d, lifetime_years=10.0)
+        assert not metrics.replace_recommended
+        assert math.isfinite(metrics.tr_years)
+        long_life = decision_metrics(
+            base, m3d, lifetime_years=metrics.tr_years + 5.0
+        )
+        assert long_life.replace_recommended

@@ -1,0 +1,165 @@
+"""Area-estimation (Eq. 7–9) and BEOL-estimation (Eq. 10) tests."""
+
+import pytest
+
+from repro.config.integration import StackingStyle
+from repro.config.parameters import DEFAULT_PARAMETERS
+from repro.core.area import (
+    equivalent_gate_count,
+    gate_area_mm2,
+    io_driver_area_mm2,
+    resolve_area,
+    tsv_area_for_die,
+)
+from repro.core.beol import MIN_BEOL_LAYERS, estimate_beol_layers
+from repro.core.design import Die, DieKind
+from repro.errors import DesignError
+
+PARAMS = DEFAULT_PARAMETERS
+NODE_7 = PARAMS.node("7nm")
+NODE_28 = PARAMS.node("28nm")
+SPEC_2D = PARAMS.integration_spec("2d")
+SPEC_MICRO = PARAMS.integration_spec("micro_3d")
+SPEC_HYBRID = PARAMS.integration_spec("hybrid_3d")
+SPEC_M3D = PARAMS.integration_spec("m3d")
+SPEC_EMIB = PARAMS.integration_spec("emib")
+
+
+class TestGateArea:
+    def test_eq8_closed_form(self):
+        """A = N·β·λ² — 1e9 gates at 7 nm."""
+        expected = 1e9 * 550.0 * (7e-3) ** 2 / 1e6  # µm² → mm²
+        assert gate_area_mm2(1e9, NODE_7) == pytest.approx(expected)
+
+    def test_memory_density_factor(self):
+        logic = gate_area_mm2(1e9, NODE_28, DieKind.LOGIC)
+        memory = gate_area_mm2(1e9, NODE_28, DieKind.MEMORY)
+        assert memory == pytest.approx(logic * NODE_28.sram_density_factor)
+
+    def test_integration_scaling(self):
+        full = gate_area_mm2(1e9, NODE_7, gate_area_factor=1.0)
+        m3d = gate_area_mm2(1e9, NODE_7, gate_area_factor=0.8)
+        assert m3d == pytest.approx(0.8 * full)
+
+    def test_equivalent_gate_count_roundtrip(self):
+        area = gate_area_mm2(5e8, NODE_7)
+        assert equivalent_gate_count(area, NODE_7) == pytest.approx(5e8)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DesignError):
+            gate_area_mm2(0.0, NODE_7)
+        with pytest.raises(DesignError):
+            equivalent_gate_count(-1.0, NODE_7)
+
+
+class TestTsvArea:
+    def test_2d_has_none(self):
+        assert tsv_area_for_die(1e9, NODE_7, SPEC_2D, StackingStyle.NA, False) == 0.0
+
+    def test_top_die_has_none(self):
+        assert tsv_area_for_die(
+            1e9, NODE_7, SPEC_MICRO, StackingStyle.F2B, is_top_die=True
+        ) == 0.0
+
+    def test_f2b_exceeds_f2f(self):
+        """Rent-rule TSVs (F2B) outnumber external-I/O TSVs (F2F)."""
+        f2b = tsv_area_for_die(
+            1e9, NODE_7, SPEC_MICRO, StackingStyle.F2B, is_top_die=False
+        )
+        f2f = tsv_area_for_die(
+            1e9, NODE_7, SPEC_MICRO, StackingStyle.F2F, is_top_die=False
+        )
+        assert f2b > f2f > 0.0
+
+    def test_m3d_miv_negligible(self):
+        miv = tsv_area_for_die(
+            1e9, NODE_7, SPEC_M3D, StackingStyle.F2B, is_top_die=False
+        )
+        f2b = tsv_area_for_die(
+            1e9, NODE_7, SPEC_MICRO, StackingStyle.F2B, is_top_die=False
+        )
+        assert 0.0 < miv < f2b / 5.0
+
+
+class TestIoDriverArea:
+    def test_eq9(self):
+        assert io_driver_area_mm2(100.0, SPEC_EMIB) == pytest.approx(
+            SPEC_EMIB.io_area_ratio * 100.0
+        )
+
+    def test_hybrid_needs_none(self):
+        assert io_driver_area_mm2(100.0, SPEC_HYBRID) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(DesignError):
+            io_driver_area_mm2(-1.0, SPEC_EMIB)
+
+
+class TestResolveArea:
+    def test_gate_count_path(self):
+        die = Die("d", "7nm", gate_count=8.5e9)
+        breakdown = resolve_area(die, NODE_7, SPEC_EMIB, StackingStyle.NA, False)
+        assert breakdown.gate_area_mm2 > 0
+        assert breakdown.io_area_mm2 > 0
+        assert breakdown.total_mm2 == pytest.approx(
+            breakdown.gate_area_mm2 + breakdown.tsv_area_mm2
+            + breakdown.io_area_mm2
+        )
+
+    def test_explicit_area_is_final(self):
+        """Measured die areas already include all overheads."""
+        die = Die("d", "7nm", area_mm2=82.0)
+        breakdown = resolve_area(
+            die, NODE_7, SPEC_MICRO, StackingStyle.F2B, False
+        )
+        assert breakdown.total_mm2 == 82.0
+        assert breakdown.tsv_area_mm2 == 0.0
+        assert breakdown.gate_count > 0
+
+    def test_orin_area_calibration(self):
+        die = Die("orin", "7nm", gate_count=17e9)
+        breakdown = resolve_area(die, NODE_7, SPEC_2D, StackingStyle.NA, True)
+        assert breakdown.total_mm2 == pytest.approx(458.0, rel=0.01)
+
+
+class TestBeolEstimation:
+    def test_orin_2d_in_realistic_range(self):
+        """Eq. 10 lands a 17 B-gate 7 nm SoC near its max metal count."""
+        estimate = estimate_beol_layers(17e9, 458.0, NODE_7)
+        assert 9.0 <= estimate.layers <= 13.0
+
+    def test_override_short_circuits(self):
+        estimate = estimate_beol_layers(17e9, 458.0, NODE_7, override=9)
+        assert estimate.layers == 9.0
+
+    def test_override_validated(self):
+        with pytest.raises(DesignError):
+            estimate_beol_layers(17e9, 458.0, NODE_7, override=0)
+
+    def test_layers_saved_reduces(self):
+        base = estimate_beol_layers(8.5e9, 229.0, NODE_7)
+        saved = estimate_beol_layers(8.5e9, 229.0, NODE_7, layers_saved=3)
+        assert saved.layers == pytest.approx(base.layers - 3.0)
+
+    def test_never_below_minimum(self):
+        estimate = estimate_beol_layers(8.5e9, 229.0, NODE_7, layers_saved=100)
+        assert estimate.layers == MIN_BEOL_LAYERS
+
+    def test_clamped_at_node_maximum(self):
+        """Extremely wire-bound designs clamp to the node's max stack."""
+        dense_node = NODE_7.with_overrides(rent_exponent=0.8)
+        estimate = estimate_beol_layers(17e9, 458.0, dense_node)
+        assert estimate.layers == float(dense_node.max_beol_layers)
+        assert estimate.clamped_at_max
+
+    def test_halving_gates_reduces_layers(self):
+        """The paper's BEOL saving: split dies need fewer metal layers."""
+        full = estimate_beol_layers(17e9, 458.0, NODE_7)
+        half = estimate_beol_layers(8.5e9, 229.0, NODE_7)
+        assert half.layers < full.layers
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DesignError):
+            estimate_beol_layers(17e9, -1.0, NODE_7)
+        with pytest.raises(DesignError):
+            estimate_beol_layers(2, 100.0, NODE_7)

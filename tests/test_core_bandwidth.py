@@ -1,0 +1,123 @@
+"""Bandwidth-constraint tests (Sec. 3.4, Eq. 18)."""
+
+import pytest
+
+from repro import ChipDesign, ParameterSet
+from repro.core.bandwidth import (
+    degradation_from_ratio,
+    evaluate_bandwidth,
+    io_lane_count,
+)
+from repro.core.resolve import resolve_design
+
+PARAMS = ParameterSet.default()
+
+
+def bw(design, params=PARAMS):
+    return evaluate_bandwidth(resolve_design(design, params), params)
+
+
+class TestDegradationCurve:
+    def test_no_loss_at_full_bandwidth(self):
+        assert degradation_from_ratio(1.0, PARAMS) == 0.0
+        assert degradation_from_ratio(1.5, PARAMS) == 0.0
+
+    def test_mcm_gpu_anchor(self):
+        """20 % loss at half bandwidth (Arunkumar ISCA'17)."""
+        assert degradation_from_ratio(0.5, PARAMS) == pytest.approx(0.20)
+
+    def test_linear_between(self):
+        assert degradation_from_ratio(0.75, PARAMS) == pytest.approx(0.10)
+
+    def test_monotone(self):
+        ratios = [1.0, 0.9, 0.7, 0.5, 0.3, 0.1]
+        degs = [degradation_from_ratio(r, PARAMS) for r in ratios]
+        assert all(a <= b for a, b in zip(degs, degs[1:]))
+
+    def test_capped_at_one(self):
+        assert degradation_from_ratio(0.0, PARAMS) <= 1.0
+
+
+class TestConstraintApplication:
+    def test_2d_unconstrained(self, orin_2d):
+        result = bw(orin_2d)
+        assert not result.constrained
+        assert result.valid
+        assert result.degradation == 0.0
+
+    def test_3d_matches_onchip(self, hybrid_stack, m3d_stack):
+        """Sec. 3.4: 3D I/O bandwidth matches 2D on-chip bandwidth."""
+        for design in (hybrid_stack, m3d_stack):
+            result = bw(design)
+            assert not result.constrained
+            assert result.valid
+
+    def test_25d_constrained(self, emib_assembly):
+        result = bw(emib_assembly)
+        assert result.constrained
+        assert result.required_tb_s > 0
+        assert result.achieved_tb_s > 0
+        assert len(result.io_lanes_per_die) == 2
+
+    def test_required_follows_eq(self, emib_assembly):
+        result = bw(emib_assembly)
+        assert result.required_tb_s == pytest.approx(
+            254.0 * PARAMS.bandwidth.traffic_bytes_per_op
+        )
+
+    def test_no_throughput_means_unconstrained(self, orin_2d):
+        design = ChipDesign.homogeneous_split(
+            orin_2d.with_overrides(throughput_tops=None), "emib"
+        )
+        result = bw(design)
+        assert not result.constrained
+
+    def test_disabled_constraint(self, emib_assembly):
+        params = PARAMS.with_bandwidth(enabled=False)
+        result = evaluate_bandwidth(
+            resolve_design(emib_assembly, params), params
+        )
+        assert not result.constrained
+        assert result.valid
+
+    def test_orin_validity_pattern(self, orin_2d):
+        """Sec. 5.2: EMIB/Si valid for ORIN; MCM and InFO invalid."""
+        assert bw(ChipDesign.homogeneous_split(orin_2d, "emib")).valid
+        assert bw(ChipDesign.homogeneous_split(orin_2d, "si_interposer")).valid
+        assert not bw(ChipDesign.homogeneous_split(orin_2d, "mcm")).valid
+        assert not bw(ChipDesign.homogeneous_split(orin_2d, "info")).valid
+
+    def test_denser_interface_more_bandwidth(self, orin_2d):
+        mcm = bw(ChipDesign.homogeneous_split(orin_2d, "mcm"))
+        emib = bw(ChipDesign.homogeneous_split(orin_2d, "emib"))
+        si = bw(ChipDesign.homogeneous_split(orin_2d, "si_interposer"))
+        assert mcm.achieved_tb_s < emib.achieved_tb_s < si.achieved_tb_s
+
+    def test_runtime_stretch(self, orin_2d):
+        emib = bw(ChipDesign.homogeneous_split(orin_2d, "emib"))
+        if emib.degradation > 0:
+            assert emib.runtime_stretch == pytest.approx(
+                1.0 / (1.0 - emib.degradation)
+            )
+        unconstrained = bw(orin_2d)
+        assert unconstrained.runtime_stretch == 1.0
+
+
+class TestIoLaneCount:
+    def test_eq17_n_pitch(self, emib_assembly):
+        resolved = resolve_design(emib_assembly, PARAMS)
+        rdie = resolved.dies[0]
+        spec = resolved.spec
+        lanes = io_lane_count(rdie, spec.io_density_per_mm_per_layer)
+        assert lanes == pytest.approx(
+            rdie.edge_mm * spec.io_density_per_mm_per_layer
+            * rdie.beol.layers
+        )
+
+    def test_lanes_grow_with_die_edge(self, orin_2d):
+        small = ChipDesign.planar_2d(
+            "small", "7nm", gate_count=2e9, throughput_tops=30.0
+        )
+        big_asm = bw(ChipDesign.homogeneous_split(orin_2d, "emib"))
+        small_asm = bw(ChipDesign.homogeneous_split(small, "emib"))
+        assert max(big_asm.io_lanes_per_die) > max(small_asm.io_lanes_per_die)

@@ -1,0 +1,216 @@
+"""Design-description tests: Die / ChipDesign validation and factories."""
+
+import pytest
+
+from repro import ChipDesign, DesignError, ParameterSet
+from repro.config.integration import AssemblyFlow, StackingStyle
+from repro.core.design import Die, DieKind, PackageSpec
+
+PARAMS = ParameterSet.default()
+
+
+class TestDie:
+    def test_gate_count_die(self):
+        die = Die("a", "7nm", gate_count=1e9)
+        assert die.gate_count == 1e9
+        assert die.area_mm2 is None
+
+    def test_area_die(self):
+        die = Die("a", "7nm", area_mm2=80.0)
+        assert die.area_mm2 == 80.0
+
+    def test_requires_exactly_one_size(self):
+        with pytest.raises(DesignError):
+            Die("a", "7nm")
+        with pytest.raises(DesignError):
+            Die("a", "7nm", gate_count=1e9, area_mm2=80.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(DesignError):
+            Die("", "7nm", gate_count=1e9)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(DesignError):
+            Die("a", "7nm", gate_count=1e9, workload_share=1.5)
+
+    def test_rejects_bad_yield_override(self):
+        with pytest.raises(DesignError):
+            Die("a", "7nm", gate_count=1e9, yield_override=0.0)
+
+    def test_rejects_bad_beol(self):
+        with pytest.raises(DesignError):
+            Die("a", "7nm", gate_count=1e9, beol_layers=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(DesignError):
+            Die("a", "7nm", gate_count=1e9, efficiency_tops_per_w=-2.0)
+
+    def test_with_overrides(self):
+        die = Die("a", "7nm", gate_count=1e9)
+        half = die.with_overrides(gate_count=5e8)
+        assert half.gate_count == 5e8
+        assert die.gate_count == 1e9
+
+
+class TestChipDesignValidation:
+    def test_2d_exactly_one_die(self):
+        design = ChipDesign(
+            name="bad2d",
+            dies=(Die("a", "7nm", gate_count=1e9),
+                  Die("b", "7nm", gate_count=1e9)),
+            integration="2d",
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_3d_needs_two_dies(self):
+        design = ChipDesign(
+            name="bad3d",
+            dies=(Die("a", "7nm", gate_count=1e9),),
+            integration="hybrid_3d",
+            stacking=StackingStyle.F2F,
+            assembly=AssemblyFlow.D2W,
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_m3d_tier_limit(self):
+        design = ChipDesign(
+            name="deep_m3d",
+            dies=tuple(
+                Die(f"t{i}", "7nm", gate_count=1e9) for i in range(3)
+            ),
+            integration="m3d",
+            stacking=StackingStyle.F2B,
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_hybrid_f2f_two_die_limit(self):
+        design = ChipDesign(
+            name="deep_hybrid",
+            dies=tuple(
+                Die(f"d{i}", "7nm", gate_count=1e9) for i in range(3)
+            ),
+            integration="hybrid_3d",
+            stacking=StackingStyle.F2F,
+            assembly=AssemblyFlow.D2W,
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_m3d_rejects_f2f(self):
+        design = ChipDesign(
+            name="m3d_f2f",
+            dies=(Die("a", "7nm", gate_count=1e9),
+                  Die("b", "7nm", gate_count=1e9)),
+            integration="m3d",
+            stacking=StackingStyle.F2F,
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_emib_rejects_chip_first(self):
+        design = ChipDesign(
+            name="emib_cf",
+            dies=(Die("a", "7nm", gate_count=1e9),
+                  Die("b", "7nm", gate_count=1e9)),
+            integration="emib",
+            assembly=AssemblyFlow.CHIP_FIRST,
+        )
+        with pytest.raises(DesignError):
+            design.validate(PARAMS)
+
+    def test_duplicate_die_names_rejected(self):
+        with pytest.raises(DesignError):
+            ChipDesign(
+                name="dup",
+                dies=(Die("a", "7nm", gate_count=1e9),
+                      Die("a", "7nm", gate_count=1e9)),
+                integration="hybrid_3d",
+            )
+
+    def test_unknown_node_caught_at_validate(self):
+        design = ChipDesign(
+            name="weird",
+            dies=(Die("a", "9nm", gate_count=1e9),),
+            integration="2d",
+        )
+        with pytest.raises(Exception):
+            design.validate(PARAMS)
+
+    def test_valid_hybrid_passes(self, hybrid_stack):
+        spec = hybrid_stack.validate(PARAMS)
+        assert spec.name == "hybrid_3d"
+
+    def test_package_override_validated(self):
+        with pytest.raises(DesignError):
+            PackageSpec("fcbga", area_mm2=-5.0)
+
+    def test_bad_throughput_rejected(self):
+        with pytest.raises(DesignError):
+            ChipDesign.planar_2d("x", "7nm", gate_count=1e9,
+                                 throughput_tops=-1.0)
+
+
+class TestFactories:
+    def test_planar_2d(self):
+        design = ChipDesign.planar_2d("chip", "7nm", gate_count=1e9)
+        assert design.die_count == 1
+        assert design.integration == "2d"
+
+    def test_homogeneous_split_conserves_gates(self, orin_2d):
+        split = ChipDesign.homogeneous_split(orin_2d, "hybrid_3d")
+        assert sum(d.gate_count for d in split.dies) == pytest.approx(17e9)
+        assert split.die_count == 2
+
+    def test_homogeneous_split_equal_shares(self, orin_2d):
+        split = ChipDesign.homogeneous_split(orin_2d, "mcm")
+        assert all(
+            d.workload_share == pytest.approx(0.5) for d in split.dies
+        )
+
+    def test_homogeneous_2_5d_gets_valid_assembly(self, orin_2d):
+        split = ChipDesign.homogeneous_split(orin_2d, "emib")
+        assert split.assembly is AssemblyFlow.CHIP_LAST
+        assert split.stacking is StackingStyle.NA
+        split.validate(PARAMS)
+
+    def test_m3d_split_forces_f2b(self, orin_2d):
+        split = ChipDesign.homogeneous_split(orin_2d, "m3d")
+        assert split.stacking is StackingStyle.F2B
+        split.validate(PARAMS)
+
+    def test_heterogeneous_split_structure(self, orin_2d):
+        split = ChipDesign.heterogeneous_split(orin_2d, "hybrid_3d")
+        memory, logic = split.dies
+        assert memory.kind is DieKind.MEMORY
+        assert memory.node == "28nm"
+        assert memory.workload_share == 0.0
+        assert logic.workload_share == 1.0
+        assert logic.node == "7nm"
+
+    def test_heterogeneous_memory_smaller_than_logic(self, orin_2d, params):
+        """Sec. 5.1: 'smaller memory die areas'."""
+        from repro.core.resolve import resolve_design
+
+        split = ChipDesign.heterogeneous_split(orin_2d, "hybrid_3d")
+        resolved = resolve_design(split, params)
+        memory, logic = resolved.dies
+        assert memory.area_mm2 < logic.area_mm2
+
+    def test_split_requires_gate_count(self, small_2d):
+        with pytest.raises(DesignError):
+            ChipDesign.homogeneous_split(small_2d, "hybrid_3d")
+
+    def test_split_requires_single_die_reference(self, hybrid_stack):
+        with pytest.raises(DesignError):
+            ChipDesign.homogeneous_split(hybrid_stack, "emib")
+
+    def test_split_to_2d_rejected(self, orin_2d):
+        with pytest.raises(DesignError):
+            ChipDesign.homogeneous_split(orin_2d, "2d")
+
+    def test_throughput_carried_over(self, orin_2d):
+        split = ChipDesign.homogeneous_split(orin_2d, "emib")
+        assert split.throughput_tops == orin_2d.throughput_tops

@@ -1,0 +1,184 @@
+"""Decision-metric tests (Eq. 2: T_c and T_r)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CarbonModel,
+    ChipDesign,
+    ChoiceRegime,
+    InvalidDesignError,
+    ParameterError,
+    ParameterSet,
+    Workload,
+    decision_metrics,
+)
+from repro.core.metrics import format_decision_table
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+
+
+@pytest.fixture(scope="module")
+def base_report():
+    orin = ChipDesign.planar_2d(
+        "ORIN_2D", "7nm", gate_count=17e9, throughput_tops=254.0,
+        efficiency_tops_per_w=2.74,
+    )
+    return CarbonModel(orin, PARAMS).evaluate(WL)
+
+
+def alt_report(base_name: str, integration: str):
+    orin = ChipDesign.planar_2d(
+        base_name, "7nm", gate_count=17e9, throughput_tops=254.0,
+        efficiency_tops_per_w=2.74,
+    )
+    design = ChipDesign.homogeneous_split(orin, integration)
+    return CarbonModel(design, PARAMS).evaluate(WL)
+
+
+class TestRegimes:
+    def test_hybrid_always_better(self, base_report):
+        """Hybrid saves embodied AND operational: T_c > 0 (Table 5)."""
+        m = decision_metrics(base_report, alt_report("ORIN_2D", "hybrid_3d"))
+        assert m.regime is ChoiceRegime.ALWAYS_BETTER
+        assert m.tc_years == 0.0
+        assert m.choose_recommended
+
+    def test_emib_better_until_tc(self, base_report):
+        """EMIB saves embodied, costs operational: finite T_c, T_r = ∞."""
+        m = decision_metrics(base_report, alt_report("ORIN_2D", "emib"))
+        assert m.regime is ChoiceRegime.BETTER_UNTIL_TC
+        assert 0 < m.tc_years < math.inf
+        assert math.isinf(m.tr_years)
+        assert m.choose_recommended  # 10-year life < Tc
+
+    def test_si_interposer_never(self, base_report):
+        """Si interposer costs both: T_c = T_r = ∞ (Table 5)."""
+        m = decision_metrics(base_report, alt_report("ORIN_2D", "si_interposer"))
+        assert m.regime is ChoiceRegime.NEVER_BETTER
+        assert math.isinf(m.tc_years)
+        assert math.isinf(m.tr_years)
+        assert not m.choose_recommended
+        assert not m.replace_recommended
+
+    def test_m3d_finite_tr(self, base_report):
+        """M3D saves operational: finite replacement breakeven."""
+        m = decision_metrics(base_report, alt_report("ORIN_2D", "m3d"))
+        assert m.regime is ChoiceRegime.ALWAYS_BETTER
+        assert 0 < m.tr_years < math.inf
+        # Paper: Tr > 19 years ≫ 10-year life → don't replace.
+        assert m.tr_years > 10.0
+        assert not m.replace_recommended
+
+    def test_tr_exceeds_tc_when_both_finite(self, base_report):
+        """T_r − T_c = C_emb^2D / savings-rate > 0 by construction."""
+        m = decision_metrics(base_report, alt_report("ORIN_2D", "m3d"))
+        if math.isfinite(m.tr_years) and math.isfinite(m.tc_years):
+            assert m.tr_years >= m.tc_years
+
+
+class TestGuards:
+    def test_invalid_design_rejected(self, base_report):
+        mcm = alt_report("ORIN_2D", "mcm")
+        assert not mcm.valid
+        with pytest.raises(InvalidDesignError):
+            decision_metrics(base_report, mcm)
+
+    def test_missing_operational_rejected(self, base_report):
+        orin = ChipDesign.planar_2d(
+            "ORIN_2D", "7nm", gate_count=17e9, throughput_tops=254.0
+        )
+        no_op = CarbonModel(orin, PARAMS).evaluate()  # no workload
+        with pytest.raises(ParameterError):
+            decision_metrics(no_op, base_report)
+
+    def test_bad_lifetime_rejected(self, base_report):
+        with pytest.raises(ParameterError):
+            decision_metrics(
+                base_report, alt_report("ORIN_2D", "emib"),
+                lifetime_years=-1.0,
+            )
+
+
+class TestRatios:
+    def test_save_ratios_consistent(self, base_report):
+        alt = alt_report("ORIN_2D", "hybrid_3d")
+        m = decision_metrics(base_report, alt)
+        assert m.embodied_save_ratio == pytest.approx(
+            1.0 - alt.embodied_kg / base_report.embodied_kg
+        )
+        assert m.overall_save_ratio == pytest.approx(
+            1.0 - alt.total_kg / base_report.total_kg
+        )
+
+    def test_delta_signs(self, base_report):
+        hybrid = decision_metrics(base_report, alt_report("ORIN_2D", "hybrid_3d"))
+        assert hybrid.embodied_delta_kg < 0
+        assert hybrid.annual_op_savings_kg > 0
+        si = decision_metrics(
+            base_report, alt_report("ORIN_2D", "si_interposer")
+        )
+        assert si.embodied_delta_kg > 0
+        assert si.annual_op_savings_kg < 0
+
+    def test_table_renders(self, base_report):
+        metrics = [
+            decision_metrics(base_report, alt_report("ORIN_2D", name))
+            for name in ("emib", "hybrid_3d", "m3d")
+        ]
+        text = format_decision_table(metrics)
+        assert "emb save" in text
+        assert "inf" in text      # EMIB's Tr
+        assert ">0" in text       # hybrid's Tc
+
+
+class TestSyntheticRegimes:
+    """Exercise Eq. 2's sign logic with synthetic reports via hypothesis."""
+
+    @staticmethod
+    def _fake_reports(emb_base, emb_alt, op_base, op_alt):
+        from dataclasses import dataclass
+
+        @dataclass
+        class FakeOp:
+            total_kg: float
+            lifetime_years: float = 10.0
+
+        @dataclass
+        class FakeReport:
+            design_name: str
+            embodied_kg: float
+            operational: FakeOp
+            valid: bool = True
+
+            @property
+            def total_kg(self):
+                return self.embodied_kg + self.operational.total_kg
+
+        return (
+            FakeReport("base", emb_base, FakeOp(op_base)),
+            FakeReport("alt", emb_alt, FakeOp(op_alt)),
+        )
+
+    @given(
+        emb_base=st.floats(min_value=1.0, max_value=100.0),
+        emb_alt=st.floats(min_value=1.0, max_value=100.0),
+        op_base=st.floats(min_value=1.0, max_value=100.0),
+        op_alt=st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_regime_partition(self, emb_base, emb_alt, op_base, op_alt):
+        base, alt = self._fake_reports(emb_base, emb_alt, op_base, op_alt)
+        m = decision_metrics(base, alt)
+        assert m.tc_years >= 0.0
+        assert m.tr_years > 0.0
+        if m.regime is ChoiceRegime.ALWAYS_BETTER:
+            assert emb_alt <= emb_base and op_alt <= op_base
+        if m.regime is ChoiceRegime.NEVER_BETTER:
+            assert math.isinf(m.tc_years)
+        if math.isfinite(m.tr_years) and math.isfinite(m.tc_years):
+            assert m.tr_years >= m.tc_years - 1e-9

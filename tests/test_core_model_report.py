@@ -1,0 +1,94 @@
+"""CarbonModel façade and LifecycleReport tests."""
+
+import json
+
+import pytest
+
+from repro import CarbonModel, ChipDesign, ParameterSet, Workload
+from repro.core.model import evaluate_design
+from repro.core.report import format_report_table
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+
+
+class TestCarbonModel:
+    def test_resolution_cached(self, orin_2d):
+        model = CarbonModel(orin_2d, PARAMS)
+        assert model.resolved() is model.resolved()
+        assert model.embodied() is model.embodied()
+        assert model.bandwidth() is model.bandwidth()
+
+    def test_fab_location_by_name_and_value(self, orin_2d):
+        named = CarbonModel(orin_2d, PARAMS, fab_location="taiwan")
+        valued = CarbonModel(orin_2d, PARAMS, fab_location=509.0)
+        assert named.fab_ci_kg_per_kwh == pytest.approx(
+            valued.fab_ci_kg_per_kwh
+        )
+
+    def test_cleaner_fab_cheaper_embodied(self, orin_2d):
+        dirty = CarbonModel(orin_2d, PARAMS, "india").embodied().total_kg
+        clean = CarbonModel(orin_2d, PARAMS, "iceland").embodied().total_kg
+        assert clean < dirty
+
+    def test_evaluate_without_workload(self, orin_2d):
+        report = CarbonModel(orin_2d, PARAMS).evaluate()
+        assert report.operational is None
+        assert report.operational_kg == 0.0
+        assert report.total_kg == report.embodied_kg
+
+    def test_evaluate_with_workload(self, orin_2d):
+        report = CarbonModel(orin_2d, PARAMS).evaluate(WL)
+        assert report.operational is not None
+        assert report.total_kg == pytest.approx(
+            report.embodied_kg + report.operational_kg
+        )
+
+    def test_one_shot_helper(self, orin_2d):
+        a = evaluate_design(orin_2d, WL, PARAMS)
+        b = CarbonModel(orin_2d, PARAMS).evaluate(WL)
+        assert a.total_kg == pytest.approx(b.total_kg)
+
+
+class TestLifecycleReport:
+    def test_to_dict_roundtrips_json(self, emib_assembly):
+        report = CarbonModel(emib_assembly, PARAMS).evaluate(WL)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["design"] == emib_assembly.name
+        assert data["integration"] == "emib"
+        assert data["total_kg"] == pytest.approx(report.total_kg)
+        assert data["valid"] == report.valid
+        assert len(data["per_die"]) == 2
+        assert "operational" in data
+
+    def test_to_dict_breakdown_sums(self, emib_assembly):
+        report = CarbonModel(emib_assembly, PARAMS).evaluate(WL)
+        data = report.to_dict()
+        assert sum(data["embodied_breakdown_kg"].values()) == pytest.approx(
+            data["embodied_kg"]
+        )
+
+    def test_to_dict_without_workload(self, orin_2d):
+        data = CarbonModel(orin_2d, PARAMS).evaluate().to_dict()
+        assert "operational" not in data
+
+    def test_render_mentions_components(self, emib_assembly):
+        text = CarbonModel(emib_assembly, PARAMS).evaluate(WL).render()
+        for token in ("embodied", "packaging", "interposer", "bandwidth",
+                      "total", "operational"):
+            assert token in text
+
+    def test_render_flags_invalid(self, orin_2d):
+        mcm = ChipDesign.homogeneous_split(orin_2d, "mcm")
+        text = CarbonModel(mcm, PARAMS).evaluate(WL).render()
+        assert "NO (bandwidth)" in text
+
+    def test_table_formatting(self, orin_2d, emib_assembly):
+        reports = [
+            CarbonModel(orin_2d, PARAMS).evaluate(WL),
+            CarbonModel(emib_assembly, PARAMS).evaluate(WL),
+        ]
+        table = format_report_table(reports, title="cmp")
+        assert "cmp" in table
+        assert orin_2d.name[:30] in table
+        assert table.count("\n") >= 3

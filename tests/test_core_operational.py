@@ -1,0 +1,170 @@
+"""Operational-carbon tests (Sec. 3.3, Eq. 16–17)."""
+
+import math
+
+import pytest
+
+from repro import ChipDesign, ParameterSet, Workload
+from repro.core.bandwidth import evaluate_bandwidth
+from repro.core.operational import operational_carbon
+from repro.core.resolve import resolve_design
+from repro.errors import DesignError
+
+PARAMS = ParameterSet.default()
+
+
+def run(design, workload=None, params=PARAMS):
+    workload = workload or Workload.autonomous_vehicle()
+    resolved = resolve_design(design, params)
+    bandwidth = evaluate_bandwidth(resolved, params)
+    return operational_carbon(resolved, params, workload, bandwidth)
+
+
+class TestWorkload:
+    def test_from_activity(self):
+        wl = Workload.from_activity("w", 100.0, 1.0, 10.0)
+        # 100 TOPS × 3600 s × 365.25 d × 10 y
+        assert wl.total_tera_ops == pytest.approx(100.0 * 3600 * 365.25 * 10)
+
+    def test_av_defaults(self):
+        wl = Workload.autonomous_vehicle()
+        assert wl.lifetime_years == 10.0
+        assert wl.use_location == "renewable_charging"
+        assert wl.total_tera_ops > 0
+
+    def test_rejects_non_positive_work(self):
+        with pytest.raises(DesignError):
+            Workload("w", 0.0)
+
+    def test_rejects_bad_lifetime(self):
+        with pytest.raises(DesignError):
+            Workload("w", 1.0, lifetime_years=0.0)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(DesignError):
+            Workload.from_activity("w", -1.0, 1.0)
+
+
+class TestEq16:
+    def test_orin_2d_energy(self, orin_2d):
+        """Fixed work / efficiency: ORIN at 2.74 TOPS/W."""
+        wl = Workload.autonomous_vehicle()
+        report = run(orin_2d, wl)
+        expected_kwh = wl.total_tera_ops / 2.74 / 3.6e6
+        assert report.compute_energy_kwh == pytest.approx(expected_kwh)
+        assert report.io_energy_kwh == 0.0
+
+    def test_carbon_is_ci_times_energy(self, orin_2d):
+        report = run(orin_2d)
+        assert report.total_kg == pytest.approx(
+            report.use_ci_kg_per_kwh * report.total_energy_kwh
+        )
+
+    def test_cleaner_grid_less_carbon(self, orin_2d):
+        wl_dirty = Workload.from_activity("d", 254.0, 0.75, use_location="india")
+        wl_clean = Workload.from_activity("c", 254.0, 0.75, use_location="iceland")
+        assert run(orin_2d, wl_dirty).total_kg > run(orin_2d, wl_clean).total_kg
+
+    def test_more_efficient_die_less_carbon(self):
+        slow = ChipDesign.planar_2d(
+            "slow", "16nm", gate_count=15.3e9, throughput_tops=24.0,
+            efficiency_tops_per_w=0.75,
+        )
+        fast = ChipDesign.planar_2d(
+            "fast", "5nm", gate_count=77e9, throughput_tops=2000.0,
+            efficiency_tops_per_w=12.5,
+        )
+        assert run(fast).total_kg < run(slow).total_kg
+
+    def test_annual_rate(self, orin_2d):
+        report = run(orin_2d)
+        assert report.annual_kg == pytest.approx(report.total_kg / 10.0)
+
+
+class TestEq17IoPower:
+    def test_25d_pays_io_energy(self, emib_assembly):
+        report = run(emib_assembly)
+        assert report.io_energy_kwh > 0
+
+    def test_micro_3d_pays_io_energy(self, orin_2d):
+        micro = ChipDesign.homogeneous_split(orin_2d, "micro_3d")
+        assert run(micro).io_energy_kwh > 0
+
+    def test_hybrid_and_m3d_do_not(self, hybrid_stack, m3d_stack):
+        """Sec. 3.3: only 2.5D and micro-bump 3D include P_IO."""
+        assert run(hybrid_stack).io_energy_kwh == 0.0
+        assert run(m3d_stack).io_energy_kwh == 0.0
+
+    def test_io_energy_scales_with_energy_per_bit(self, orin_2d):
+        mcm = run(ChipDesign.homogeneous_split(orin_2d, "mcm"))
+        emib = run(ChipDesign.homogeneous_split(orin_2d, "emib"))
+        # MCM SerDes: 1000 fJ/bit vs EMIB's 150 fJ/bit.
+        assert mcm.io_energy_kwh == pytest.approx(
+            emib.io_energy_kwh * 1000.0 / 150.0
+        )
+
+    def test_interconnect_saving_applies(self, orin_2d, m3d_stack):
+        """κ: M3D computes the same work with less energy (Kim DAC'21)."""
+        base = run(orin_2d).compute_energy_kwh
+        m3d = run(m3d_stack).compute_energy_kwh
+        assert m3d == pytest.approx(base * (1.0 - 0.082), rel=1e-6)
+
+    def test_degradation_stretches_compute_energy(self, orin_2d):
+        """Bandwidth-starved 2.5D designs stall (Sec. 5.1)."""
+        emib = ChipDesign.homogeneous_split(orin_2d, "emib")
+        resolved = resolve_design(emib, PARAMS)
+        bandwidth = evaluate_bandwidth(resolved, PARAMS)
+        assert bandwidth.degradation > 0
+        report = operational_carbon(
+            resolved, PARAMS, Workload.autonomous_vehicle(), bandwidth
+        )
+        base = run(orin_2d).compute_energy_kwh
+        assert report.compute_energy_kwh > base
+
+
+class TestPerDieAccounting:
+    def test_shares_partition_energy(self, hybrid_stack):
+        report = run(hybrid_stack)
+        shares = [r.workload_share for r in report.per_die]
+        assert sum(shares) == pytest.approx(1.0)
+        assert all(s == pytest.approx(0.5) for s in shares)
+
+    def test_zero_share_die_consumes_nothing(self, lakefield_like):
+        design = lakefield_like.with_overrides(throughput_tops=10.0)
+        report = run(design)
+        base_record = next(r for r in report.per_die if r.name == "base")
+        assert base_record.energy_kwh == 0.0
+        assert math.isnan(base_record.efficiency_tops_per_w)
+
+    def test_no_share_at_all_rejected(self):
+        from repro.core.design import Die
+
+        design = ChipDesign(
+            name="idle",
+            dies=(Die("a", "7nm", gate_count=1e9, workload_share=0.0),),
+            integration="2d",
+        )
+        with pytest.raises(DesignError):
+            run(design)
+
+    def test_runtime_reported_with_capacity(self, orin_2d):
+        report = run(orin_2d)
+        wl = Workload.autonomous_vehicle()
+        assert report.runtime_hours == pytest.approx(
+            wl.total_tera_ops / 254.0 / 3600.0
+        )
+        assert report.average_power_w == pytest.approx(
+            254.0 / 2.74, rel=1e-6
+        )
+
+    def test_runtime_none_without_capacity(self, small_2d):
+        wl = Workload("tiny", 1e6, lifetime_years=1.0)
+        report = run(small_2d, wl)
+        assert report.runtime_hours is None
+        assert report.average_power_w is None
+
+    def test_surveyed_fallback(self):
+        """Dies without explicit efficiency use the node survey."""
+        design = ChipDesign.planar_2d("plain", "7nm", gate_count=1e9)
+        report = run(design, Workload("w", 1e9, lifetime_years=1.0))
+        assert report.per_die[0].efficiency_tops_per_w == pytest.approx(2.74)

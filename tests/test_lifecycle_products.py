@@ -1,0 +1,157 @@
+"""Lifecycle-extension (transport/EOL) and extra-product tests."""
+
+import pytest
+
+from repro import CarbonModel, ParameterSet, Workload
+from repro.errors import ParameterError
+from repro.lifecycle import (
+    DEFAULT_ROUTE,
+    EolParameters,
+    FreightMode,
+    TransportLeg,
+    end_of_life_carbon_kg,
+    eol_share_of_total,
+    package_mass_kg,
+    transport_carbon_kg,
+    transport_share_of_total,
+)
+from repro.studies.products import (
+    hbm_stack_design,
+    p100_class_design,
+    ryzen_5800x3d_design,
+)
+
+PARAMS = ParameterSet.default()
+
+
+class TestTransport:
+    def test_package_mass_scales_with_area(self):
+        assert package_mass_kg(2000.0) == pytest.approx(
+            2.0 * package_mass_kg(1000.0)
+        )
+
+    def test_45mm_package_mass_realistic(self):
+        """A 45×45 mm FCBGA weighs on the order of 100 g."""
+        mass = package_mass_kg(45.0 * 45.0)
+        assert 0.03 < mass < 0.2
+
+    def test_leg_carbon_formula(self):
+        leg = TransportLeg("test", FreightMode.AIR, 1000.0)
+        # 1 kg over 1000 km by air: 0.001 t × 1000 km × 0.6 = 0.6 kg
+        assert leg.carbon_kg(1.0) == pytest.approx(0.6)
+
+    def test_air_dirtiest_sea_cleanest(self):
+        legs = {
+            mode: TransportLeg("x", mode, 1000.0).carbon_kg(1.0)
+            for mode in FreightMode
+        }
+        assert legs[FreightMode.AIR] == max(legs.values())
+        assert legs[FreightMode.SEA] == min(legs.values())
+
+    def test_default_route_total(self):
+        carbon = transport_carbon_kg(2025.0)
+        assert carbon > 0
+
+    def test_transport_is_negligible(self, orin_2d):
+        """Fig. 1 scoping: transport ≪ embodied+operational (< 2 %)."""
+        report = CarbonModel(orin_2d, PARAMS).evaluate(
+            Workload.autonomous_vehicle()
+        )
+        pkg = report.embodied.packaging.package_area_mm2
+        share = transport_share_of_total(pkg, report.total_kg)
+        assert share < 0.02
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            TransportLeg("bad", FreightMode.AIR, -1.0)
+        with pytest.raises(ParameterError):
+            package_mass_kg(0.0)
+        with pytest.raises(ParameterError):
+            DEFAULT_ROUTE[0].carbon_kg(0.0)
+        with pytest.raises(ParameterError):
+            transport_share_of_total(100.0, 0.0)
+
+
+class TestEndOfLife:
+    def test_net_small_magnitude(self):
+        """EOL is grams either way for a 20 cm² package."""
+        assert abs(end_of_life_carbon_kg(2025.0)) < 0.1
+
+    def test_high_recovery_turns_into_credit(self):
+        generous = EolParameters(
+            metal_fraction=0.4, recycling_credit_kg_per_kg=3.0,
+            collection_rate=0.9,
+        )
+        assert end_of_life_carbon_kg(2025.0, generous) < 0.0
+
+    def test_no_collection_means_no_credit(self):
+        landfill_only = EolParameters(collection_rate=0.0)
+        assert end_of_life_carbon_kg(2025.0, landfill_only) >= 0.0
+
+    def test_share_negligible(self, orin_2d):
+        report = CarbonModel(orin_2d, PARAMS).evaluate(
+            Workload.autonomous_vehicle()
+        )
+        pkg = report.embodied.packaging.package_area_mm2
+        assert eol_share_of_total(pkg, report.total_kg) < 0.01
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            EolParameters(metal_fraction=1.5)
+        with pytest.raises(ParameterError):
+            EolParameters(collection_rate=-0.1)
+        with pytest.raises(ParameterError):
+            EolParameters(processing_kg_per_kg=-1.0)
+
+
+class TestProducts:
+    def test_v_cache_validates_and_evaluates(self):
+        design = ryzen_5800x3d_design()
+        design.validate(PARAMS)
+        report = CarbonModel(design, PARAMS).evaluate()
+        assert report.embodied_kg > 0
+        assert report.embodied.bonding_kg > 0  # hybrid bond step
+
+    def test_v_cache_cheaper_than_double_ccd(self):
+        """Stacking a small SRAM die costs less than doubling the CCD."""
+        from repro import ChipDesign
+
+        stacked = CarbonModel(ryzen_5800x3d_design(), PARAMS).embodied()
+        doubled = CarbonModel(
+            ChipDesign.planar_2d("big_ccd", "7nm", area_mm2=162.0), PARAMS
+        ).embodied()
+        assert stacked.total_kg < doubled.total_kg * 1.5
+
+    def test_hbm_stack_tiers(self):
+        design = hbm_stack_design(dram_tiers=4)
+        assert design.die_count == 5
+        design.validate(PARAMS)
+        report = CarbonModel(design, PARAMS).evaluate()
+        assert report.embodied_kg > 0
+        # 4 tiers → 4 bonds.
+        assert len(report.embodied.bonding.records) == 4
+
+    def test_hbm_taller_stack_costs_more(self):
+        two = CarbonModel(hbm_stack_design(2), PARAMS).embodied().total_kg
+        eight = CarbonModel(hbm_stack_design(8), PARAMS).embodied().total_kg
+        assert eight > two
+
+    def test_hbm_rejects_zero_tiers(self):
+        with pytest.raises(ValueError):
+            hbm_stack_design(0)
+
+    def test_p100_class_has_interposer(self):
+        design = p100_class_design()
+        design.validate(PARAMS)
+        report = CarbonModel(design, PARAMS).evaluate()
+        assert report.embodied.interposer_kg > 0
+        # The interposer spans GPU + 4 HBM sites.
+        assert (report.embodied.interposer.area_mm2
+                > 610.0 + 4 * 96.0)
+
+    def test_p100_bandwidth_satisfied(self):
+        """An interposer easily feeds a 21-TOPS 16 nm GPU (Sec. 3.4)."""
+        report = CarbonModel(p100_class_design(), PARAMS).evaluate(
+            Workload.autonomous_vehicle()
+        )
+        assert report.valid

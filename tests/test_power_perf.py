@@ -1,0 +1,170 @@
+"""Power plug-in and performance-substrate tests."""
+
+import pytest
+
+from repro import ChipDesign, ParameterSet
+from repro.core.resolve import resolve_design
+from repro.errors import ParameterError, UnknownTechnologyError
+from repro.perf.degradation import (
+    degradation,
+    runtime_stretch,
+    throughput_factor,
+)
+from repro.perf.requirements import (
+    AV_PERCEPTION_LAYERS,
+    DnnLayer,
+    network_traffic_intensity,
+    onchip_bandwidth_tb_s,
+)
+from repro.power.dnn import AnalyticalDnnPlugin
+from repro.power.plugin import CallablePlugin, PluginRegistry
+from repro.power.surveyed import SurveyedEfficiencyPlugin
+
+PARAMS = ParameterSet.default()
+
+
+def resolved_die(name="ORIN_2D", node="7nm", efficiency=None):
+    design = ChipDesign.planar_2d(
+        f"{name}", node, gate_count=1e9, efficiency_tops_per_w=efficiency
+    )
+    return resolve_design(design, PARAMS).dies[0]
+
+
+class TestSurveyedPlugin:
+    def test_die_override_wins(self):
+        plugin = SurveyedEfficiencyPlugin()
+        die = resolved_die(efficiency=5.0)
+        assert plugin.efficiency_tops_per_w(die) == 5.0
+
+    def test_device_name_match(self):
+        plugin = SurveyedEfficiencyPlugin()
+        die = resolved_die(name="THOR_2D", node="5nm")
+        assert plugin.efficiency_tops_per_w(die) == 12.5
+
+    def test_node_fallback(self):
+        plugin = SurveyedEfficiencyPlugin()
+        die = resolved_die(name="anon", node="28nm")
+        assert plugin.efficiency_tops_per_w(die) == pytest.approx(0.4)
+
+
+class TestDnnPlugin:
+    def test_energy_scales_with_feature_size(self):
+        plugin = AnalyticalDnnPlugin()
+        assert plugin.energy_per_op_pj(14.0) == pytest.approx(
+            4.0 * plugin.energy_per_op_pj(7.0)
+        )
+
+    def test_efficiency_improves_with_scaling(self):
+        plugin = AnalyticalDnnPlugin()
+        old = plugin.efficiency_tops_per_w(resolved_die(name="a", node="28nm"))
+        new = plugin.efficiency_tops_per_w(resolved_die(name="b", node="7nm"))
+        assert new > old
+
+    def test_memory_intensity_costs_energy(self):
+        light = AnalyticalDnnPlugin(bytes_per_op=0.0)
+        heavy = AnalyticalDnnPlugin(bytes_per_op=0.5)
+        die = resolved_die(name="c")
+        assert (heavy.efficiency_tops_per_w(die)
+                < light.efficiency_tops_per_w(die))
+
+    def test_7nm_in_survey_ballpark(self):
+        """The analytical model lands near the surveyed 7 nm TOPS/W."""
+        plugin = AnalyticalDnnPlugin()
+        eff = plugin.efficiency_tops_per_w(resolved_die(name="d"))
+        assert 1.0 < eff < 10.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            AnalyticalDnnPlugin(bytes_per_op=-1.0)
+        with pytest.raises(ParameterError):
+            AnalyticalDnnPlugin().energy_per_op_pj(0.0)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = PluginRegistry()
+        registry.register(SurveyedEfficiencyPlugin())
+        assert registry.get("surveyed").name == "surveyed"
+        assert "surveyed" in registry.names()
+
+    def test_duplicate_rejected(self):
+        registry = PluginRegistry()
+        registry.register(SurveyedEfficiencyPlugin())
+        with pytest.raises(ParameterError):
+            registry.register(SurveyedEfficiencyPlugin())
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTechnologyError):
+            PluginRegistry().get("mcpat")
+
+    def test_callable_adapter(self):
+        plugin = CallablePlugin("fixed", lambda die: 3.0)
+        assert plugin.efficiency_tops_per_w(resolved_die(name="e")) == 3.0
+
+    def test_callable_rejects_non_positive(self):
+        plugin = CallablePlugin("broken", lambda die: 0.0)
+        with pytest.raises(ParameterError):
+            plugin.efficiency_tops_per_w(resolved_die(name="f"))
+
+
+class TestDegradationCurve:
+    def test_anchor(self):
+        """MCM-GPU: half bandwidth → 20 % throughput loss."""
+        assert throughput_factor(0.5) == pytest.approx(0.80)
+        assert degradation(0.5) == pytest.approx(0.20)
+
+    def test_no_loss_above_one(self):
+        assert throughput_factor(1.0) == 1.0
+        assert throughput_factor(2.5) == 1.0
+
+    def test_monotone_nonincreasing(self):
+        ratios = [1.0, 0.8, 0.6, 0.4, 0.2, 0.05, 0.0]
+        factors = [throughput_factor(r) for r in ratios]
+        assert all(a >= b for a, b in zip(factors, factors[1:]))
+
+    def test_roofline_floor_near_zero(self):
+        """Throughput tracks bandwidth when fully bandwidth-bound."""
+        assert throughput_factor(0.1) >= 0.1 * 0.8 - 1e-12
+        assert throughput_factor(0.0) == 0.0
+
+    def test_runtime_stretch(self):
+        assert runtime_stretch(1.0) == 1.0
+        assert runtime_stretch(0.5) == pytest.approx(1.25)
+        assert runtime_stretch(0.0) == float("inf")
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            throughput_factor(-0.1)
+        with pytest.raises(ParameterError):
+            throughput_factor(0.5, anchor_ratio=1.5)
+
+
+class TestRequirements:
+    def test_onchip_bandwidth_units(self):
+        """254 TOPS × 0.13 B/op = 33 TB/s."""
+        assert onchip_bandwidth_tb_s(254.0, 0.13) == pytest.approx(33.02)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            onchip_bandwidth_tb_s(0.0, 0.13)
+        with pytest.raises(ParameterError):
+            onchip_bandwidth_tb_s(254.0, 0.0)
+
+    def test_layer_bytes_per_op(self):
+        layer = DnnLayer("l", macs=1e9, onchip_bytes=4e8)
+        assert layer.bytes_per_op == pytest.approx(0.2)
+
+    def test_av_network_matches_calibrated_constant(self):
+        """The bundled AV backbone justifies the 0.13 B/op default."""
+        intensity = network_traffic_intensity(list(AV_PERCEPTION_LAYERS))
+        assert intensity == pytest.approx(
+            PARAMS.bandwidth.traffic_bytes_per_op, rel=0.12
+        )
+
+    def test_bad_layer_rejected(self):
+        with pytest.raises(ParameterError):
+            DnnLayer("bad", macs=0.0, onchip_bytes=1.0)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ParameterError):
+            network_traffic_intensity([])

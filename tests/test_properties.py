@@ -1,0 +1,198 @@
+"""Cross-cutting property-based tests on the full model.
+
+These exercise the whole pipeline (resolve → embodied → bandwidth →
+operational) over randomized designs and parameter variations, asserting
+the physical invariants any carbon model must satisfy.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import CarbonModel, ChipDesign, ParameterSet, Workload
+from repro.config.integration import AssemblyFlow, StackingStyle
+from repro.core.design import Die
+
+PARAMS = ParameterSet.default()
+WL = Workload.autonomous_vehicle()
+
+NODES = ["28nm", "16nm", "14nm", "12nm", "10nm", "7nm", "5nm"]
+SPLITTABLE = ["micro_3d", "hybrid_3d", "m3d", "mcm", "info", "emib",
+              "si_interposer"]
+
+#: Keep generated designs manufacturable: a 2D die (or a 2.5D assembly's
+#: interposer) must still fit the wafer, so cap the 2D-equivalent area.
+MAX_2D_AREA_MM2 = 1500.0
+
+
+def assume_manufacturable(gates: float, node: str) -> None:
+    area = gates * PARAMS.node(node).gate_area_um2 / 1e6
+    assume(area <= MAX_2D_AREA_MM2)
+
+
+def reference_design(gates, node, tops):
+    return ChipDesign.planar_2d(
+        "ref", node, gate_count=gates, throughput_tops=tops,
+        efficiency_tops_per_w=2.0,
+    )
+
+
+class TestLifecycleInvariants:
+    @given(
+        gates=st.floats(min_value=5e8, max_value=4e10),
+        node=st.sampled_from(NODES),
+        integration=st.sampled_from(SPLITTABLE),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_components_non_negative(self, gates, node, integration):
+        assume_manufacturable(gates, node)
+        design = ChipDesign.homogeneous_split(
+            reference_design(gates, node, 100.0), integration
+        )
+        report = CarbonModel(design, PARAMS).evaluate(WL)
+        for component, kg in report.embodied.breakdown().items():
+            assert kg >= 0.0, component
+        assert report.operational_kg >= 0.0
+        assert report.total_kg == pytest.approx(
+            report.embodied_kg + report.operational_kg
+        )
+
+    @given(
+        gates=st.floats(min_value=5e8, max_value=4e10),
+        node=st.sampled_from(NODES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_embodied_monotone_in_gate_count(self, gates, node):
+        assume_manufacturable(gates * 1.5, node)
+        small = CarbonModel(
+            reference_design(gates, node, 100.0), PARAMS
+        ).embodied()
+        large = CarbonModel(
+            reference_design(gates * 1.5, node, 100.0), PARAMS
+        ).embodied()
+        assert large.total_kg > small.total_kg
+
+    @given(
+        gates=st.floats(min_value=5e8, max_value=4e10),
+        integration=st.sampled_from(SPLITTABLE),
+        ci_a=st.floats(min_value=0.03, max_value=0.7),
+        ci_b=st.floats(min_value=0.03, max_value=0.7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_embodied_monotone_in_fab_ci(self, gates, integration, ci_a, ci_b):
+        assume_manufacturable(gates, "7nm")
+        lo, hi = sorted((ci_a, ci_b))
+        design = ChipDesign.homogeneous_split(
+            reference_design(gates, "7nm", 100.0), integration
+        )
+        clean = CarbonModel(design, PARAMS, lo * 1000.0).embodied()
+        dirty = CarbonModel(design, PARAMS, hi * 1000.0).embodied()
+        assert clean.total_kg <= dirty.total_kg + 1e-9
+
+    @given(gates=st.floats(min_value=5e8, max_value=4e10))
+    @settings(max_examples=30, deadline=None)
+    def test_m3d_always_cheapest_embodied(self, gates):
+        """M3D's footprint halving dominates every bonded option."""
+        assume_manufacturable(gates, "7nm")
+        reference = reference_design(gates, "7nm", 100.0)
+        reports = {
+            name: CarbonModel(
+                ChipDesign.homogeneous_split(reference, name), PARAMS
+            ).embodied().total_kg
+            for name in ("m3d", "hybrid_3d", "micro_3d")
+        }
+        assert reports["m3d"] < reports["hybrid_3d"]
+        assert reports["m3d"] < reports["micro_3d"]
+
+    @given(
+        gates=st.floats(min_value=5e8, max_value=4e10),
+        work_a=st.floats(min_value=1e8, max_value=1e10),
+        work_b=st.floats(min_value=1e8, max_value=1e10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_operational_monotone_in_work(self, gates, work_a, work_b):
+        assume_manufacturable(gates, "7nm")
+        lo, hi = sorted((work_a, work_b))
+        design = reference_design(gates, "7nm", 100.0)
+        model = CarbonModel(design, PARAMS)
+        light = model.evaluate(Workload("light", lo)).operational_kg
+        heavy = model.evaluate(Workload("heavy", hi)).operational_kg
+        assert light <= heavy + 1e-9
+
+
+class TestYieldPipelineInvariants:
+    @given(
+        gates=st.floats(min_value=5e8, max_value=4e10),
+        node=st.sampled_from(NODES),
+        integration=st.sampled_from(SPLITTABLE),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_effective_yields_in_unit_interval(self, gates, node, integration):
+        assume_manufacturable(gates, node)
+        design = ChipDesign.homogeneous_split(
+            reference_design(gates, node, 100.0), integration
+        )
+        resolved = CarbonModel(design, PARAMS).resolved()
+        for y in resolved.stack_yields.per_die:
+            assert 0.0 < y <= 1.0
+        for y in resolved.stack_yields.per_bond:
+            assert 0.0 < y <= 1.0
+
+    @given(
+        area=st.floats(min_value=20.0, max_value=600.0),
+        flow=st.sampled_from([AssemblyFlow.D2W, AssemblyFlow.W2W]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stack_design_evaluates(self, area, flow):
+        design = ChipDesign(
+            name="stack",
+            dies=(
+                Die("bottom", "14nm", area_mm2=area, workload_share=0.5),
+                Die("top", "7nm", area_mm2=area * 0.9, workload_share=0.5),
+            ),
+            integration="micro_3d",
+            stacking=StackingStyle.F2F,
+            assembly=flow,
+        )
+        report = CarbonModel(design, PARAMS).evaluate()
+        assert report.embodied_kg > 0
+
+
+class TestBandwidthInvariants:
+    @given(
+        tops=st.floats(min_value=5.0, max_value=3000.0),
+        gates=st.floats(min_value=5e8, max_value=6e10),
+        tech=st.sampled_from(["mcm", "info", "emib", "si_interposer"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_and_degradation_consistent(self, tops, gates, tech):
+        assume_manufacturable(gates, "7nm")
+        design = ChipDesign.homogeneous_split(
+            reference_design(gates, "7nm", tops), tech
+        )
+        bw = CarbonModel(design, PARAMS).bandwidth()
+        assert bw.constrained
+        assert bw.achieved_tb_s > 0
+        assert 0.0 <= bw.degradation <= 1.0
+        if bw.ratio >= 1.0:
+            assert bw.degradation == 0.0
+        if bw.ratio < PARAMS.bandwidth.invalid_bw_ratio:
+            assert not bw.valid
+        else:
+            assert bw.valid
+
+    @given(gates=st.floats(min_value=5e8, max_value=6e10))
+    @settings(max_examples=30, deadline=None)
+    def test_higher_requirement_never_improves_validity(self, gates):
+        assume_manufacturable(gates, "7nm")
+        low = ChipDesign.homogeneous_split(
+            reference_design(gates, "7nm", 20.0), "emib"
+        )
+        high = ChipDesign.homogeneous_split(
+            reference_design(gates, "7nm", 2000.0), "emib"
+        )
+        bw_low = CarbonModel(low, PARAMS).bandwidth()
+        bw_high = CarbonModel(high, PARAMS).bandwidth()
+        assert bw_high.ratio <= bw_low.ratio
+        if not bw_low.valid:
+            assert not bw_high.valid

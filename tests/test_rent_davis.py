@@ -1,0 +1,152 @@
+"""Davis wirelength-model tests, including hypothesis property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.rent.davis import (
+    WirelengthDistribution,
+    average_wirelength_gate_pitches,
+    average_wirelength_mm,
+    donath_average_wirelength,
+)
+
+
+class TestAverageWirelength:
+    def test_small_array_sane(self):
+        avg = average_wirelength_gate_pitches(1024, 0.6)
+        assert 1.0 < avg < 2.0 * math.sqrt(1024)
+
+    def test_average_grows_with_rent_exponent(self):
+        low = average_wirelength_gate_pitches(1e8, 0.55)
+        high = average_wirelength_gate_pitches(1e8, 0.75)
+        assert high > low
+
+    def test_average_grows_with_gate_count_for_high_p(self):
+        small = average_wirelength_gate_pitches(1e6, 0.7)
+        large = average_wirelength_gate_pitches(1e9, 0.7)
+        assert large > small
+
+    def test_saturates_for_low_p(self):
+        """For p < 0.5 the average saturates to O(1) gate pitches."""
+        small = average_wirelength_gate_pitches(1e6, 0.3)
+        large = average_wirelength_gate_pitches(1e10, 0.3)
+        assert large < 10.0
+        assert abs(large - small) < 1.0
+
+    def test_power_law_regime(self):
+        """For 0.5 < p < 1, L̄ ~ N^(p−1/2) (Donath scaling)."""
+        p = 0.65
+        ratio = (
+            average_wirelength_gate_pitches(1e10, p)
+            / average_wirelength_gate_pitches(1e8, p)
+        )
+        expected = (1e10 / 1e8) ** (p - 0.5)
+        assert ratio == pytest.approx(expected, rel=0.15)
+
+    def test_donath_cross_check(self):
+        """Exact Davis moments agree with Donath within a small factor."""
+        for n in (1e7, 1e9):
+            davis = average_wirelength_gate_pitches(n, 0.65)
+            donath = donath_average_wirelength(n, 0.65)
+            assert 0.2 < davis / donath < 5.0
+
+    def test_physical_units(self):
+        """1e9 gates on 100 mm²: gate pitch 0.316 µm scales the average."""
+        pitches = average_wirelength_gate_pitches(1e9, 0.62)
+        mm = average_wirelength_mm(1e9, 0.62, 100.0)
+        assert mm == pytest.approx(pitches * math.sqrt(100.0 / 1e9))
+
+    def test_rejects_tiny_arrays(self):
+        with pytest.raises(ParameterError):
+            average_wirelength_gate_pitches(2, 0.6)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ParameterError):
+            average_wirelength_gate_pitches(1e6, 1.0)
+        with pytest.raises(ParameterError):
+            average_wirelength_gate_pitches(1e6, 0.0)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ParameterError):
+            average_wirelength_mm(1e6, 0.6, -1.0)
+
+
+class TestDistribution:
+    def test_support(self):
+        dist = WirelengthDistribution(10000, 0.65)
+        low, high = dist.support
+        assert low == 1.0
+        assert high == 2.0 * math.sqrt(10000)
+
+    def test_density_zero_outside_support(self):
+        dist = WirelengthDistribution(10000, 0.65)
+        assert dist.density(0.5) == 0.0
+        assert dist.density(2.0 * math.sqrt(10000) + 1.0) == 0.0
+
+    def test_density_positive_inside(self):
+        dist = WirelengthDistribution(10000, 0.65)
+        assert dist.density(1.0) > 0.0
+        assert dist.density(math.sqrt(10000)) > 0.0
+
+    def test_density_decreasing_overall(self):
+        """Short wires dominate: density at l=2 far above l=√N."""
+        dist = WirelengthDistribution(1e6, 0.65)
+        assert dist.density(2.0) > 100.0 * dist.density(math.sqrt(1e6))
+
+    def test_pdf_integrates_to_one(self):
+        dist = WirelengthDistribution(4096, 0.65)
+        low, high = dist.support
+        steps = 20000
+        dl = (high - low) / steps
+        total = sum(
+            dist.pdf(low + (i + 0.5) * dl) * dl for i in range(steps)
+        )
+        assert total == pytest.approx(1.0, rel=0.01)
+
+    def test_mean_matches_numeric_integral(self):
+        dist = WirelengthDistribution(4096, 0.65)
+        low, high = dist.support
+        steps = 20000
+        dl = (high - low) / steps
+        mean = sum(
+            (low + (i + 0.5) * dl) * dist.pdf(low + (i + 0.5) * dl) * dl
+            for i in range(steps)
+        )
+        assert mean == pytest.approx(dist.mean(), rel=0.02)
+
+
+class TestProperties:
+    @given(
+        n=st.floats(min_value=100, max_value=1e11),
+        p=st.floats(min_value=0.2, max_value=0.9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_average_within_support(self, n, p):
+        avg = average_wirelength_gate_pitches(n, p)
+        assert 0.0 < avg < 2.0 * math.sqrt(n)
+
+    @given(
+        n=st.floats(min_value=1e4, max_value=1e10),
+        p1=st.floats(min_value=0.3, max_value=0.85),
+        p2=st.floats(min_value=0.3, max_value=0.85),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_rent_exponent(self, n, p1, p2):
+        lo, hi = sorted((p1, p2))
+        if hi - lo < 1e-3:
+            return
+        assert (average_wirelength_gate_pitches(n, lo)
+                <= average_wirelength_gate_pitches(n, hi) + 1e-9)
+
+    @given(n=st.floats(min_value=100, max_value=1e10))
+    @settings(max_examples=100, deadline=None)
+    def test_density_non_negative(self, n):
+        dist = WirelengthDistribution(n, 0.65)
+        low, high = dist.support
+        for frac in (0.0, 0.1, 0.5, 0.9, 1.0):
+            l = low + frac * (high - low)
+            assert dist.density(l) >= 0.0

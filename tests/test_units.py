@@ -1,0 +1,109 @@
+"""Unit-conversion tests: the power-of-ten backbone of the model."""
+
+import math
+
+import pytest
+
+from repro.errors import UnitError
+from repro import units
+
+
+class TestArea:
+    def test_mm2_to_cm2(self):
+        assert units.mm2_to_cm2(100.0) == 1.0
+
+    def test_cm2_to_mm2_roundtrip(self):
+        assert units.cm2_to_mm2(units.mm2_to_cm2(57.3)) == pytest.approx(57.3)
+
+    def test_um2_to_mm2(self):
+        assert units.um2_to_mm2(1.0e6) == 1.0
+
+    def test_nm_to_mm(self):
+        assert units.nm_to_mm(1.0e6) == 1.0
+
+    def test_um_to_mm(self):
+        assert units.um_to_mm(1000.0) == 1.0
+
+
+class TestWaferGeometry:
+    def test_wafer_area_300mm(self):
+        # π·150² = 70685.83 mm²
+        assert units.wafer_area_mm2(300.0) == pytest.approx(70685.83, rel=1e-6)
+
+    def test_table2_wafer_area_range(self):
+        """Table 2: A_wafer spans 31,415.93–159,043.13 mm² (200–450 mm)."""
+        assert units.wafer_area_mm2(200.0) == pytest.approx(31415.93, abs=0.01)
+        assert units.wafer_area_mm2(450.0) == pytest.approx(159043.13, abs=0.01)
+
+    def test_diameter_area_roundtrip(self):
+        for diameter in units.WAFER_DIAMETERS_MM:
+            area = units.wafer_area_mm2(diameter)
+            assert units.wafer_diameter_mm(area) == pytest.approx(diameter)
+
+    def test_negative_diameter_rejected(self):
+        with pytest.raises(UnitError):
+            units.wafer_area_mm2(-1.0)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(UnitError):
+            units.wafer_diameter_mm(0.0)
+
+
+class TestCarbonEnergy:
+    def test_grams_per_kwh(self):
+        assert units.grams_per_kwh(500.0) == 0.5
+
+    def test_grams_negative_rejected(self):
+        with pytest.raises(UnitError):
+            units.grams_per_kwh(-1.0)
+
+    def test_kwh_from_w_hours(self):
+        # 100 W for 10 h = 1 kWh
+        assert units.kwh_from_w_hours(100.0, 10.0) == pytest.approx(1.0)
+
+    def test_kwh_rejects_negative_power(self):
+        with pytest.raises(UnitError):
+            units.kwh_from_w_hours(-5.0, 1.0)
+
+    def test_kwh_rejects_negative_hours(self):
+        with pytest.raises(UnitError):
+            units.kwh_from_w_hours(5.0, -1.0)
+
+    def test_years_to_hours_always_on(self):
+        assert units.years_to_hours(1.0) == pytest.approx(365.25 * 24.0)
+
+    def test_years_to_hours_duty_cycle(self):
+        assert units.years_to_hours(10.0, 1.0) == pytest.approx(3652.5)
+
+    def test_years_to_hours_rejects_bad_duty(self):
+        with pytest.raises(UnitError):
+            units.years_to_hours(1.0, 25.0)
+
+    def test_years_to_hours_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.years_to_hours(-1.0)
+
+
+class TestInterfaces:
+    def test_gbps_conversion(self):
+        assert units.gbps_to_bits_per_s(3.4) == pytest.approx(3.4e9)
+
+    def test_tbps_to_gbps(self):
+        assert units.tbps_to_gbps(1.0) == 1000.0
+
+    def test_io_power_one_lane(self):
+        # 150 fJ/bit at 3.4 Gbps = 0.51 mW
+        assert units.io_power_w(150.0, 3.4) == pytest.approx(5.1e-4)
+
+    def test_io_power_zero_rate(self):
+        assert units.io_power_w(150.0, 0.0) == 0.0
+
+    def test_io_power_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.io_power_w(-1.0, 1.0)
+
+    def test_terabytes_per_s(self):
+        assert units.terabytes_per_s(8.0e12) == pytest.approx(1.0)
+
+    def test_tops_to_ops(self):
+        assert units.tops_to_ops(254.0) == pytest.approx(2.54e14)
