@@ -1,0 +1,1 @@
+"""Benchmark package marker (see tests/__init__.py for why this exists)."""

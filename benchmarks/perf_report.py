@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Standalone engine perf report: run the benches, emit BENCH_engine.json.
+
+Usage::
+
+    python benchmarks/perf_report.py [--output BENCH_engine.json]
+                                     [--samples 500] [--repeats 3]
+
+Equivalent to ``python -m repro.cli bench``; both delegate to
+:mod:`repro.engine.bench` so future PRs can track the wall-clock and
+speedup trajectory from one implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    from repro.engine.bench import format_benches, run_benches
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=str(_REPO_ROOT / "BENCH_engine.json")
+    )
+    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    result = run_benches(
+        output_path=args.output, samples=args.samples, repeats=args.repeats
+    )
+    print(format_benches(result))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Engine perf bench: naive-vs-engine timings, written to BENCH_engine.json.
+
+The acceptance bar for the batch engine: ≥ 3× on the 500-draw
+Monte-Carlo versus the naive per-draw path, with bit-identical results
+(the bench itself raises if the paths diverge). The grid bench tracks
+the sweep-style workload; its ratio is informational.
+"""
+
+from pathlib import Path
+
+from repro.engine.bench import format_benches, run_benches
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_engine_speedup_and_equivalence(report_sink):
+    result = run_benches(
+        output_path=str(_REPO_ROOT / "BENCH_engine.json"),
+        samples=500,
+        repeats=3,
+    )
+    report_sink("Engine perf: naive vs batch engine", format_benches(result))
+
+    mc = result["monte_carlo"]
+    assert mc["identical"] is True
+    assert mc["samples"] == 500
+    assert mc["speedup"] >= 3.0, (
+        f"engine Monte-Carlo speedup {mc['speedup']:.2f}x below the 3x bar"
+    )
+
+    grid = result["grid"]
+    assert grid["identical"] is True
+    assert grid["speedup"] > 1.0

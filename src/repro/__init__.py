@@ -13,7 +13,39 @@ paper's structure:
 * decisions — :func:`decision_metrics` (Eq. 2, Table 5);
 * baselines — :mod:`repro.baselines` (ACT, ACT+, LCA, first-order);
 * case studies — :mod:`repro.studies` (EPYC/Lakefield validation, NVIDIA
-  DRIVE series).
+  DRIVE series);
+* batch evaluation — :class:`BatchEvaluator` / :class:`EvalPoint`
+  (:mod:`repro.engine`).
+
+Batch / caching architecture
+----------------------------
+
+Every multi-point study (sweeps, node scaling, Monte-Carlo uncertainty,
+tornado sensitivity, configuration search) routes through the batch
+engine, which memoizes the pipeline stage-by-stage on *value
+fingerprints* — tuples of the frozen records a stage actually reads
+(:mod:`repro.engine.fingerprint`):
+
+* **resolve** (wirelength, areas, BEOL, floorplan, yields) is keyed on
+  the design plus the resolve-relevant parameter slice; a
+  :class:`repro.core.resolve.ResolveCache` additionally shares the
+  structural sub-results, so perturbing a defect density re-prices
+  yields without re-running the Davis model, whose moments are further
+  ``lru_cache``-d per (gate count, Rent exponent);
+* **embodied / bandwidth / operational** stages carry their own keys, so
+  e.g. a fab-location sweep resolves a design exactly once and a draw
+  that only touches embodied-side parameters reuses the Eq. 16 result;
+* **Monte-Carlo** draws all triangular multipliers as one
+  ``(samples, n_factors)`` array (bit-identical to the legacy scalar
+  draw sequence), applies each row through a compiled
+  :class:`repro.engine.ParameterPerturber`, and evaluates draws in
+  chunks through the memoized pipeline — ``transient`` points never grow
+  the caches;
+* an opt-in ``workers=`` mode spreads large grids over a thread pool.
+
+Engine results are bit-identical to the scalar :class:`CarbonModel`
+path; ``python -m repro.cli bench`` times one against the other and
+writes ``BENCH_engine.json``.
 """
 
 from .config import (
@@ -58,9 +90,23 @@ from .errors import (
 
 __version__ = "1.0.0"
 
+#: Engine exports resolve lazily (PEP 562): the engine pulls in numpy for
+#: its vectorized Monte-Carlo support, and core-only consumers (the CLI
+#: inspection commands, embodied-only scripts) shouldn't pay that import.
+_ENGINE_EXPORTS = ("BatchEvaluator", "EngineStats", "EvalPoint")
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AssemblyFlow",
     "BandwidthResult",
+    "BatchEvaluator",
     "BondingMethod",
     "CarbonModel",
     "CarbonModelError",
@@ -72,6 +118,8 @@ __all__ = [
     "DieKind",
     "DesignError",
     "EmbodiedReport",
+    "EngineStats",
+    "EvalPoint",
     "IntegrationFamily",
     "IntegrationSpec",
     "InvalidDesignError",

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from ..config.integration import AssemblyFlow, StackingStyle
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
-from ..core.model import CarbonModel
 from ..core.operational import Workload
 from ..core.report import LifecycleReport
 from ..errors import DesignError, ParameterError
@@ -100,8 +99,18 @@ def search_configurations(
     integrations: "list[str] | None" = None,
     approaches: "tuple[str, ...]" = ("homogeneous", "heterogeneous"),
     include_2d: bool = True,
+    evaluator=None,
 ) -> SearchResult:
-    """Exhaustive search over the discrete integration space."""
+    """Exhaustive search over the discrete integration space.
+
+    All candidates evaluate through one :class:`repro.engine.
+    BatchEvaluator` (pass one in to share caches across searches): the
+    homogeneous splits of the same reference share their wirelength
+    structure, so the Davis model runs once per distinct (gate count,
+    Rent exponent) pair instead of once per candidate.
+    """
+    from ..engine import BatchEvaluator
+
     params = params if params is not None else DEFAULT_PARAMETERS
     if reference.die_count != 1:
         raise ParameterError("the search needs a single-die 2D reference")
@@ -110,10 +119,15 @@ def search_configurations(
             "micro_3d", "hybrid_3d", "m3d", "mcm", "info", "emib",
             "si_interposer",
         ]
+    if evaluator is None:
+        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
 
     candidates: list[Candidate] = []
     if include_2d:
-        report = CarbonModel(reference, params, fab_location).evaluate(workload)
+        report = evaluator.report(
+            reference, workload=workload, params=params,
+            fab_location=fab_location,
+        )
         candidates.append(Candidate("2d", reference, report))
 
     for name in integrations:
@@ -137,8 +151,9 @@ def search_configurations(
                 design = design.with_overrides(
                     name=f"{reference.name}_{label.replace('/', '_')}"
                 )
-                report = CarbonModel(design, params, fab_location).evaluate(
-                    workload
+                report = evaluator.report(
+                    design, workload=workload, params=params,
+                    fab_location=fab_location,
                 )
                 candidates.append(Candidate(label, design, report))
 

@@ -7,11 +7,18 @@ defaults, evaluates the design for each draw, and summarizes the carbon
 distribution (mean, standard deviation, percentiles).
 
 A deterministic seed makes runs reproducible; numpy powers the sampling.
+Evaluation routes through :class:`repro.engine.BatchEvaluator`: all
+multipliers are drawn up front as one ``(samples, n_factors)`` array
+(bit-identical to the legacy scalar draw sequence) and each draw reuses
+the memoized parts of the pipeline the perturbation cannot touch. The
+legacy per-draw path survives as :func:`_monte_carlo_scalar` — the
+reference the equivalence tests and the perf benches compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -25,35 +32,48 @@ from .sensitivity import SensitivityFactor, default_factors
 
 @dataclass(frozen=True)
 class UncertaintyResult:
-    """Summary of the sampled carbon distribution."""
+    """Summary of the sampled carbon distribution.
+
+    Summary statistics are computed once per instance (the samples are
+    immutable): the raw array and its sorted copy are cached, and every
+    percentile reads the sorted copy.
+    """
 
     samples_kg: tuple[float, ...]
     base_kg: float
+
+    @cached_property
+    def _samples_array(self) -> np.ndarray:
+        return np.asarray(self.samples_kg, dtype=float)
+
+    @cached_property
+    def _sorted_samples(self) -> np.ndarray:
+        return np.sort(self._samples_array)
 
     @property
     def n(self) -> int:
         return len(self.samples_kg)
 
-    @property
+    @cached_property
     def mean_kg(self) -> float:
-        return float(np.mean(self.samples_kg))
+        return float(np.mean(self._samples_array))
 
-    @property
+    @cached_property
     def std_kg(self) -> float:
-        return float(np.std(self.samples_kg))
+        return float(np.std(self._samples_array))
 
     def percentile(self, q: float) -> float:
-        return float(np.percentile(self.samples_kg, q))
+        return float(np.percentile(self._sorted_samples, q))
 
-    @property
+    @cached_property
     def p05(self) -> float:
         return self.percentile(5.0)
 
-    @property
+    @cached_property
     def p50(self) -> float:
         return self.percentile(50.0)
 
-    @property
+    @cached_property
     def p95(self) -> float:
         return self.percentile(95.0)
 
@@ -70,6 +90,12 @@ def _triangular(rng: np.random.Generator, low: float, high: float) -> float:
     return float(rng.triangular(low, 1.0, high))
 
 
+def _default_factors_for(design: ChipDesign) -> "list[SensitivityFactor]":
+    return default_factors(
+        node=design.dies[0].node, integration=design.integration
+    )
+
+
 def monte_carlo(
     design: ChipDesign,
     factors: "list[SensitivityFactor] | None" = None,
@@ -78,15 +104,60 @@ def monte_carlo(
     fab_location: "str | float" = "taiwan",
     samples: int = 200,
     seed: int = 20240623,
+    evaluator=None,
+    chunk_size: int | None = None,
 ) -> UncertaintyResult:
-    """Propagate parameter uncertainty into the total-carbon distribution."""
+    """Propagate parameter uncertainty into the total-carbon distribution.
+
+    Pass an existing :class:`repro.engine.BatchEvaluator` to share caches
+    with other studies of the same design space.
+    """
+    from ..engine import BatchEvaluator
+    from ..engine.montecarlo import (
+        DEFAULT_CHUNK_SIZE,
+        monte_carlo_totals,
+        triangular_multipliers,
+    )
+
     if samples < 2:
         raise ParameterError(f"need >= 2 samples, got {samples}")
     params = params if params is not None else DEFAULT_PARAMETERS
     if factors is None:
-        factors = default_factors(
-            node=design.dies[0].node, integration=design.integration
-        )
+        factors = _default_factors_for(design)
+    if evaluator is None:
+        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
+    base = evaluator.report(
+        design, workload=workload, params=params, fab_location=fab_location
+    ).total_kg
+    multipliers = triangular_multipliers(factors, samples, seed)
+    draws = monte_carlo_totals(
+        design, factors, multipliers, workload, params, fab_location,
+        evaluator,
+        chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+    )
+    return UncertaintyResult(samples_kg=tuple(draws), base_kg=base)
+
+
+def _monte_carlo_scalar(
+    design: ChipDesign,
+    factors: "list[SensitivityFactor] | None" = None,
+    workload: Workload | None = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    samples: int = 200,
+    seed: int = 20240623,
+) -> UncertaintyResult:
+    """The legacy scalar Monte-Carlo path (reference implementation).
+
+    One fresh :class:`CarbonModel` and one full pipeline run per draw,
+    multipliers drawn factor-by-factor. Kept verbatim so equivalence
+    tests and the perf benches can compare the engine against it.
+    """
+    if samples < 2:
+        raise ParameterError(f"need >= 2 samples, got {samples}")
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if factors is None:
+        factors = _default_factors_for(design)
     base = CarbonModel(design, params, fab_location).evaluate(workload).total_kg
 
     rng = np.random.default_rng(seed)
@@ -110,33 +181,39 @@ def comparison_robustness(
     fab_location: "str | float" = "taiwan",
     samples: int = 200,
     seed: int = 20240623,
+    evaluator=None,
 ) -> float:
     """P(alternative emits less than baseline) under shared parameter draws.
 
     Both designs are evaluated under the *same* perturbed parameter set per
     draw (common random numbers), so the probability reflects genuine
-    design risk rather than sampling noise.
+    design risk rather than sampling noise. Routed through one shared
+    :class:`repro.engine.BatchEvaluator`: the perturbed parameters are
+    built once per draw and both designs reuse every pipeline stage the
+    draw does not invalidate.
     """
+    from ..engine import BatchEvaluator
+    from ..engine.montecarlo import ParameterPerturber, triangular_multipliers
+
     if samples < 2:
         raise ParameterError(f"need >= 2 samples, got {samples}")
     params = params if params is not None else DEFAULT_PARAMETERS
-    factors = default_factors(
-        node=alternative.dies[0].node, integration=alternative.integration
-    )
-    rng = np.random.default_rng(seed)
+    factors = _default_factors_for(alternative)
+    if evaluator is None:
+        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
+    multipliers = triangular_multipliers(factors, samples, seed)
+    perturber = ParameterPerturber(factors, params)
     wins = 0
-    for _ in range(samples):
-        perturbed = params
-        for factor in factors:
-            perturbed = factor.apply(
-                perturbed, _triangular(rng, factor.low, factor.high)
-            )
-        base_kg = CarbonModel(
-            baseline, perturbed, fab_location
-        ).evaluate(workload).total_kg
-        alt_kg = CarbonModel(
-            alternative, perturbed, fab_location
-        ).evaluate(workload).total_kg
+    for row in multipliers.tolist():
+        perturbed = perturber.perturbed(row)
+        base_kg = evaluator.total_kg(
+            baseline, workload=workload, params=perturbed,
+            fab_location=fab_location, transient=True,
+        )
+        alt_kg = evaluator.total_kg(
+            alternative, workload=workload, params=perturbed,
+            fab_location=fab_location, transient=True,
+        )
         if alt_kg < base_kg:
             wins += 1
     return wins / samples

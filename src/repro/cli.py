@@ -6,6 +6,7 @@ Sub-commands mirror the paper's artifacts:
 * ``validate-epyc`` / ``validate-lakefield`` — the Fig. 4 comparisons;
 * ``drive --approach homogeneous|heterogeneous`` — the Fig. 5 grid;
 * ``table5`` — the Sec. 5.2 decision table;
+* ``bench`` — naive-vs-engine perf benches (writes ``BENCH_engine.json``);
 * ``nodes`` / ``technologies`` — inspect the parameter databases.
 
 The JSON design schema matches :class:`repro.core.design.ChipDesign`::
@@ -138,6 +139,17 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .engine.bench import format_benches, run_benches
+
+    result = run_benches(
+        output_path=args.output, samples=args.samples, repeats=args.repeats
+    )
+    print(format_benches(result))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_nodes(_: argparse.Namespace) -> int:
     print(f"{'node':<12} {'λ (nm)':>7} {'EPA':>6} {'GPA':>6} {'MPA':>6} "
           f"{'D0':>6} {'maxBEOL':>8}")
@@ -230,6 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="homogeneous",
     )
     p_export.set_defaults(func=_cmd_export)
+    p_bench = sub.add_parser(
+        "bench",
+        help="engine perf benches (naive vs batch engine) → BENCH_engine.json",
+    )
+    p_bench.add_argument("--output", default="BENCH_engine.json")
+    p_bench.add_argument("--samples", type=int, default=500)
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.set_defaults(func=_cmd_bench)
     sub.add_parser("nodes", help="list process nodes").set_defaults(
         func=_cmd_nodes
     )
@@ -245,6 +265,9 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         return args.func(args)
     except CarbonModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -114,10 +114,15 @@ class BondingTable:
     def with_process_override(
         self, method: BondingMethod, flow: AssemblyFlow, **overrides
     ) -> "BondingTable":
-        process = self.get(method, flow).with_overrides(**overrides)
+        return self.with_record(self.get(method, flow).with_overrides(**overrides))
+
+    def with_record(self, process: BondingProcess) -> "BondingTable":
+        """Copy of the table with ``process`` installed under its own key."""
         processes = dict(self._processes)
-        processes[(method, flow)] = process
-        return BondingTable(processes)
+        processes[(process.method, process.flow)] = process
+        table = object.__new__(BondingTable)
+        table._processes = processes
+        return table
 
 
 DEFAULT_BONDING_TABLE = BondingTable()

@@ -318,6 +318,11 @@ class IntegrationTable:
         return _ALIASES.get(text, text)
 
     def get(self, name: "str | IntegrationSpec") -> IntegrationSpec:
+        if type(name) is str:
+            # Canonical names skip the normalization — the hot-path case.
+            spec = self._specs.get(name)
+            if spec is not None:
+                return spec
         if isinstance(name, IntegrationSpec):
             return name
         key = self.canonical_name(name)
@@ -353,10 +358,15 @@ class IntegrationTable:
     def with_spec_override(
         self, name: "str | IntegrationSpec", **overrides
     ) -> "IntegrationTable":
-        spec = self.get(name).with_overrides(**overrides)
+        return self.with_record(self.get(name).with_overrides(**overrides))
+
+    def with_record(self, spec: IntegrationSpec) -> "IntegrationTable":
+        """Copy of the table with ``spec`` installed under its own name."""
         specs = dict(self._specs)
         specs[spec.name] = spec
-        return IntegrationTable(specs)
+        table = object.__new__(IntegrationTable)
+        table._specs = specs
+        return table
 
     def three_d_names(self) -> list[str]:
         return [s.name for s in self if s.is_3d]

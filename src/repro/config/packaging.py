@@ -78,6 +78,11 @@ class PackagingTable:
         self._classes = _default_classes() if classes is None else dict(classes)
 
     def get(self, name: "str | PackageClass") -> PackageClass:
+        if type(name) is str:
+            # Canonical lower-case names skip the normalization.
+            record = self._classes.get(name)
+            if record is not None:
+                return record
         if isinstance(name, PackageClass):
             return name
         key = str(name).strip().lower()
@@ -99,6 +104,14 @@ class PackagingTable:
         if package.name in self._classes and not overwrite:
             raise ParameterError(f"package {package.name!r} already registered")
         self._classes[package.name] = package
+
+    def with_record(self, package: PackageClass) -> "PackagingTable":
+        """Copy of the table with ``package`` installed under its own name."""
+        classes = dict(self._classes)
+        classes[package.name] = package
+        table = object.__new__(PackagingTable)
+        table._classes = classes
+        return table
 
     def with_class_override(self, name: str, **overrides) -> "PackagingTable":
         package = self.get(name).with_overrides(**overrides)

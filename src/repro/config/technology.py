@@ -243,6 +243,12 @@ class TechnologyTable:
 
     def get(self, node: "str | int | float | ProcessNode") -> ProcessNode:
         """Resolve a node spelling to its record, or raise."""
+        if type(node) is str:
+            # Canonical spellings ("7nm") skip the regex normalization —
+            # they are what every hot path passes.
+            record = self._nodes.get(node)
+            if record is not None:
+                return record
         if isinstance(node, ProcessNode):
             return node
         key = self.canonical_name(node)
@@ -281,10 +287,15 @@ class TechnologyTable:
         self, node: "str | ProcessNode", **overrides: float
     ) -> "TechnologyTable":
         """Return a copy of the table with one node's fields replaced."""
-        record = self.get(node).with_overrides(**overrides)
+        return self.with_record(self.get(node).with_overrides(**overrides))
+
+    def with_record(self, node: ProcessNode) -> "TechnologyTable":
+        """Copy of the table with ``node`` installed under its own name."""
         nodes = dict(self._nodes)
-        nodes[record.name] = record
-        return TechnologyTable(nodes)
+        nodes[node.name] = node
+        table = object.__new__(TechnologyTable)
+        table._nodes = nodes
+        return table
 
 
 #: Default table instance shared by :class:`repro.config.parameters.ParameterSet`.

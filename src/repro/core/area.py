@@ -18,6 +18,7 @@ the wirelength/BEOL model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..config.integration import IntegrationSpec, StackingStyle
 from ..config.technology import ProcessNode
@@ -37,7 +38,7 @@ class AreaBreakdown:
     #: Equivalent 2D gate count (input or derived from the area).
     gate_count: float
 
-    @property
+    @cached_property
     def total_mm2(self) -> float:
         return self.gate_area_mm2 + self.tsv_area_mm2 + self.io_area_mm2
 

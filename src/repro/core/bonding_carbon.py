@@ -44,6 +44,43 @@ class BondingCarbonResult:
         return sum(r.carbon_kg for r in self.records)
 
 
+def bonding_carbon_total_kg(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> float:
+    """Eq. 11 total only — the record-free twin of :func:`bonding_carbon`.
+
+    Keep the arithmetic line-for-line in sync with the record builder
+    (same expressions, same summation order); the equivalence tests pin
+    the two paths to bit-identical totals.
+    """
+    spec = resolved.spec
+    if spec.is_2d or resolved.is_m3d:
+        return 0.0
+    design = resolved.design
+    total = 0.0
+    if spec.is_3d:
+        process = params.bonding.get(spec.bonding, design.assembly)
+        for i in range(len(resolved.dies) - 1):
+            total += (
+                ci_fab_kg_per_kwh
+                * process.epa_kwh_per_cm2
+                * mm2_to_cm2(resolved.dies[i].area_mm2)
+                / resolved.stack_yields.per_bond[i]
+            )
+        return total
+    process = params.bonding.get(BondingMethod.C4, design.assembly)
+    for rdie, eff_yield in zip(resolved.dies, resolved.stack_yields.per_bond):
+        total += (
+            ci_fab_kg_per_kwh
+            * process.epa_kwh_per_cm2
+            * mm2_to_cm2(rdie.area_mm2)
+            / eff_yield
+        )
+    return total
+
+
 def bonding_carbon(
     resolved: ResolvedDesign,
     params: ParameterSet,

@@ -80,6 +80,40 @@ def die_manufacturing_carbon(
     return DieCarbonResult(records=tuple(records))
 
 
+def die_carbon_total_kg(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> float:
+    """Eq. 4 total only — the record-free twin of
+    :func:`die_manufacturing_carbon`.
+
+    Keep the arithmetic line-for-line in sync with the record builder
+    (same expressions, same summation order): batch studies take this
+    path per Monte-Carlo draw, and the equivalence tests pin the two
+    paths to bit-identical totals.
+    """
+    if resolved.is_m3d:
+        return _m3d_die_carbon(
+            resolved, params, ci_fab_kg_per_kwh
+        ).total_kg
+    total = 0.0
+    for rdie, eff_yield in zip(resolved.dies, resolved.stack_yields.per_die):
+        breakdown = wafer_carbon_per_cm2(
+            rdie.node,
+            ci_fab_kg_per_kwh,
+            beol_layers=rdie.beol.layers,
+            beol_aware=params.beol_aware,
+        )
+        eff_area = effective_area_per_die_mm2(
+            params.wafer_diameter_mm, rdie.area_mm2
+        )
+        total += (
+            breakdown.total_kg_per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+        )
+    return total
+
+
 def _m3d_die_carbon(
     resolved: ResolvedDesign,
     params: ParameterSet,

@@ -9,17 +9,22 @@ the wafer circumference. The same formula prices interposers
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from ..errors import DesignError, ParameterError
 from ..units import wafer_area_mm2
 
 
+@lru_cache(maxsize=8192)
 def dies_per_wafer(wafer_diameter_mm: float, die_area_mm2: float) -> float:
     """Eq. 5: number of whole dies on one wafer.
 
     Raises :class:`DesignError` when the die is so large that the formula
     yields less than one die per wafer (the design cannot be manufactured
     on this wafer size).
+
+    Memoized: the formula is pure in its two floats and batch studies
+    price the same (wafer, die-area) pair for every draw or grid point.
     """
     if wafer_diameter_mm <= 0:
         raise ParameterError(

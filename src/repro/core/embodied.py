@@ -11,11 +11,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config.parameters import ParameterSet
-from .bonding_carbon import BondingCarbonResult, bonding_carbon
+from .bonding_carbon import (
+    BondingCarbonResult,
+    bonding_carbon,
+    bonding_carbon_total_kg,
+)
 from .design import ChipDesign
-from .die_carbon import DieCarbonResult, die_manufacturing_carbon
-from .interposer_carbon import InterposerCarbonResult, interposer_carbon
-from .packaging_carbon import PackagingCarbonResult, packaging_carbon
+from .die_carbon import (
+    DieCarbonResult,
+    die_carbon_total_kg,
+    die_manufacturing_carbon,
+)
+from .interposer_carbon import (
+    InterposerCarbonResult,
+    interposer_carbon,
+    interposer_carbon_kg,
+)
+from .packaging_carbon import (
+    PackagingCarbonResult,
+    packaging_carbon,
+    packaging_carbon_kg,
+)
 from .resolve import ResolvedDesign, resolve_design
 
 
@@ -61,6 +77,25 @@ class EmbodiedReport:
             "packaging": self.packaging_kg,
             "interposer": self.interposer_kg,
         }
+
+
+def embodied_total_kg(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> float:
+    """Eq. 3 total only, via the record-free component twins.
+
+    Summation order matches ``EmbodiedReport.total_kg`` exactly
+    (die + bonding + packaging + interposer); the equivalence tests pin
+    this to the record-building path bit for bit.
+    """
+    return (
+        die_carbon_total_kg(resolved, params, ci_fab_kg_per_kwh)
+        + bonding_carbon_total_kg(resolved, params, ci_fab_kg_per_kwh)
+        + packaging_carbon_kg(resolved, params)
+        + interposer_carbon_kg(resolved, params, ci_fab_kg_per_kwh)
+    )
 
 
 def embodied_carbon(

@@ -35,6 +35,41 @@ _NO_SUBSTRATE = InterposerCarbonResult(
 )
 
 
+def interposer_carbon_kg(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    ci_fab_kg_per_kwh: float,
+) -> float:
+    """C_int total only — the record-free twin of :func:`interposer_carbon`.
+
+    Keep the arithmetic in sync with the record builder; the equivalence
+    tests pin the two paths to bit-identical totals.
+    """
+    substrate = resolved.substrate
+    if substrate is None or substrate.kind is SubstrateKind.ORGANIC:
+        return 0.0
+    eff_yield = resolved.stack_yields.substrate
+    if eff_yield is None:
+        eff_yield = substrate.raw_yield
+    if substrate.kind is SubstrateKind.RDL:
+        return (
+            params.substrate.rdl_cpa_kg_per_cm2
+            * mm2_to_cm2(substrate.area_mm2)
+            / eff_yield
+        )
+    node = params.node(params.substrate.silicon_node)
+    breakdown = wafer_carbon_per_cm2(
+        node,
+        ci_fab_kg_per_kwh,
+        beol_layers=float(node.max_beol_layers),
+        beol_aware=params.beol_aware,
+    )
+    eff_area = effective_area_per_die_mm2(
+        params.substrate.wafer_diameter_mm, substrate.area_mm2
+    )
+    return breakdown.total_kg_per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+
+
 def interposer_carbon(
     resolved: ResolvedDesign,
     params: ParameterSet,

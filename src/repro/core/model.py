@@ -8,7 +8,14 @@ behind one object::
     report = model.evaluate(Workload.autonomous_vehicle())
 
 Resolution is cached, so calling ``embodied()`` and ``operational()``
-separately costs one wirelength evaluation, not two.
+separately costs one wirelength evaluation, not two. Operational results
+are memoized per workload (Eq. 16 is deterministic given the resolved
+design), so ``evaluate(w)`` followed by ``operational(w)`` — or a suite
+containing ``w`` — computes Eq. 16 once per distinct workload.
+
+For whole *studies* (sweeps, Monte-Carlo, search) use
+:class:`repro.engine.BatchEvaluator`, which additionally shares work
+across designs and parameter sets.
 """
 
 from __future__ import annotations
@@ -23,7 +30,6 @@ from .operational import (
     Workload,
     WorkloadSuite,
     operational_carbon,
-    operational_carbon_suite,
 )
 from .report import LifecycleReport
 from .resolve import ResolvedDesign, resolve_design
@@ -46,6 +52,7 @@ class CarbonModel:
         self._resolved: ResolvedDesign | None = None
         self._embodied: EmbodiedReport | None = None
         self._bandwidth: BandwidthResult | None = None
+        self._operational: dict[Workload, OperationalReport] = {}
 
     @property
     def fab_ci_kg_per_kwh(self) -> float:
@@ -73,17 +80,30 @@ class CarbonModel:
         return self._bandwidth
 
     def operational(self, workload: Workload) -> OperationalReport:
-        """Eq. 16 operational carbon under ``workload``."""
-        return operational_carbon(
-            self.resolved(), self.params, workload, self.bandwidth(),
-            self.efficiency_plugin,
-        )
+        """Eq. 16 operational carbon under ``workload`` (cached per workload)."""
+        cached = self._operational.get(workload)
+        if cached is None:
+            cached = operational_carbon(
+                self.resolved(), self.params, workload, self.bandwidth(),
+                self.efficiency_plugin,
+            )
+            self._operational[workload] = cached
+        return cached
 
     def operational_suite(self, suite: WorkloadSuite) -> SuiteOperationalReport:
-        """Eq. 16's Σ_k over a multi-application suite."""
-        return operational_carbon_suite(
-            self.resolved(), self.params, suite, self.bandwidth(),
-            self.efficiency_plugin,
+        """Eq. 16's Σ_k over a multi-application suite.
+
+        Routed through the per-workload cache, so a suite sharing
+        workloads with earlier ``operational()``/``evaluate()`` calls does
+        not recompute them.
+        """
+        return SuiteOperationalReport(
+            design_name=self.design.name,
+            suite_name=suite.name,
+            lifetime_years=suite.lifetime_years,
+            per_workload=tuple(
+                self.operational(workload) for workload in suite.workloads
+            ),
         )
 
     def evaluate(self, workload: Workload | None = None) -> LifecycleReport:

@@ -20,6 +20,7 @@ compute energy stretches by the Sec. 3.4 degradation factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..config.parameters import ParameterSet
 from ..config.power import surveyed_efficiency
@@ -139,11 +140,11 @@ class OperationalReport:
     per_die: tuple[DieOperationalRecord, ...]
     runtime_hours: float | None
 
-    @property
+    @cached_property
     def total_energy_kwh(self) -> float:
         return self.compute_energy_kwh + self.io_energy_kwh
 
-    @property
+    @cached_property
     def total_kg(self) -> float:
         return self.use_ci_kg_per_kwh * self.total_energy_kwh
 

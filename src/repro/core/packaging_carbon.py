@@ -45,6 +45,21 @@ def package_base_area_mm2(resolved: ResolvedDesign) -> float:
     return resolved.dies[0].area_mm2
 
 
+def packaging_carbon_kg(
+    resolved: ResolvedDesign, params: ParameterSet
+) -> float:
+    """Eq. 12 total only — the record-free twin of :func:`packaging_carbon`.
+
+    Keep the arithmetic in sync with the record builder; the equivalence
+    tests pin the two paths to bit-identical totals.
+    """
+    package = params.packaging.get(resolved.design.package.package_class)
+    base = package_base_area_mm2(resolved)
+    override = resolved.design.package.area_mm2
+    area = override if override is not None else package.package_area_mm2(base)
+    return package.cpa_kg_per_cm2 * mm2_to_cm2(area)
+
+
 def packaging_carbon(
     resolved: ResolvedDesign, params: ParameterSet
 ) -> PackagingCarbonResult:

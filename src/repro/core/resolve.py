@@ -7,11 +7,17 @@ yield — plus assembly-level results: the Table 3 effective yields, the
 2.5D floorplan with its Eq. 14 adjacency lengths, the substrate area, and
 (for M3D) the merged sequential die. Every downstream carbon calculator
 consumes this one structure, so the expensive wirelength math runs once.
+
+Batch studies pass a :class:`ResolveCache`: the structural parts of a
+resolution (area breakdown, BEOL estimate, floorplan, validation) depend
+only on a small slice of the node record, so perturbing e.g. the defect
+density or fab energy between Monte-Carlo draws re-prices yields without
+re-running the wirelength pipeline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config.integration import (
     AssemblyFlow,
@@ -103,22 +109,122 @@ class ResolvedDesign:
         return self.m3d_stack is not None
 
 
+def structure_node_key(node: ProcessNode) -> tuple:
+    """The node fields the area/BEOL estimation reads — nothing else.
+
+    Perturbing any *other* field (defect density, EPA/GPA/MPA, alpha, BEOL
+    carbon split) cannot change the Eq. 7–10 structure of a die, which is
+    what makes the :class:`ResolveCache` effective across Monte-Carlo
+    draws and sensitivity sweeps.
+    """
+    return (
+        node.feature_nm,
+        node.beta,
+        node.sram_density_factor,
+        node.rent_exponent,
+        node.fanout,
+        node.wiring_efficiency,
+        node.max_beol_layers,
+        node.tsv_diameter_um,
+        node.miv_diameter_um,
+    )
+
+
+@dataclass
+class ResolveCache:
+    """Memo store for the structural (parameter-stable) parts of resolution.
+
+    Three layers, all keyed by value (every record involved is a frozen
+    dataclass and therefore hashable):
+
+    * ``die_structure`` — ``(die, spec, stacking, is_top, node-structure)``
+      → ``(AreaBreakdown, BeolEstimate)``; the Davis wirelength math runs
+      once per distinct key across a whole study;
+    * ``floorplans`` — ``(areas, gap, names)`` → :class:`Floorplan`;
+    * ``validations`` — ``(design, spec, nodes)`` → the validated spec.
+
+    Yields are *not* cached here: they are cheap and depend on the very
+    fields (defect density, bond yield) studies most often perturb.
+    """
+
+    die_structure: dict = field(default_factory=dict)
+    floorplans: dict = field(default_factory=dict)
+    validations: dict = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    #: Per-dict entry bound: studies whose every point carries a distinct
+    #: key (e.g. Monte-Carlo draws perturbing a spec field) would otherwise
+    #: grow the memos without limit. Lookups keep working once a dict is
+    #: full; new entries are simply not stored.
+    limit: int = 4096
+    #: Last (design, spec) validated — batch loops hammer one design with
+    #: thousands of parameter draws, so an identity check beats re-hashing
+    #: the design every call.
+    last_validation: "tuple | None" = None
+    #: id(die) → (die, spec, stacking, is_top, node key, area, beol): the
+    #: identity-checked fast row in front of ``die_structure`` (entries pin
+    #: their die/spec, so ids cannot be recycled while present).
+    die_fast: dict = field(default_factory=dict)
+
+    def clear(self) -> None:
+        self.die_structure.clear()
+        self.floorplans.clear()
+        self.validations.clear()
+        self.hits = 0
+        self.misses = 0
+        self.last_validation = None
+        self.die_fast.clear()
+
+
 def _resolve_die(
     die: Die,
     params: ParameterSet,
     spec: IntegrationSpec,
     design: ChipDesign,
     is_top_die: bool,
+    cache: "ResolveCache | None" = None,
 ) -> ResolvedDie:
     node = params.node(die.node)
-    area = resolve_area(die, node, spec, design.stacking, is_top_die)
-    beol = estimate_beol_layers(
-        gate_count=area.gate_count,
-        die_area_mm2=area.total_mm2,
-        node=node,
-        layers_saved=spec.beol_layers_saved,
-        override=die.beol_layers,
-    )
+    structure = None
+    skey = None
+    nkey = None
+    if cache is not None:
+        nkey = structure_node_key(node)
+        fast = cache.die_fast.get(id(die))
+        if (
+            fast is not None
+            and fast[0] is die
+            and fast[1] is spec
+            and fast[2] is design.stacking
+            and fast[3] == is_top_die
+            and fast[4] == nkey
+        ):
+            structure = (fast[5], fast[6])
+            cache.hits += 1
+        else:
+            skey = (die, spec, design.stacking, is_top_die, nkey)
+            structure = cache.die_structure.get(skey)
+            if structure is not None:
+                cache.hits += 1
+    if structure is None:
+        area = resolve_area(die, node, spec, design.stacking, is_top_die)
+        beol = estimate_beol_layers(
+            gate_count=area.gate_count,
+            die_area_mm2=area.total_mm2,
+            node=node,
+            layers_saved=spec.beol_layers_saved,
+            override=die.beol_layers,
+        )
+        if cache is not None:
+            if len(cache.die_structure) < cache.limit:
+                cache.die_structure[skey] = (area, beol)
+            cache.misses += 1
+    else:
+        area, beol = structure
+    if cache is not None and skey is not None and len(cache.die_fast) < cache.limit:
+        cache.die_fast[id(die)] = (
+            die, spec, design.stacking, is_top_die, nkey, area, beol
+        )
     if die.yield_override is not None:
         raw = die.yield_override
     else:
@@ -189,14 +295,38 @@ def _resolve_substrate(
     )
 
 
-def resolve_design(design: ChipDesign, params: ParameterSet) -> ResolvedDesign:
-    """Expand a design into all derived quantities (validates first)."""
-    spec = design.validate(params)
+def resolve_design(
+    design: ChipDesign,
+    params: ParameterSet,
+    cache: "ResolveCache | None" = None,
+) -> ResolvedDesign:
+    """Expand a design into all derived quantities (validates first).
+
+    ``cache`` (optional) memoizes the structural sub-results — see
+    :class:`ResolveCache`. Results are identical with or without one.
+    """
+    if cache is None:
+        spec = design.validate(params)
+    else:
+        # Validation reads only the design structure, the integration spec
+        # and the *existence* of the die nodes — the latter is re-proved by
+        # the node lookups below on every call, so (design, spec) suffices.
+        spec = params.integration_spec(design.integration)
+        last = cache.last_validation
+        if last is None or last[0] is not design or last[1] is not spec:
+            vkey = (design, spec)
+            if vkey not in cache.validations:
+                design.validate(params)
+                if len(cache.validations) < cache.limit:
+                    cache.validations[vkey] = spec
+            cache.last_validation = vkey
     n = design.die_count
-    resolved = tuple(
-        _resolve_die(die, params, spec, design, is_top_die=(i == n - 1))
+    resolved = tuple([
+        _resolve_die(
+            die, params, spec, design, is_top_die=(i == n - 1), cache=cache
+        )
         for i, die in enumerate(design.dies)
-    )
+    ])
 
     if spec.is_2d:
         yields = StackYields(
@@ -217,11 +347,19 @@ def resolve_design(design: ChipDesign, params: ParameterSet) -> ResolvedDesign:
         return ResolvedDesign(design, spec, resolved, yields)
 
     # 2.5D: floorplan, substrate, Table 3 bottom half.
-    floorplan = place_dies(
-        [d.area_mm2 for d in resolved],
-        die_gap_mm=params.substrate.die_gap_mm,
-        names=[d.name for d in resolved],
-    )
+    areas = [d.area_mm2 for d in resolved]
+    names = [d.name for d in resolved]
+    floorplan = None
+    fkey = None
+    if cache is not None:
+        fkey = (tuple(areas), params.substrate.die_gap_mm, tuple(names))
+        floorplan = cache.floorplans.get(fkey)
+    if floorplan is None:
+        floorplan = place_dies(
+            areas, die_gap_mm=params.substrate.die_gap_mm, names=names
+        )
+        if cache is not None and len(cache.floorplans) < cache.limit:
+            cache.floorplans[fkey] = floorplan
     substrate = _resolve_substrate(resolved, floorplan, spec, params)
     substrate_yield = (
         substrate.raw_yield if substrate is not None

@@ -54,13 +54,14 @@ def wafer_carbon_per_cm2(
         epa = node.epa_kwh_per_cm2
         gpa = node.gpa_kg_per_cm2
     else:
-        epa = (
-            node.epa_feol_kwh_per_cm2()
-            + beol_layers * node.epa_per_beol_layer_kwh_per_cm2()
+        # The FEOL + per-layer split of the ProcessNode helper methods,
+        # inlined term-for-term (same float expressions, fewer calls).
+        fraction = node.beol_carbon_fraction
+        epa = node.epa_kwh_per_cm2 * (1.0 - fraction) + beol_layers * (
+            node.epa_kwh_per_cm2 * fraction / node.max_beol_layers
         )
-        gpa = (
-            node.gpa_feol_kg_per_cm2()
-            + beol_layers * node.gpa_per_beol_layer_kg_per_cm2()
+        gpa = node.gpa_kg_per_cm2 * (1.0 - fraction) + beol_layers * (
+            node.gpa_kg_per_cm2 * fraction / node.max_beol_layers
         )
     return WaferCarbonBreakdown(
         energy_kg_per_cm2=ci_fab_kg_per_kwh * epa,

@@ -1,0 +1,43 @@
+"""Batch evaluation engine: memoized, vectorized study evaluation.
+
+The engine is the shared substrate under every multi-point study in the
+package — sweeps (:mod:`repro.studies.sweep`), node scaling
+(:mod:`repro.studies.scaling`), Monte-Carlo uncertainty and robustness
+(:mod:`repro.analysis.uncertainty`), tornado sensitivity
+(:mod:`repro.analysis.sensitivity`) and configuration search
+(:mod:`repro.analysis.optimizer`). See :mod:`repro.engine.evaluator` for
+the architecture and :mod:`repro.engine.fingerprint` for the exact memo
+keys. Results are always bit-identical to the scalar
+:class:`repro.core.model.CarbonModel` path.
+"""
+
+from .evaluator import BatchEvaluator, EngineStats, EvalPoint
+
+#: Monte-Carlo support lives in :mod:`repro.engine.montecarlo`, which
+#: imports numpy; resolve those names lazily so evaluator-only consumers
+#: don't pay the numpy import.
+_MC_EXPORTS = (
+    "DEFAULT_CHUNK_SIZE",
+    "ParameterPerturber",
+    "monte_carlo_totals",
+    "triangular_multipliers",
+)
+
+
+def __getattr__(name: str):
+    if name in _MC_EXPORTS:
+        from . import montecarlo
+
+        return getattr(montecarlo, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BatchEvaluator",
+    "DEFAULT_CHUNK_SIZE",
+    "EngineStats",
+    "EvalPoint",
+    "ParameterPerturber",
+    "monte_carlo_totals",
+    "triangular_multipliers",
+]

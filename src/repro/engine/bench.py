@@ -1,0 +1,228 @@
+"""Engine performance benches: naive-vs-engine timings → ``BENCH_engine.json``.
+
+Two workloads, sized like the studies an architect would actually run:
+
+* **monte_carlo** — a 500-draw Monte-Carlo over the default factor set of
+  a hybrid-bonded 3D split of an ORIN-class 2D reference, with the AV
+  workload attached;
+* **grid** — an 8-integration × 5-fab-location lifecycle grid of the
+  same reference.
+
+The *naive* timings reproduce the pre-engine behaviour exactly: one
+fresh :class:`CarbonModel` per point with every module-level cache
+cleared before each evaluation (the seed code had no caches at all).
+The *engine* timings run the same points through one
+:class:`BatchEvaluator` (fresh evaluator each pass). Both sides take
+the best of ``repeats`` passes, and both must produce bit-identical
+totals — the bench asserts this, so the numbers it reports are for
+equivalent work under like-for-like timing.
+
+Invoked by ``python -m repro.cli bench`` and by
+``benchmarks/test_perf_engine.py`` / ``benchmarks/perf_report.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..analysis.sensitivity import default_factors
+from ..analysis.uncertainty import _monte_carlo_scalar, monte_carlo
+from ..config.parameters import DEFAULT_PARAMETERS
+from ..core import dpw
+from ..core.design import ChipDesign
+from ..core.model import CarbonModel
+from ..core.operational import Workload
+from ..errors import ParameterError
+from ..rent import davis
+from .evaluator import BatchEvaluator, EvalPoint
+
+#: Integration technologies of the grid bench (the full Table 1 span).
+GRID_INTEGRATIONS = (
+    "2d", "micro_3d", "hybrid_3d", "m3d", "mcm", "info", "emib",
+    "si_interposer",
+)
+#: Fab locations of the grid bench (Table 2's 30–700 g/kWh span).
+GRID_LOCATIONS = ("iceland", "france", "usa", "taiwan", "india")
+
+
+def clear_model_caches() -> None:
+    """Reset every module-level cache to the cold (seed) state."""
+    davis._region_moments.cache_clear()
+    dpw.dies_per_wafer.cache_clear()
+
+
+def reference_design() -> ChipDesign:
+    """The ORIN-class 2D reference both benches build from."""
+    return ChipDesign.planar_2d(
+        "bench_ref", "7nm", gate_count=17.0e9, throughput_tops=254.0
+    )
+
+
+def _grid_points(workload: Workload) -> "list[EvalPoint]":
+    reference = reference_design()
+    points = []
+    for name in GRID_INTEGRATIONS:
+        if name == "2d":
+            design = reference
+        else:
+            design = ChipDesign.homogeneous_split(reference, name)
+        for location in GRID_LOCATIONS:
+            points.append(
+                EvalPoint(
+                    design=design,
+                    fab_location=location,
+                    workload=workload,
+                    label=f"{name}@{location}",
+                )
+            )
+    return points
+
+
+def bench_monte_carlo(samples: int = 500, seed: int = 20240623,
+                      repeats: int = 3) -> dict:
+    """Time the naive scalar MC against the engine MC; assert equivalence."""
+    if repeats < 1:
+        raise ParameterError(f"need >= 1 bench repeat, got {repeats}")
+    design = ChipDesign.homogeneous_split(reference_design(), "hybrid_3d")
+    workload = Workload.autonomous_vehicle()
+    factors = default_factors(node="7nm", integration="hybrid_3d")
+
+    # The seed code had no module-level caches, so the honest naive
+    # timing re-clears the (new in this PR) Davis/DPW memos every draw —
+    # exactly the work the pre-engine path did per draw.
+    import numpy as np
+
+    params = DEFAULT_PARAMETERS
+    naive_s = float("inf")
+    naive_base = None
+    naive_draws: list[float] = []
+    for _ in range(repeats):  # best-of-repeats, same as the engine side
+        rng = np.random.default_rng(seed)
+        clear_model_caches()
+        start = time.perf_counter()
+        naive_base = CarbonModel(
+            design, params, "taiwan"
+        ).evaluate(workload).total_kg
+        naive_draws = []
+        for _ in range(samples):
+            clear_model_caches()
+            perturbed = params
+            for factor in factors:
+                perturbed = factor.apply(
+                    perturbed,
+                    float(rng.triangular(factor.low, 1.0, factor.high)),
+                )
+            report = CarbonModel(design, perturbed, "taiwan").evaluate(workload)
+            naive_draws.append(report.total_kg)
+        naive_s = min(naive_s, time.perf_counter() - start)
+
+    engine_s = float("inf")
+    engine = None
+    for _ in range(repeats):
+        clear_model_caches()
+        start = time.perf_counter()
+        engine = monte_carlo(
+            design, factors=factors, workload=workload, samples=samples,
+            seed=seed,
+        )
+        engine_s = min(engine_s, time.perf_counter() - start)
+
+    scalar = _monte_carlo_scalar(
+        design, factors=factors, workload=workload, samples=samples, seed=seed
+    )
+    identical = (
+        engine.samples_kg == tuple(naive_draws) == scalar.samples_kg
+        and engine.base_kg == naive_base == scalar.base_kg
+    )
+    if not identical:
+        raise AssertionError(
+            "engine Monte-Carlo diverged from the scalar reference"
+        )
+    return {
+        "samples": samples,
+        "factors": len(factors),
+        "naive_s": naive_s,
+        "engine_s": engine_s,
+        "speedup": naive_s / engine_s,
+        "identical": True,
+    }
+
+
+def bench_grid(repeats: int = 3) -> dict:
+    """Time the naive per-point grid against ``evaluate_many``."""
+    if repeats < 1:
+        raise ParameterError(f"need >= 1 bench repeat, got {repeats}")
+    workload = Workload.autonomous_vehicle()
+    points = _grid_points(workload)
+
+    naive_s = float("inf")
+    naive_totals: list[float] = []
+    for _ in range(repeats):  # best-of-repeats, same as the engine side
+        naive_totals = []
+        clear_model_caches()
+        start = time.perf_counter()
+        for point in points:
+            clear_model_caches()
+            report = CarbonModel(
+                point.design, fab_location=point.fab_location
+            ).evaluate(point.workload)
+            naive_totals.append(report.total_kg)
+        naive_s = min(naive_s, time.perf_counter() - start)
+
+    engine_s = float("inf")
+    engine_totals = None
+    for _ in range(repeats):
+        clear_model_caches()
+        evaluator = BatchEvaluator()
+        start = time.perf_counter()
+        reports = evaluator.evaluate_many(points)
+        engine_s = min(engine_s, time.perf_counter() - start)
+        engine_totals = [report.total_kg for report in reports]
+
+    if engine_totals != naive_totals:
+        raise AssertionError("engine grid diverged from the scalar reference")
+    return {
+        "points": len(points),
+        "integrations": len(GRID_INTEGRATIONS),
+        "locations": len(GRID_LOCATIONS),
+        "naive_s": naive_s,
+        "engine_s": engine_s,
+        "speedup": naive_s / engine_s,
+        "identical": True,
+    }
+
+
+def run_benches(
+    output_path: "str | None" = "BENCH_engine.json",
+    samples: int = 500,
+    repeats: int = 3,
+) -> dict:
+    """Run both benches and (optionally) write the JSON report."""
+    result = {
+        "bench": "engine",
+        "monte_carlo": bench_monte_carlo(samples=samples, repeats=repeats),
+        "grid": bench_grid(repeats=repeats),
+    }
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def format_benches(result: dict) -> str:
+    """One-line-per-bench human rendering."""
+    mc = result["monte_carlo"]
+    grid = result["grid"]
+    return "\n".join([
+        f"monte_carlo  {mc['samples']} draws × {mc['factors']} factors: "
+        f"naive {mc['naive_s'] * 1e3:.1f}ms → engine "
+        f"{mc['engine_s'] * 1e3:.1f}ms "
+        f"({mc['speedup']:.1f}×, identical={mc['identical']})",
+        f"grid         {grid['points']} points "
+        f"({grid['integrations']} integrations × {grid['locations']} "
+        f"locations): naive {grid['naive_s'] * 1e3:.1f}ms → engine "
+        f"{grid['engine_s'] * 1e3:.1f}ms ({grid['speedup']:.1f}×, "
+        f"identical={grid['identical']})",
+    ])

@@ -1,0 +1,446 @@
+"""The batch evaluation engine: memoized, study-wide carbon evaluation.
+
+A :class:`BatchEvaluator` plays the role of :class:`repro.core.model.
+CarbonModel` for *many* evaluation points — (design × parameters ×
+fab location × workload) — sharing every stage of the pipeline that two
+points cannot distinguish:
+
+* design **resolution** (the expensive wirelength / area / floorplan
+  math) is memoized on :func:`repro.engine.fingerprint.resolve_key`, and
+  additionally shares its structural sub-results through a
+  :class:`repro.core.resolve.ResolveCache`, so a Monte-Carlo draw that
+  only perturbs the defect density re-prices yields without re-running
+  the Davis model;
+* **embodied**, **bandwidth** and **operational** stages are memoized on
+  their own input fingerprints (see :mod:`repro.engine.fingerprint`);
+* an opt-in ``workers=`` mode evaluates large grids in chunks on a
+  thread pool (caches are shared; results keep submission order).
+
+Results are bit-identical to the scalar ``CarbonModel`` path: the engine
+calls the very same stage functions with the very same inputs — caching
+only changes *whether* a stage runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.bandwidth import BandwidthResult, evaluate_bandwidth
+from ..core.design import ChipDesign
+from ..core.embodied import EmbodiedReport, embodied_carbon, embodied_total_kg
+from ..core.operational import (
+    OperationalReport,
+    Workload,
+    operational_carbon,
+)
+from ..core.report import LifecycleReport
+from ..core.resolve import ResolveCache, ResolvedDesign, resolve_design
+from . import fingerprint as fp
+
+
+@dataclass(frozen=True)
+class EvalPoint:
+    """One point of a batch study.
+
+    ``params``, ``fab_location`` and ``workload`` default to the
+    evaluator's own (``None`` means "inherit"); ``label`` tags the result
+    for the caller and never influences evaluation.
+    """
+
+    design: ChipDesign
+    params: ParameterSet | None = None
+    fab_location: "str | float | None" = None
+    workload: Workload | None = None
+    label: str | None = None
+
+
+@dataclass
+class EngineStats:
+    """Hit/miss counters per memo layer (plus the structural sub-cache)."""
+
+    resolve_hits: int = 0
+    resolve_misses: int = 0
+    embodied_hits: int = 0
+    embodied_misses: int = 0
+    bandwidth_hits: int = 0
+    bandwidth_misses: int = 0
+    operational_hits: int = 0
+    operational_misses: int = 0
+    structure_hits: int = 0
+    structure_misses: int = 0
+    points_evaluated: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    def summary(self) -> str:
+        parts = [
+            f"points={self.points_evaluated}",
+            f"resolve {self.resolve_hits}/{self.resolve_hits + self.resolve_misses}",
+            f"structure {self.structure_hits}/"
+            f"{self.structure_hits + self.structure_misses}",
+            f"embodied {self.embodied_hits}/"
+            f"{self.embodied_hits + self.embodied_misses}",
+            f"operational {self.operational_hits}/"
+            f"{self.operational_hits + self.operational_misses}",
+        ]
+        return "cache hits: " + "  ".join(parts)
+
+
+@dataclass
+class _Caches:
+    resolved: dict = field(default_factory=dict)
+    embodied: dict = field(default_factory=dict)
+    embodied_totals: dict = field(default_factory=dict)
+    bandwidth: dict = field(default_factory=dict)
+    operational: dict = field(default_factory=dict)
+
+
+class BatchEvaluator:
+    """Memoized evaluation of many (design, params, location, workload) points."""
+
+    def __init__(
+        self,
+        params: ParameterSet | None = None,
+        fab_location: "str | float" = "taiwan",
+        efficiency_plugin=None,
+        workers: int | None = None,
+        chunk_size: int = 16,
+        cache_limit: int = 4096,
+    ) -> None:
+        self.params = params if params is not None else DEFAULT_PARAMETERS
+        self.fab_location = fab_location
+        self.efficiency_plugin = efficiency_plugin
+        self.workers = workers
+        self.chunk_size = chunk_size
+        #: Per-cache entry bound. Point streams whose keys never repeat
+        #: (e.g. draws perturbing a spec field) stop inserting once a
+        #: cache is full; lookups keep working.
+        self.cache_limit = cache_limit
+        self.resolve_cache = ResolveCache(limit=cache_limit)
+        self._caches = _Caches()
+        self._stats = EngineStats()
+        # Identity-keyed interning of draw-stable lookups. Values hold
+        # strong references to the keyed objects, so an id can never be
+        # recycled while its entry is alive.
+        self._ci_cache: dict = {}
+        self._statics: dict = {}
+
+    # -- cache plumbing ------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """Hit/miss counters, with the structural sub-cache synced in."""
+        self._stats.structure_hits = self.resolve_cache.hits
+        self._stats.structure_misses = self.resolve_cache.misses
+        return self._stats
+
+    def _store(self, cache: dict, key, value) -> None:
+        """Insert honoring the entry bound."""
+        if len(cache) < self.cache_limit:
+            cache[key] = value
+
+    def clear(self) -> None:
+        """Drop every memoized result (stats reset too)."""
+        self.resolve_cache.clear()
+        self._caches = _Caches()
+        self._stats = EngineStats()
+        self._ci_cache.clear()
+        self._statics.clear()
+
+    def _ci(self, params: ParameterSet, location) -> float:
+        """Grid carbon intensity, interned per (grid table, location)."""
+        try:
+            entry = self._ci_cache.get((id(params.grids), location))
+        except TypeError:  # unhashable location (e.g. a profile object)
+            return params.grid(location).kg_co2_per_kwh
+        if entry is None or entry[0] is not params.grids:
+            entry = (params.grids, params.grid(location).kg_co2_per_kwh)
+            self._store(self._ci_cache, (id(params.grids), location), entry)
+        return entry[1]
+
+    def _static(self, design: ChipDesign, spec) -> tuple:
+        """Interned draw-stable key parts for one (design, spec) pair.
+
+        Returns ``(CachedKey((design, spec)), operational prefix)``.
+        """
+        entry = self._statics.get((id(design), id(spec)))
+        if (
+            entry is None
+            or entry[0].value[0] is not design
+            or entry[0].value[1] is not spec
+        ):
+            entry = (
+                fp.CachedKey((design, spec)),
+                fp.operational_prefix(design, spec),
+            )
+            self._store(self._statics, (id(design), id(spec)), entry)
+        return entry
+
+    def _rkey(self, design: ChipDesign, params: ParameterSet) -> "fp.CachedKey":
+        """Resolve fingerprint with the static (design, spec) part interned."""
+        spec = params.integration_spec(design.integration)
+        return fp.resolve_key(design, params, self._static(design, spec)[0])
+
+    # -- single-stage access (all memoized) ----------------------------------
+
+    def resolved(
+        self, design: ChipDesign, params: ParameterSet | None = None
+    ) -> ResolvedDesign:
+        """Memoized :func:`resolve_design`."""
+        params = params if params is not None else self.params
+        return self._resolved(design, params, self._rkey(design, params))
+
+    def _resolved(
+        self,
+        design: ChipDesign,
+        params: ParameterSet,
+        rkey: tuple,
+        transient: bool = False,
+    ) -> ResolvedDesign:
+        cached = self._caches.resolved.get(rkey)
+        if cached is None:
+            cached = resolve_design(design, params, cache=self.resolve_cache)
+            if not transient:
+                self._store(self._caches.resolved, rkey, cached)
+            self._stats.resolve_misses += 1
+        else:
+            self._stats.resolve_hits += 1
+        return cached
+
+    def embodied(
+        self,
+        design: ChipDesign,
+        params: ParameterSet | None = None,
+        fab_location: "str | float | None" = None,
+    ) -> EmbodiedReport:
+        """Memoized Eq. 3 embodied breakdown."""
+        params = params if params is not None else self.params
+        location = fab_location if fab_location is not None else self.fab_location
+        rkey = self._rkey(design, params)
+        return self._embodied(design, params, rkey, self._ci(params, location))
+
+    def _embodied(
+        self,
+        design: ChipDesign,
+        params: ParameterSet,
+        rkey: tuple,
+        ci: float,
+        resolved: "ResolvedDesign | None" = None,
+        transient: bool = False,
+    ) -> EmbodiedReport:
+        ekey = fp.embodied_key(rkey, design, params, ci)
+        cached = self._caches.embodied.get(ekey)
+        if cached is None:
+            if resolved is None:
+                resolved = self._resolved(design, params, rkey, transient)
+            cached = embodied_carbon(resolved, params, ci)
+            if not transient:
+                self._store(self._caches.embodied, ekey, cached)
+            self._stats.embodied_misses += 1
+        else:
+            self._stats.embodied_hits += 1
+        return cached
+
+    def bandwidth(
+        self, design: ChipDesign, params: ParameterSet | None = None
+    ) -> BandwidthResult:
+        """Memoized Sec. 3.4 bandwidth check."""
+        params = params if params is not None else self.params
+        return self._bandwidth(design, params, self._rkey(design, params))
+
+    def _bandwidth(
+        self,
+        design: ChipDesign,
+        params: ParameterSet,
+        rkey: tuple,
+        resolved: "ResolvedDesign | None" = None,
+        transient: bool = False,
+    ) -> BandwidthResult:
+        bkey = fp.bandwidth_key(rkey, params)
+        cached = self._caches.bandwidth.get(bkey)
+        if cached is None:
+            if resolved is None:
+                resolved = self._resolved(design, params, rkey, transient)
+            cached = evaluate_bandwidth(resolved, params)
+            if not transient:
+                self._store(self._caches.bandwidth, bkey, cached)
+            self._stats.bandwidth_misses += 1
+        else:
+            self._stats.bandwidth_hits += 1
+        return cached
+
+    def operational(
+        self,
+        design: ChipDesign,
+        workload: Workload,
+        params: ParameterSet | None = None,
+    ) -> OperationalReport:
+        """Memoized Eq. 16 operational carbon."""
+        params = params if params is not None else self.params
+        rkey = self._rkey(design, params)
+        return self._operational(
+            design, params, rkey, workload, self._bandwidth(design, params, rkey)
+        )
+
+    def _operational(
+        self,
+        design: ChipDesign,
+        params: ParameterSet,
+        rkey: tuple,
+        workload: Workload,
+        bandwidth: BandwidthResult,
+        resolved: "ResolvedDesign | None" = None,
+        transient: bool = False,
+    ) -> OperationalReport:
+        spec = rkey.value[0].value[1]
+        use_ci = self._ci(params, workload.use_location)
+        okey = fp.operational_key(
+            rkey, self._static(design, spec)[1], spec, params,
+            workload, use_ci, bandwidth, self.efficiency_plugin,
+        )
+        cached = self._caches.operational.get(okey)
+        if cached is None:
+            if resolved is None:
+                resolved = self._resolved(design, params, rkey, transient)
+            cached = operational_carbon(
+                resolved, params, workload, bandwidth, self.efficiency_plugin,
+            )
+            # Operational results are small and highly reusable (draws that
+            # only perturb embodied-side parameters share one), so they are
+            # stored (bounded) even for transient points.
+            self._store(self._caches.operational, okey, cached)
+            self._stats.operational_misses += 1
+        else:
+            self._stats.operational_hits += 1
+        return cached
+
+    # -- full-report evaluation ----------------------------------------------
+
+    def report(
+        self,
+        design: ChipDesign,
+        workload: Workload | None = None,
+        params: ParameterSet | None = None,
+        fab_location: "str | float | None" = None,
+        transient: bool = False,
+    ) -> LifecycleReport:
+        """Full lifecycle report — the engine's ``CarbonModel.evaluate``.
+
+        ``transient=True`` marks a point known not to repeat (e.g. one
+        Monte-Carlo draw): existing cache entries are still used, but the
+        point's own resolve/embodied/bandwidth results are not stored
+        (operational results are, bounded — they are small and often
+        shared across draws). Together with ``cache_limit``, which bounds
+        every engine cache including the interning maps and the
+        structural resolve sub-caches, a long stream of unique draws
+        cannot grow the engine's memory (or the garbage collector's live
+        set) without bound.
+        """
+        params = params if params is not None else self.params
+        location = fab_location if fab_location is not None else self.fab_location
+        rkey = self._rkey(design, params)
+        ci = self._ci(params, location)
+        resolved = self._resolved(design, params, rkey, transient)
+        bandwidth = self._bandwidth(design, params, rkey, resolved, transient)
+        operational = None
+        if workload is not None:
+            operational = self._operational(
+                design, params, rkey, workload, bandwidth, resolved, transient
+            )
+        self._stats.points_evaluated += 1
+        return LifecycleReport(
+            design_name=design.name,
+            integration=rkey.value[0].value[1].name,
+            embodied=self._embodied(
+                design, params, rkey, ci, resolved, transient
+            ),
+            bandwidth=bandwidth,
+            operational=operational,
+        )
+
+    def total_kg(
+        self,
+        design: ChipDesign,
+        workload: Workload | None = None,
+        params: ParameterSet | None = None,
+        fab_location: "str | float | None" = None,
+        transient: bool = False,
+    ) -> float:
+        """Eq. 1 total — ``report(...).total_kg`` without building reports.
+
+        Uses the record-free component twins (see
+        :func:`repro.core.embodied.embodied_total_kg`), which compute the
+        same floats in the same order as the full report path; the
+        equivalence tests pin the two bit for bit. Monte-Carlo draws take
+        this path: per draw, the per-die/per-bond record objects of a
+        ``LifecycleReport`` are pure allocation cost.
+        """
+        params = params if params is not None else self.params
+        location = fab_location if fab_location is not None else self.fab_location
+        rkey = self._rkey(design, params)
+        ci = self._ci(params, location)
+        resolved = self._resolved(design, params, rkey, transient)
+
+        # Prefer an already-built full report's total when present.
+        ekey = fp.embodied_key(rkey, design, params, ci)
+        embodied = self._caches.embodied.get(ekey)
+        if embodied is not None:
+            embodied_kg = embodied.total_kg
+            self._stats.embodied_hits += 1
+        else:
+            embodied_kg = self._caches.embodied_totals.get(ekey)
+            if embodied_kg is None:
+                embodied_kg = embodied_total_kg(resolved, params, ci)
+                if not transient:
+                    self._store(self._caches.embodied_totals, ekey, embodied_kg)
+                self._stats.embodied_misses += 1
+            else:
+                self._stats.embodied_hits += 1
+
+        operational_kg = 0.0
+        if workload is not None:
+            bandwidth = self._bandwidth(
+                design, params, rkey, resolved, transient
+            )
+            operational_kg = self._operational(
+                design, params, rkey, workload, bandwidth, resolved, transient
+            ).total_kg
+        self._stats.points_evaluated += 1
+        return embodied_kg + operational_kg
+
+    def evaluate(self, point: EvalPoint) -> LifecycleReport:
+        """Evaluate one :class:`EvalPoint`."""
+        return self.report(
+            point.design,
+            workload=point.workload,
+            params=point.params,
+            fab_location=point.fab_location,
+        )
+
+    def evaluate_many(
+        self,
+        points: "list[EvalPoint]",
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> "list[LifecycleReport]":
+        """Evaluate a batch of points, preserving order.
+
+        With ``workers`` (or the evaluator default) > 1 the batch is cut
+        into chunks and spread over a thread pool; the shared caches make
+        this safe (a racing miss computes the same value twice, nothing
+        worse) and results always come back in input order.
+        """
+        points = list(points)
+        workers = workers if workers is not None else self.workers
+        if workers is None or workers <= 1 or len(points) <= 1:
+            return [self.evaluate(point) for point in points]
+        size = max(1, chunk_size if chunk_size is not None else self.chunk_size)
+        chunks = [points[i:i + size] for i in range(0, len(points), size)]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            chunk_results = list(
+                pool.map(lambda chunk: [self.evaluate(p) for p in chunk], chunks)
+            )
+        return [report for chunk in chunk_results for report in chunk]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 from ..errors import ParameterError
 
@@ -56,8 +57,14 @@ def _power_integral(exponent: float, lower: float, upper: float) -> float:
     return (upper**e1 - lower**e1) / e1
 
 
+@lru_cache(maxsize=4096)
 def _region_moments(gate_count: float, rent_exponent: float, moment: int) -> float:
-    """∫ M(l)·l^(2p−4+moment) dl over the full support [1, 2√N]."""
+    """∫ M(l)·l^(2p−4+moment) dl over the full support [1, 2√N].
+
+    Memoized on ``(gate_count, rent_exponent, moment)``: the moments are
+    the hot inner loop of every BEOL estimate, and design-space studies
+    re-evaluate the same (N, p) pairs thousands of times.
+    """
     n = float(gate_count)
     root_n = math.sqrt(n)
     base = 2.0 * rent_exponent - 4.0 + moment
@@ -157,10 +164,14 @@ class WirelengthDistribution:
             2.0 * self.rent_exponent - 4.0
         )
 
+    @cached_property
+    def _normalizer(self) -> float:
+        """Zeroth moment of the distribution, computed once per instance."""
+        return _region_moments(self.gate_count, self.rent_exponent, moment=0)
+
     def pdf(self, length: float) -> float:
         """Normalized probability density of wire length ``length``."""
-        z = _region_moments(self.gate_count, self.rent_exponent, moment=0)
-        return self.density(length) / z
+        return self.density(length) / self._normalizer
 
     def mean(self) -> float:
         """Average wirelength (gate pitches); same as the module function."""

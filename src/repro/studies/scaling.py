@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
-from ..core.model import CarbonModel
 from ..errors import ParameterError
 
 #: Logic nodes in scaling order (coarse → fine).
@@ -41,12 +40,22 @@ def node_scaling_study(
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
     nodes: "tuple[str, ...]" = SCALING_NODES,
+    evaluator=None,
 ) -> "list[NodeScalingPoint]":
-    """Evaluate the scaling trend for a fixed-gate-count reference design."""
+    """Evaluate the scaling trend for a fixed-gate-count reference design.
+
+    Pass a :class:`repro.engine.BatchEvaluator` to share caches with other
+    studies (repeat runs at different ``fab_location`` reuse every node's
+    resolution).
+    """
     if gate_count <= 0:
         raise ParameterError("gate count must be positive")
     params = params if params is not None else DEFAULT_PARAMETERS
     ci = params.grid(fab_location).kg_co2_per_kwh
+    if evaluator is None:
+        from ..engine import BatchEvaluator
+
+        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
 
     from ..core.wafer import wafer_carbon_per_cm2
 
@@ -60,7 +69,9 @@ def node_scaling_study(
         design = ChipDesign.planar_2d(
             f"ref_{name}", name, gate_count=gate_count
         )
-        report = CarbonModel(design, params, fab_location).embodied()
+        report = evaluator.embodied(
+            design, params=params, fab_location=fab_location
+        )
         points.append(
             NodeScalingPoint(
                 node=name,

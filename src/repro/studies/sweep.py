@@ -4,6 +4,11 @@ The paper positions 3D-Carbon as an early-design-stage tool; these sweeps
 exercise it the way an architect would: vary one design axis, hold the
 rest, and compare lifecycle carbon. Used by the ablation benches and the
 ``design_space_exploration`` example.
+
+Every sweep evaluates through a :class:`repro.engine.BatchEvaluator`
+(each accepts an ``evaluator=`` to share caches across sweeps): axes
+that cannot change the design resolution — fab location, wafer
+diameter — resolve the design exactly once for the whole sweep.
 """
 
 from __future__ import annotations
@@ -13,10 +18,18 @@ from dataclasses import dataclass
 from ..config.integration import AssemblyFlow, StackingStyle
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
-from ..core.model import CarbonModel
 from ..core.operational import Workload
 from ..core.report import LifecycleReport
 from ..errors import ParameterError
+
+
+def _evaluator_for(evaluator, params, fab_location="taiwan"):
+    """A caller-supplied engine, or a fresh one for this sweep."""
+    if evaluator is not None:
+        return evaluator
+    from ..engine import BatchEvaluator
+
+    return BatchEvaluator(params=params, fab_location=fab_location)
 
 
 @dataclass(frozen=True)
@@ -33,9 +46,11 @@ def sweep_integrations(
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
+    evaluator=None,
 ) -> list[SweepPoint]:
     """Evaluate a 2D reference against every (or selected) integration."""
     params = params if params is not None else DEFAULT_PARAMETERS
+    evaluator = _evaluator_for(evaluator, params, fab_location)
     if integrations is None:
         integrations = [
             "2d", "micro_3d", "hybrid_3d", "m3d",
@@ -47,7 +62,9 @@ def sweep_integrations(
             design = reference
         else:
             design = ChipDesign.homogeneous_split(reference, name)
-        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        report = evaluator.report(
+            design, workload=workload, params=params, fab_location=fab_location
+        )
         points.append(SweepPoint(label=name, report=report))
     return points
 
@@ -59,9 +76,11 @@ def sweep_die_counts(
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
+    evaluator=None,
 ) -> list[SweepPoint]:
     """How does chiplet count change lifecycle carbon for one technology?"""
     params = params if params is not None else DEFAULT_PARAMETERS
+    evaluator = _evaluator_for(evaluator, params, fab_location)
     if die_counts is None:
         die_counts = [2, 3, 4]
     spec = params.integration_spec(integration)
@@ -75,7 +94,9 @@ def sweep_die_counts(
             reference, integration, n_dies=n,
             stacking=StackingStyle.F2F, assembly=AssemblyFlow.D2W,
         ).with_overrides(name=f"{reference.name}_{integration}_{n}die")
-        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        report = evaluator.report(
+            design, workload=workload, params=params, fab_location=fab_location
+        )
         points.append(SweepPoint(label=f"{n} dies", report=report))
     return points
 
@@ -85,15 +106,21 @@ def sweep_wafer_diameters(
     diameters_mm: "list[float] | None" = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
+    evaluator=None,
 ) -> list[SweepPoint]:
-    """Embodied carbon vs wafer size (Table 2's 200–450 mm range)."""
+    """Embodied carbon vs wafer size (Table 2's 200–450 mm range).
+
+    The wafer diameter never enters design resolution, so the whole sweep
+    resolves the design once.
+    """
     base = params if params is not None else DEFAULT_PARAMETERS
+    evaluator = _evaluator_for(evaluator, base, fab_location)
     if diameters_mm is None:
         diameters_mm = [200.0, 300.0, 450.0]
     points = []
     for diameter in diameters_mm:
         swept = base.with_wafer_diameter(diameter)
-        report = CarbonModel(design, swept, fab_location).evaluate()
+        report = evaluator.report(design, params=swept, fab_location=fab_location)
         points.append(SweepPoint(label=f"{diameter:.0f} mm", report=report))
     return points
 
@@ -102,14 +129,20 @@ def sweep_fab_locations(
     design: ChipDesign,
     locations: "list[str] | None" = None,
     params: ParameterSet | None = None,
+    evaluator=None,
 ) -> list[SweepPoint]:
-    """Embodied carbon vs manufacturing grid (Table 2's 30–700 g/kWh)."""
+    """Embodied carbon vs manufacturing grid (Table 2's 30–700 g/kWh).
+
+    The grid only scales the fab-electricity term, so the design resolves
+    once and only Eq. 3 re-prices per location.
+    """
     base = params if params is not None else DEFAULT_PARAMETERS
+    evaluator = _evaluator_for(evaluator, base)
     if locations is None:
         locations = ["iceland", "france", "usa", "taiwan", "india"]
     points = []
     for location in locations:
-        report = CarbonModel(design, base, location).evaluate()
+        report = evaluator.report(design, params=base, fab_location=location)
         points.append(SweepPoint(label=location, report=report))
     return points
 

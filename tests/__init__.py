@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Makes ``tests.test_analysis`` and ``benchmarks.test_analysis`` distinct
+module names so one pytest invocation can collect both trees (the seed
+layout collided on the shared ``test_analysis`` basename).
+"""
