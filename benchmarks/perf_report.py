@@ -1,14 +1,18 @@
 #!/usr/bin/env python
-"""Standalone engine perf report: run the benches, emit BENCH_engine.json.
+"""Standalone perf report: run the benches, emit BENCH_*.json.
 
 Usage::
 
     python benchmarks/perf_report.py [--output BENCH_engine.json]
                                      [--samples 500] [--repeats 3]
+    python benchmarks/perf_report.py --service [--output BENCH_service.json]
 
-Equivalent to ``python -m repro.cli bench``; both delegate to
-:mod:`repro.engine.bench` so future PRs can track the wall-clock and
-speedup trajectory from one implementation.
+Equivalent to ``python -m repro.cli bench`` (and ``bench --service``);
+both call :func:`repro.cli.run_bench_cli`, so future PRs can track the
+wall-clock and speedup trajectory from one implementation. The default
+run times the batch engine against the naive scalar path; ``--service``
+times HTTP requests/second against a live server with a cold vs warm
+persistent result store.
 """
 
 from __future__ import annotations
@@ -22,21 +26,34 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    from repro.engine.bench import format_benches, run_benches
+    from repro.cli import run_bench_cli
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default=str(_REPO_ROOT / "BENCH_engine.json")
+        "--output", default=None,
+        help="output path (default: BENCH_engine.json / BENCH_service.json "
+             "at the repo root)",
     )
-    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="Monte-Carlo draws (default: 500 engine / 400 service)",
+    )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--service", action="store_true",
+        help="bench the HTTP service warm-vs-cold store instead of the engine",
+    )
     args = parser.parse_args(argv)
 
-    result = run_benches(
-        output_path=args.output, samples=args.samples, repeats=args.repeats
+    output = args.output
+    if output is None:
+        name = "BENCH_service.json" if args.service else "BENCH_engine.json"
+        output = str(_REPO_ROOT / name)
+    text, output = run_bench_cli(
+        args.service, output, args.samples, args.repeats
     )
-    print(format_benches(result))
-    print(f"wrote {args.output}")
+    print(text)
+    print(f"wrote {output}")
     return 0
 
 

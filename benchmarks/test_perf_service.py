@@ -1,0 +1,33 @@
+"""Service perf bench: warm vs cold store, written to BENCH_service.json.
+
+The acceptance bar for the service subsystem: a restarted server on a
+warm persistent store answers the same HTTP request list ≥ 3× faster
+than the cold-store pass — with bit-identical payloads, every warm
+answer served from the store, and zero engine resolves (the bench itself
+raises if any of those invariants break).
+"""
+
+from pathlib import Path
+
+from repro.service.bench import format_service_bench, run_service_bench
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_service_warm_store_speedup(report_sink):
+    result = run_service_bench(
+        output_path=str(_REPO_ROOT / "BENCH_service.json"),
+        repeats=3,
+    )
+    report_sink(
+        "Service perf: cold vs warm persistent store",
+        format_service_bench(result),
+    )
+
+    service = result["service"]
+    assert service["identical"] is True
+    assert service["requests"] == service["evaluates"] + service["mc_requests"]
+    assert service["warm_rps"] > service["cold_rps"]
+    assert service["speedup"] >= 3.0, (
+        f"warm-store speedup {service['speedup']:.2f}x below the 3x bar"
+    )

@@ -6,7 +6,12 @@ Sub-commands mirror the paper's artifacts:
 * ``validate-epyc`` / ``validate-lakefield`` — the Fig. 4 comparisons;
 * ``drive --approach homogeneous|heterogeneous`` — the Fig. 5 grid;
 * ``table5`` — the Sec. 5.2 decision table;
-* ``bench`` — naive-vs-engine perf benches (writes ``BENCH_engine.json``);
+* ``bench`` — naive-vs-engine perf benches (writes ``BENCH_engine.json``;
+  with ``--service``, the warm-vs-cold store throughput bench →
+  ``BENCH_service.json``);
+* ``serve`` — run the carbon-as-a-service HTTP server (persistent
+  content-addressed result store; see :mod:`repro.service`);
+* ``submit`` — send a design JSON to a running server over HTTP;
 * ``nodes`` / ``technologies`` — inspect the parameter databases.
 
 The JSON design schema matches :class:`repro.core.design.ChipDesign`::
@@ -139,14 +144,88 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
+def run_bench_cli(
+    service: bool,
+    output: "str | None" = None,
+    samples: "int | None" = None,
+    repeats: int = 3,
+) -> "tuple[str, str]":
+    """Run the engine or service bench; return (summary text, output path).
+
+    The single implementation behind ``carbon3d bench`` and
+    ``benchmarks/perf_report.py`` — defaults (500 MC draws / 400 service
+    draws, ``BENCH_engine.json`` / ``BENCH_service.json``) live only here.
+    """
+    if service:
+        from .service.bench import format_service_bench, run_service_bench
+
+        output = output if output else "BENCH_service.json"
+        result = run_service_bench(
+            output_path=output,
+            samples=samples if samples is not None else 400,
+            repeats=repeats,
+        )
+        return format_service_bench(result), output
     from .engine.bench import format_benches, run_benches
 
+    output = output if output else "BENCH_engine.json"
     result = run_benches(
-        output_path=args.output, samples=args.samples, repeats=args.repeats
+        output_path=output,
+        samples=samples if samples is not None else 500,
+        repeats=repeats,
     )
-    print(format_benches(result))
-    print(f"wrote {args.output}")
+    return format_benches(result), output
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    text, output = run_bench_cli(
+        args.service, args.output, args.samples, args.repeats
+    )
+    print(text)
+    print(f"wrote {output}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import make_server, serve_forever
+
+    store_path = None if args.no_store else args.store
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        fab_location=args.fab_location,
+        store_path=store_path,
+        max_entries=args.max_entries,
+        verbose=args.verbose,
+    )
+    store_text = store_path if store_path else "(in-memory only)"
+    print(f"carbon3d service listening on {server.url}")
+    print(f"  store   : {store_text}")
+    print(f"  routes  : /evaluate /batch /sweep /montecarlo /healthz /stats")
+    serve_forever(server)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    with open(args.design, encoding="utf-8") as handle:
+        design = json.load(handle)
+    client = ServiceClient(args.url, timeout=args.timeout)
+    workload = "none" if args.workload == "none" else "av"
+    envelope = client.evaluate(design, workload=workload)
+    result = envelope["result"]
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(f"design        : {result['design']}")
+        print(f"integration   : {result['integration']}")
+        print(f"valid         : {'yes' if result['valid'] else 'NO (bandwidth)'}")
+        print(f"embodied      : {result['embodied_kg']:9.3f} kg CO2e")
+        if "operational_kg" in result:
+            print(f"operational   : {result['operational_kg']:9.3f} kg CO2e")
+        print(f"total         : {result['total_kg']:9.3f} kg CO2e")
+        print(f"served from   : {envelope.get('cache', 'computed')}")
     return 0
 
 
@@ -244,12 +323,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.set_defaults(func=_cmd_export)
     p_bench = sub.add_parser(
         "bench",
-        help="engine perf benches (naive vs batch engine) → BENCH_engine.json",
+        help="perf benches: engine (BENCH_engine.json) or, with "
+             "--service, the service store (BENCH_service.json)",
     )
-    p_bench.add_argument("--output", default="BENCH_engine.json")
-    p_bench.add_argument("--samples", type=int, default=500)
+    p_bench.add_argument(
+        "--output", default=None,
+        help="output path (default: BENCH_engine.json / BENCH_service.json)",
+    )
+    p_bench.add_argument(
+        "--samples", type=int, default=None,
+        help="Monte-Carlo draws per MC bench/request",
+    )
     p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument(
+        "--service", action="store_true",
+        help="bench HTTP throughput warm-vs-cold store instead of the engine",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the carbon evaluation HTTP service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument(
+        "--store", default="carbon3d_store.sqlite3",
+        help="persistent result-store path (default: carbon3d_store.sqlite3)",
+    )
+    p_serve.add_argument(
+        "--no-store", action="store_true",
+        help="serve without cross-restart persistence",
+    )
+    p_serve.add_argument(
+        "--max-entries", type=int, default=100_000,
+        help="store LRU eviction bound (entries)",
+    )
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request to stderr")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a design JSON to a running service"
+    )
+    p_submit.add_argument("design", help="path to the design JSON file")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8787")
+    p_submit.add_argument(
+        "--workload", choices=("av", "none"), default="av"
+    )
+    p_submit.add_argument("--timeout", type=float, default=60.0)
+    p_submit.add_argument(
+        "--json", action="store_true", help="emit the full JSON report"
+    )
+    p_submit.set_defaults(func=_cmd_submit)
     sub.add_parser("nodes", help="list process nodes").set_defaults(
         func=_cmd_nodes
     )

@@ -17,7 +17,7 @@ re-running the wirelength pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config.integration import (
     AssemblyFlow,
@@ -25,6 +25,7 @@ from ..config.integration import (
     IntegrationSpec,
     SubstrateKind,
 )
+from ..caching import EvictionPolicy, LRUCache
 from ..config.parameters import ParameterSet
 from ..config.technology import ProcessNode
 from ..errors import DesignError
@@ -130,7 +131,6 @@ def structure_node_key(node: ProcessNode) -> tuple:
     )
 
 
-@dataclass
 class ResolveCache:
     """Memo store for the structural (parameter-stable) parts of resolution.
 
@@ -143,28 +143,40 @@ class ResolveCache:
     * ``floorplans`` — ``(areas, gap, names)`` → :class:`Floorplan`;
     * ``validations`` — ``(design, spec, nodes)`` → the validated spec.
 
+    Every layer is a bounded :class:`repro.caching.LRUCache` sharing one
+    :class:`repro.caching.EvictionPolicy`: studies whose every point
+    carries a distinct key (e.g. Monte-Carlo draws perturbing a spec
+    field) recycle the least-recently-used entries instead of growing
+    without limit — and, unlike a stop-inserting bound, recent keys keep
+    hitting however long the evaluator lives.
+
     Yields are *not* cached here: they are cheap and depend on the very
     fields (defect density, bond yield) studies most often perturb.
     """
 
-    die_structure: dict = field(default_factory=dict)
-    floorplans: dict = field(default_factory=dict)
-    validations: dict = field(default_factory=dict)
-    hits: int = 0
-    misses: int = 0
-    #: Per-dict entry bound: studies whose every point carries a distinct
-    #: key (e.g. Monte-Carlo draws perturbing a spec field) would otherwise
-    #: grow the memos without limit. Lookups keep working once a dict is
-    #: full; new entries are simply not stored.
-    limit: int = 4096
-    #: Last (design, spec) validated — batch loops hammer one design with
-    #: thousands of parameter draws, so an identity check beats re-hashing
-    #: the design every call.
-    last_validation: "tuple | None" = None
-    #: id(die) → (die, spec, stacking, is_top, node key, area, beol): the
-    #: identity-checked fast row in front of ``die_structure`` (entries pin
-    #: their die/spec, so ids cannot be recycled while present).
-    die_fast: dict = field(default_factory=dict)
+    def __init__(
+        self, limit: int = 4096, policy: "EvictionPolicy | None" = None
+    ) -> None:
+        #: The shared eviction policy (``limit`` is the compact spelling).
+        self.policy = policy if policy is not None else EvictionPolicy(limit)
+        self.die_structure = LRUCache(self.policy)
+        self.floorplans = LRUCache(self.policy)
+        self.validations = LRUCache(self.policy)
+        self.hits = 0
+        self.misses = 0
+        #: Last (design, spec) validated — batch loops hammer one design
+        #: with thousands of parameter draws, so an identity check beats
+        #: re-hashing the design every call.
+        self.last_validation: "tuple | None" = None
+        #: id(die) → (die, spec, stacking, is_top, node key, area, beol):
+        #: the identity-checked fast row in front of ``die_structure``
+        #: (entries pin their die/spec, so ids cannot be recycled while
+        #: present).
+        self.die_fast = LRUCache(self.policy)
+
+    @property
+    def limit(self) -> int:
+        return self.policy.max_entries
 
     def clear(self) -> None:
         self.die_structure.clear()
@@ -216,12 +228,11 @@ def _resolve_die(
             override=die.beol_layers,
         )
         if cache is not None:
-            if len(cache.die_structure) < cache.limit:
-                cache.die_structure[skey] = (area, beol)
+            cache.die_structure[skey] = (area, beol)
             cache.misses += 1
     else:
         area, beol = structure
-    if cache is not None and skey is not None and len(cache.die_fast) < cache.limit:
+    if cache is not None and skey is not None:
         cache.die_fast[id(die)] = (
             die, spec, design.stacking, is_top_die, nkey, area, beol
         )
@@ -317,8 +328,7 @@ def resolve_design(
             vkey = (design, spec)
             if vkey not in cache.validations:
                 design.validate(params)
-                if len(cache.validations) < cache.limit:
-                    cache.validations[vkey] = spec
+                cache.validations[vkey] = spec
             cache.last_validation = vkey
     n = design.die_count
     resolved = tuple([
@@ -358,7 +368,7 @@ def resolve_design(
         floorplan = place_dies(
             areas, die_gap_mm=params.substrate.die_gap_mm, names=names
         )
-        if cache is not None and len(cache.floorplans) < cache.limit:
+        if cache is not None:
             cache.floorplans[fkey] = floorplan
     substrate = _resolve_substrate(resolved, floorplan, spec, params)
     substrate_yield = (

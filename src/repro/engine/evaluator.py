@@ -24,8 +24,9 @@ only changes *whether* a stage runs, never what it computes.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..caching import EvictionPolicy, LRUCache
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.bandwidth import BandwidthResult, evaluate_bandwidth
 from ..core.design import ChipDesign
@@ -89,13 +90,18 @@ class EngineStats:
         return "cache hits: " + "  ".join(parts)
 
 
-@dataclass
 class _Caches:
-    resolved: dict = field(default_factory=dict)
-    embodied: dict = field(default_factory=dict)
-    embodied_totals: dict = field(default_factory=dict)
-    bandwidth: dict = field(default_factory=dict)
-    operational: dict = field(default_factory=dict)
+    """The per-stage memo layers, all LRU-bounded by one shared policy."""
+
+    __slots__ = ("resolved", "embodied", "embodied_totals", "bandwidth",
+                 "operational")
+
+    def __init__(self, policy: EvictionPolicy) -> None:
+        self.resolved = LRUCache(policy)
+        self.embodied = LRUCache(policy)
+        self.embodied_totals = LRUCache(policy)
+        self.bandwidth = LRUCache(policy)
+        self.operational = LRUCache(policy)
 
 
 class BatchEvaluator:
@@ -115,18 +121,22 @@ class BatchEvaluator:
         self.efficiency_plugin = efficiency_plugin
         self.workers = workers
         self.chunk_size = chunk_size
-        #: Per-cache entry bound. Point streams whose keys never repeat
-        #: (e.g. draws perturbing a spec field) stop inserting once a
-        #: cache is full; lookups keep working.
+        #: Per-cache entry bound, enforced as LRU eviction — the same
+        #: :class:`repro.caching.EvictionPolicy` the persistent service
+        #: store applies. Point streams whose keys never repeat (e.g.
+        #: draws perturbing a spec field) recycle the stalest entries, so
+        #: a very long-lived evaluator keeps a bounded, current working
+        #: set instead of freezing its caches at the first fill.
         self.cache_limit = cache_limit
-        self.resolve_cache = ResolveCache(limit=cache_limit)
-        self._caches = _Caches()
+        self.eviction_policy = EvictionPolicy(max_entries=cache_limit)
+        self.resolve_cache = ResolveCache(policy=self.eviction_policy)
+        self._caches = _Caches(self.eviction_policy)
         self._stats = EngineStats()
         # Identity-keyed interning of draw-stable lookups. Values hold
         # strong references to the keyed objects, so an id can never be
         # recycled while its entry is alive.
-        self._ci_cache: dict = {}
-        self._statics: dict = {}
+        self._ci_cache = LRUCache(self.eviction_policy)
+        self._statics = LRUCache(self.eviction_policy)
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -137,15 +147,10 @@ class BatchEvaluator:
         self._stats.structure_misses = self.resolve_cache.misses
         return self._stats
 
-    def _store(self, cache: dict, key, value) -> None:
-        """Insert honoring the entry bound."""
-        if len(cache) < self.cache_limit:
-            cache[key] = value
-
     def clear(self) -> None:
         """Drop every memoized result (stats reset too)."""
         self.resolve_cache.clear()
-        self._caches = _Caches()
+        self._caches = _Caches(self.eviction_policy)
         self._stats = EngineStats()
         self._ci_cache.clear()
         self._statics.clear()
@@ -158,7 +163,7 @@ class BatchEvaluator:
             return params.grid(location).kg_co2_per_kwh
         if entry is None or entry[0] is not params.grids:
             entry = (params.grids, params.grid(location).kg_co2_per_kwh)
-            self._store(self._ci_cache, (id(params.grids), location), entry)
+            self._ci_cache[(id(params.grids), location)] = entry
         return entry[1]
 
     def _static(self, design: ChipDesign, spec) -> tuple:
@@ -176,7 +181,7 @@ class BatchEvaluator:
                 fp.CachedKey((design, spec)),
                 fp.operational_prefix(design, spec),
             )
-            self._store(self._statics, (id(design), id(spec)), entry)
+            self._statics[(id(design), id(spec))] = entry
         return entry
 
     def _rkey(self, design: ChipDesign, params: ParameterSet) -> "fp.CachedKey":
@@ -204,7 +209,7 @@ class BatchEvaluator:
         if cached is None:
             cached = resolve_design(design, params, cache=self.resolve_cache)
             if not transient:
-                self._store(self._caches.resolved, rkey, cached)
+                self._caches.resolved[rkey] = cached
             self._stats.resolve_misses += 1
         else:
             self._stats.resolve_hits += 1
@@ -238,7 +243,7 @@ class BatchEvaluator:
                 resolved = self._resolved(design, params, rkey, transient)
             cached = embodied_carbon(resolved, params, ci)
             if not transient:
-                self._store(self._caches.embodied, ekey, cached)
+                self._caches.embodied[ekey] = cached
             self._stats.embodied_misses += 1
         else:
             self._stats.embodied_hits += 1
@@ -266,7 +271,7 @@ class BatchEvaluator:
                 resolved = self._resolved(design, params, rkey, transient)
             cached = evaluate_bandwidth(resolved, params)
             if not transient:
-                self._store(self._caches.bandwidth, bkey, cached)
+                self._caches.bandwidth[bkey] = cached
             self._stats.bandwidth_misses += 1
         else:
             self._stats.bandwidth_hits += 1
@@ -311,7 +316,7 @@ class BatchEvaluator:
             # Operational results are small and highly reusable (draws that
             # only perturb embodied-side parameters share one), so they are
             # stored (bounded) even for transient points.
-            self._store(self._caches.operational, okey, cached)
+            self._caches.operational[okey] = cached
             self._stats.operational_misses += 1
         else:
             self._stats.operational_hits += 1
@@ -395,7 +400,7 @@ class BatchEvaluator:
             if embodied_kg is None:
                 embodied_kg = embodied_total_kg(resolved, params, ci)
                 if not transient:
-                    self._store(self._caches.embodied_totals, ekey, embodied_kg)
+                    self._caches.embodied_totals[ekey] = embodied_kg
                 self._stats.embodied_misses += 1
             else:
                 self._stats.embodied_hits += 1

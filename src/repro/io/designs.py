@@ -48,23 +48,56 @@ def die_to_dict(die: Die) -> dict:
     return data
 
 
+def _enum_member(enum_cls, value, what: str):
+    """Resolve an enum spelling, reporting unknowns as a typed error.
+
+    A bare ``StackingStyle("bogus")`` raises ``ValueError`` — a traceback
+    for CLI/service callers. This converts it into the documented
+    :class:`~repro.errors.DesignError` with the known spellings listed.
+    """
+    try:
+        return enum_cls(value)
+    except ValueError:
+        known = ", ".join(repr(member.value) for member in enum_cls)
+        raise DesignError(
+            f"unknown {what} {value!r}; known: {known}"
+        ) from None
+
+
 def die_from_dict(data: dict) -> Die:
     """Inverse of :func:`die_to_dict`."""
+    if not isinstance(data, dict):
+        raise DesignError(
+            f"die record must be an object, got {type(data).__name__}"
+        )
     try:
         name = data["name"]
         node = data["node"]
     except KeyError as missing:
         raise DesignError(f"die record missing key {missing}") from None
+    if not isinstance(name, str):
+        raise DesignError(f"die name must be a string, got {name!r}")
+
+    def number(key: str, default=None):
+        value = data.get(key, default)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, (int, float))
+        ):
+            raise DesignError(
+                f"die {name!r}: {key} must be a number, got {value!r}"
+            )
+        return value
+
     return Die(
         name=name,
         node=node,
-        gate_count=data.get("gate_count"),
-        area_mm2=data.get("area_mm2"),
-        kind=DieKind(data.get("kind", "logic")),
-        workload_share=data.get("workload_share", 1.0),
-        beol_layers=data.get("beol_layers"),
-        yield_override=data.get("yield"),
-        efficiency_tops_per_w=data.get("efficiency_tops_per_w"),
+        gate_count=number("gate_count"),
+        area_mm2=number("area_mm2"),
+        kind=_enum_member(DieKind, data.get("kind", "logic"), "die kind"),
+        workload_share=number("workload_share", 1.0),
+        beol_layers=number("beol_layers"),
+        yield_override=number("yield"),
+        efficiency_tops_per_w=number("efficiency_tops_per_w"),
     )
 
 
@@ -89,18 +122,49 @@ def design_to_dict(design: ChipDesign) -> dict:
 
 
 def design_from_dict(data: dict) -> ChipDesign:
-    """Inverse of :func:`design_to_dict`."""
+    """Inverse of :func:`design_to_dict`.
+
+    Malformed records — missing keys, wrong container types, unknown
+    ``integration``/``stacking``/``assembly``/``kind`` spellings — raise
+    :class:`~repro.errors.DesignError` (never a bare ``ValueError``/
+    ``TypeError`` traceback), so the CLI and the service can answer with
+    typed error payloads.
+    """
+    if not isinstance(data, dict):
+        raise DesignError(
+            f"design record must be an object, got {type(data).__name__}"
+        )
     if "name" not in data:
         raise DesignError("design record missing 'name'")
-    if not data.get("dies"):
+    dies = data.get("dies")
+    if not dies:
         raise DesignError("design record has no dies")
+    if not isinstance(dies, (list, tuple)):
+        raise DesignError(
+            f"design 'dies' must be an array, got {type(dies).__name__}"
+        )
+    integration = data.get("integration", "2d")
+    if not isinstance(integration, str) or not integration:
+        raise DesignError(
+            f"design 'integration' must be a technology name, "
+            f"got {integration!r}"
+        )
     package_data = data.get("package", {})
+    if not isinstance(package_data, dict):
+        raise DesignError(
+            f"design 'package' must be an object, "
+            f"got {type(package_data).__name__}"
+        )
     return ChipDesign(
         name=data["name"],
-        dies=tuple(die_from_dict(d) for d in data["dies"]),
-        integration=data.get("integration", "2d"),
-        stacking=StackingStyle(data.get("stacking", "n/a")),
-        assembly=AssemblyFlow(data.get("assembly", "n/a")),
+        dies=tuple(die_from_dict(d) for d in dies),
+        integration=integration,
+        stacking=_enum_member(
+            StackingStyle, data.get("stacking", "n/a"), "stacking style"
+        ),
+        assembly=_enum_member(
+            AssemblyFlow, data.get("assembly", "n/a"), "assembly flow"
+        ),
         package=PackageSpec(
             package_class=package_data.get("class", "fcbga"),
             area_mm2=package_data.get("area_mm2"),

@@ -1,0 +1,66 @@
+"""Carbon-as-a-service: a long-lived evaluation server over the engine.
+
+The :mod:`repro.service` package turns the PR-1 batch engine into a
+shared exploration *service* — the way ACT-style carbon tooling is used
+inside an organization — instead of a library every consumer must import
+and drive in-process:
+
+* :mod:`~repro.service.schema` — versioned, strictly-validated JSON
+  request/response formats (evaluate / batch / sweep / Monte-Carlo
+  summary) with typed error payloads, reusing the CLI's design schema;
+* :mod:`~repro.service.store` — a persistent, content-addressed result
+  store (stdlib ``sqlite3``) keyed on SHA-256 digests of the engine's
+  value fingerprints, so memoization survives process restarts; LRU
+  eviction under the same :class:`repro.caching.EvictionPolicy` the
+  in-memory engine caches use, with hit/miss statistics;
+* :mod:`~repro.service.dispatcher` — request deduplication and
+  coalescing: concurrent identical points share one
+  :class:`repro.engine.BatchEvaluator` call, batches evaluate through
+  ``evaluate_many``, and every computed payload feeds the store;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
+  stdlib-only threaded HTTP JSON API (``/evaluate``, ``/batch``,
+  ``/sweep``, ``/montecarlo``, ``/healthz``, ``/stats``) and a small
+  Python client, wired into the CLI as ``carbon3d serve`` and
+  ``carbon3d submit``;
+* :mod:`~repro.service.bench` — the warm-vs-cold-store throughput bench
+  behind ``carbon3d bench --service`` (writes ``BENCH_service.json``).
+
+Responses are **bit-identical** to ``CarbonModel.evaluate`` on the same
+inputs: computed answers run the very same stage functions through the
+engine, and stored answers round-trip through JSON, which preserves
+floats exactly. A cold-restarted server therefore serves previously seen
+requests from the store — hits increment, nothing re-resolves.
+
+Quickstart (see ``examples/service_roundtrip.py`` for the full tour)::
+
+    from repro.service import make_server, ServiceClient
+    import threading
+
+    server = make_server(store_path="carbon3d_store.sqlite3")
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+
+    client = ServiceClient(server.url)
+    envelope = client.evaluate(design_dict)     # or a ChipDesign
+    print(envelope["cache"], envelope["result"]["total_kg"])
+"""
+
+from .client import ServiceClient, ServiceError
+from .dispatcher import Dispatcher
+from .schema import SCHEMA_VERSION, SchemaError, parse_request
+from .server import CarbonService, make_server, serve_forever
+from .store import ResultStore, StoreError, content_key
+
+__all__ = [
+    "CarbonService",
+    "Dispatcher",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "StoreError",
+    "content_key",
+    "make_server",
+    "parse_request",
+    "serve_forever",
+]

@@ -1,0 +1,182 @@
+"""A small stdlib client for the carbon evaluation service.
+
+:class:`ServiceClient` speaks the versioned JSON schema over
+``urllib.request`` — no third-party dependencies — and unwraps the
+response envelopes: success methods return the envelope dict (``result``
+plus the ``cache`` provenance tag); service-side failures raise a typed
+:class:`ServiceError` carrying the error payload and HTTP status.
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    envelope = client.evaluate(design)          # ChipDesign or JSON dict
+    report = envelope["result"]                 # CarbonModel-identical
+    print(envelope["cache"], report["total_kg"])
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..core.design import ChipDesign
+from ..errors import CarbonModelError
+from ..io.designs import design_to_dict
+from .schema import SCHEMA_VERSION, workload_to_value
+
+
+class ServiceError(CarbonModelError):
+    """The service answered with an error envelope (or unparseable bytes)."""
+
+    def __init__(
+        self,
+        message: str,
+        payload: "dict | None" = None,
+        status: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.payload = payload if payload is not None else {}
+        self.status = status
+
+    @property
+    def error_type(self) -> "str | None":
+        return self.payload.get("type")
+
+
+def _design_value(design) -> dict:
+    if isinstance(design, ChipDesign):
+        return design_to_dict(design)
+    return design
+
+
+def _workload_value(workload):
+    if workload is None or isinstance(workload, (str, dict)):
+        return workload
+    return workload_to_value(workload)
+
+
+class ServiceClient:
+    """Synchronous HTTP client for one service endpoint."""
+
+    def __init__(
+        self, base_url: str = "http://127.0.0.1:8787", timeout: float = 60.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                envelope = json.loads(raw.decode("utf-8"))
+                detail = envelope.get("error", {})
+                raise ServiceError(
+                    f"{detail.get('type', 'ServiceError')}: "
+                    f"{detail.get('message', 'service error')}",
+                    payload=detail,
+                    status=error.code,
+                ) from None
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServiceError(
+                    f"HTTP {error.code}: {raw[:200]!r}", status=error.code
+                ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+        envelope = json.loads(body.decode("utf-8"))
+        if not envelope.get("ok", False):
+            detail = envelope.get("error", {})
+            raise ServiceError(
+                f"{detail.get('type', 'ServiceError')}: "
+                f"{detail.get('message', 'service error')}",
+                payload=detail,
+            )
+        return envelope
+
+    def _post(self, path: str, payload: dict) -> dict:
+        payload.setdefault("schema", SCHEMA_VERSION)
+        return self._request("POST", path, payload)
+
+    # -- API -----------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")["result"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")["result"]
+
+    def evaluate(
+        self,
+        design,
+        workload="av",
+        fab_location=None,
+        label: "str | None" = None,
+    ) -> dict:
+        """One point; returns the envelope (``result`` + ``cache`` tag)."""
+        payload: dict = {
+            "type": "evaluate",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+        }
+        if fab_location is not None:
+            payload["fab_location"] = fab_location
+        if label is not None:
+            payload["label"] = label
+        return self._post("/evaluate", payload)
+
+    def batch(self, points: "list[dict]") -> dict:
+        """``points`` are wire-format dicts (design/workload/fab_location)."""
+        return self._post("/batch", {"type": "batch", "points": points})
+
+    def sweep(
+        self,
+        design,
+        integrations: "list[str] | None" = None,
+        fab_locations: "list | None" = None,
+        workload="av",
+    ) -> dict:
+        payload: dict = {
+            "type": "sweep",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+        }
+        if integrations is not None:
+            payload["integrations"] = integrations
+        if fab_locations is not None:
+            payload["fab_locations"] = fab_locations
+        return self._post("/sweep", payload)
+
+    def montecarlo(
+        self,
+        design,
+        workload="av",
+        fab_location=None,
+        samples: int = 200,
+        seed: int = 20240623,
+    ) -> dict:
+        payload: dict = {
+            "type": "montecarlo",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+            "samples": samples,
+            "seed": seed,
+        }
+        if fab_location is not None:
+            payload["fab_location"] = fab_location
+        return self._post("/montecarlo", payload)

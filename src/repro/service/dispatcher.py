@@ -1,0 +1,376 @@
+"""Request dispatch: dedup + coalescing between the wire and the engine.
+
+The dispatcher owns one long-lived :class:`repro.engine.BatchEvaluator`
+and (optionally) a :class:`~repro.service.store.ResultStore`, and answers
+parsed schema requests:
+
+* every request first computes its **content key** (the digest of the
+  value fingerprints the engine would use — see :func:`evaluate_fingerprint`)
+  and consults the store; a hit returns the persisted payload with zero
+  engine work (no resolve, no embodied math);
+* concurrent *identical* misses are coalesced: the first thread computes
+  through the evaluator, later threads wait on its
+  :class:`~concurrent.futures.Future` — one engine call, N responses;
+* batch/sweep requests are deduplicated point-wise, and the remaining
+  misses go through ``BatchEvaluator.evaluate_many`` as one batch;
+* every computed payload feeds the store, so the *next* process serves
+  it from disk.
+
+Responses are JSON-ready dicts, bit-identical to
+``CarbonModel.evaluate(...).to_dict()`` for the same inputs: computed
+payloads come from the engine (which calls the very same stage
+functions), and stored payloads round-trip through JSON, which preserves
+floats exactly (``repr`` shortest-float round-tripping).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future
+
+from ..analysis.sensitivity import default_factors
+from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..core.design import ChipDesign
+from ..core.operational import Workload
+from ..errors import ParameterError
+from ..engine import BatchEvaluator
+from ..engine import fingerprint as fp
+from .schema import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    EvaluateRequest,
+    MonteCarloRequest,
+    SweepRequest,
+    workload_to_value,
+)
+from .store import ResultStore, content_key
+
+#: ``cache`` tags in responses, from cheapest to most expensive.
+SOURCE_STORE = "store"
+SOURCE_COALESCED = "coalesced"
+SOURCE_COMPUTED = "computed"
+
+
+def evaluate_fingerprint(
+    design: ChipDesign,
+    params: ParameterSet,
+    fab_location: "str | float",
+    workload: "Workload | None",
+) -> tuple:
+    """The value fingerprint of one full-report evaluation.
+
+    The union of the engine's per-stage keys: the resolve fingerprint
+    (design, spec, node records, family extras), the Eq. 3 extras (wafer,
+    BEOL flag, packaging record, fab CI), the Sec. 3.4 constraint block
+    and — when a workload is attached — the workload record plus the
+    use-phase carbon intensity. Everything the pipeline can observe, and
+    nothing more, so the store shares entries exactly as widely as the
+    engine's memos do.
+    """
+    rkey = fp.resolve_key(design, params)
+    ci_fab = params.grid(fab_location).kg_co2_per_kwh
+    workload_part = None
+    if workload is not None:
+        workload_part = (
+            workload,
+            params.grid(workload.use_location).kg_co2_per_kwh,
+        )
+    return (
+        "evaluate",
+        SCHEMA_VERSION,
+        fp.embodied_key(rkey, design, params, ci_fab),
+        params.bandwidth,
+        workload_part,
+    )
+
+
+def montecarlo_fingerprint(
+    design: ChipDesign,
+    params: ParameterSet,
+    fab_location: "str | float",
+    workload: "Workload | None",
+    samples: int,
+    seed: int,
+) -> tuple:
+    """The value fingerprint of a Monte-Carlo summary.
+
+    The evaluate fingerprint pins every base value the pipeline reads;
+    the draw sequence is pinned by (samples, seed) and by the factor
+    *definitions* (name and triangular range — the perturbation functions
+    are deterministic in those).
+    """
+    factors = default_factors(
+        node=design.dies[0].node, integration=design.integration
+    )
+    return (
+        "montecarlo",
+        evaluate_fingerprint(design, params, fab_location, workload),
+        tuple((f.name, f.low, f.high) for f in factors),
+        samples,
+        seed,
+    )
+
+
+class DispatchStats:
+    """Where responses came from, over the dispatcher's lifetime."""
+
+    __slots__ = ("requests", "points", "computed", "store_hits", "coalesced",
+                 "deduplicated", "errors")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.points = 0
+        self.computed = 0
+        self.store_hits = 0
+        self.coalesced = 0
+        self.deduplicated = 0
+        self.errors = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Dispatcher:
+    """Evaluate parsed service requests through one shared engine."""
+
+    def __init__(
+        self,
+        params: "ParameterSet | None" = None,
+        fab_location: "str | float" = "taiwan",
+        store: "ResultStore | None" = None,
+        evaluator: "BatchEvaluator | None" = None,
+    ) -> None:
+        self.params = params if params is not None else DEFAULT_PARAMETERS
+        self.fab_location = fab_location
+        self.store = store
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else BatchEvaluator(params=self.params, fab_location=fab_location)
+        )
+        if self.evaluator.efficiency_plugin is not None:
+            # A plugin may read anything off the resolved design, which no
+            # session-stable content key can capture — cached payloads
+            # would silently serve plugin-less numbers.
+            raise ParameterError(
+                "the service dispatcher does not support evaluators with "
+                "an efficiency plugin"
+            )
+        self.stats = DispatchStats()
+        self._inflight: "dict[str, Future]" = {}
+        self._lock = threading.Lock()
+
+    # -- store/coalescing plumbing ------------------------------------------
+
+    def _store_get(self, key: str) -> "dict | None":
+        if self.store is None:
+            return None
+        payload = self.store.get(key)
+        if payload is None:
+            return None
+        self.stats.store_hits += 1
+        return json.loads(payload)
+
+    def _store_put(self, key: str, result: dict) -> None:
+        if self.store is not None:
+            self.store.put(key, json.dumps(result))
+
+    def _compute_through(self, key: str, compute) -> "tuple[dict, str]":
+        """Store lookup → in-flight coalescing → compute-and-publish."""
+        cached = self._store_get(key)
+        if cached is not None:
+            return cached, SOURCE_STORE
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is None:
+                future = Future()
+                self._inflight[key] = future
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            self.stats.coalesced += 1
+            return future.result(), SOURCE_COALESCED
+        try:
+            result = compute()
+        except BaseException as error:
+            future.set_exception(error)
+            raise
+        else:
+            self._store_put(key, result)
+            future.set_result(result)
+            self.stats.computed += 1
+            return result, SOURCE_COMPUTED
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def _point_fab_location(self, point: EvaluateRequest):
+        return (
+            point.fab_location
+            if point.fab_location is not None
+            else self.fab_location
+        )
+
+    def _point_key(self, point: EvaluateRequest) -> str:
+        return content_key(
+            evaluate_fingerprint(
+                point.design,
+                self.params,
+                self._point_fab_location(point),
+                point.workload,
+            )
+        )
+
+    # -- request handlers ----------------------------------------------------
+
+    def evaluate(self, request: EvaluateRequest) -> "tuple[dict, str]":
+        """One point → (report dict, cache tag)."""
+        self.stats.requests += 1
+        self.stats.points += 1
+        key = self._point_key(request)
+
+        def compute() -> dict:
+            # params is pinned explicitly: the content key fingerprints
+            # self.params, so the evaluation must use the same set even on
+            # a caller-supplied evaluator with different defaults.
+            return self.evaluator.report(
+                request.design,
+                workload=request.workload,
+                params=self.params,
+                fab_location=self._point_fab_location(request),
+            ).to_dict()
+
+        return self._compute_through(key, compute)
+
+    def batch(self, request: BatchRequest) -> "list[dict]":
+        """Deduplicated batch → one entry per input point, input order."""
+        self.stats.requests += 1
+        self.stats.points += len(request.points)
+        keys = [self._point_key(point) for point in request.points]
+
+        # Store pass + in-batch dedup: first occurrence of each missing
+        # key is evaluated; repeats reuse it.
+        results: "dict[str, dict]" = {}
+        sources: "dict[str, str]" = {}
+        to_compute: "list[tuple[str, EvaluateRequest]]" = []
+        pending: set = set()
+        for key, point in zip(keys, request.points):
+            if key in results or key in pending:
+                self.stats.deduplicated += 1
+                continue
+            cached = self._store_get(key)
+            if cached is not None:
+                results[key] = cached
+                sources[key] = SOURCE_STORE
+            else:
+                to_compute.append((key, point))
+                pending.add(key)
+
+        if to_compute:
+            from ..engine import EvalPoint
+
+            reports = self.evaluator.evaluate_many([
+                EvalPoint(
+                    design=point.design,
+                    params=self.params,
+                    fab_location=self._point_fab_location(point),
+                    workload=point.workload,
+                    label=point.label,
+                )
+                for _, point in to_compute
+            ])
+            for (key, _), report in zip(to_compute, reports):
+                result = report.to_dict()
+                self._store_put(key, result)
+                results[key] = result
+                sources[key] = SOURCE_COMPUTED
+                self.stats.computed += 1
+
+        return [
+            {
+                "label": point.label,
+                "cache": sources[key],
+                "report": results[key],
+            }
+            for key, point in zip(keys, request.points)
+        ]
+
+    def sweep(self, request: SweepRequest) -> "list[dict]":
+        """Expand the grid server-side and run it as a batch."""
+        points = []
+        for name in request.integrations:
+            spec = self.params.integration_spec(name)
+            if spec.is_2d:
+                design = request.reference
+            else:
+                design = ChipDesign.homogeneous_split(request.reference, name)
+            for location in request.fab_locations:
+                label_location = (
+                    location if location is not None else self.fab_location
+                )
+                points.append(
+                    EvaluateRequest(
+                        design=design,
+                        workload=request.workload,
+                        fab_location=location,
+                        label=f"{name}@{label_location}",
+                    )
+                )
+        return self.batch(BatchRequest(points=tuple(points)))
+
+    def montecarlo(self, request: MonteCarloRequest) -> "tuple[dict, str]":
+        """Monte-Carlo summary → (summary dict, cache tag)."""
+        self.stats.requests += 1
+        self.stats.points += request.samples
+        fab_location = (
+            request.fab_location
+            if request.fab_location is not None
+            else self.fab_location
+        )
+        key = content_key(
+            montecarlo_fingerprint(
+                request.design, self.params, fab_location,
+                request.workload, request.samples, request.seed,
+            )
+        )
+
+        def compute() -> dict:
+            # Deferred: uncertainty pulls in numpy, which evaluate-only
+            # deployments never need.
+            from ..analysis.uncertainty import monte_carlo
+
+            result = monte_carlo(
+                request.design,
+                workload=request.workload,
+                params=self.params,
+                fab_location=fab_location,
+                samples=request.samples,
+                seed=request.seed,
+                evaluator=self.evaluator,
+            )
+            return {
+                "design": request.design.name,
+                "workload": workload_to_value(request.workload),
+                "samples": result.n,
+                "seed": request.seed,
+                "base_kg": result.base_kg,
+                "mean_kg": result.mean_kg,
+                "std_kg": result.std_kg,
+                "p05_kg": result.p05,
+                "p50_kg": result.p50,
+                "p95_kg": result.p95,
+            }
+
+        return self._compute_through(key, compute)
+
+    def stats_dict(self) -> dict:
+        """JSON-ready dispatcher + engine + store statistics."""
+        data = {
+            "dispatcher": self.stats.as_dict(),
+            "engine": self.evaluator.stats.as_dict(),
+        }
+        if self.store is not None:
+            data["store"] = self.store.stats()
+        return data

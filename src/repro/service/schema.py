@@ -1,0 +1,416 @@
+"""Versioned JSON request/response schemas for the evaluation service.
+
+Every request carries ``{"schema": 1, "type": <kind>, ...}``; the parser
+is *strict* — unknown keys, wrong types, out-of-range values and unknown
+enum spellings are rejected with a :class:`SchemaError` carrying a typed,
+JSON-ready payload (``{"type": "SchemaError", "message": ..., "field":
+...}``) instead of a traceback. Design payloads reuse the CLI's documented
+JSON schema via :func:`repro.io.designs.design_from_dict`.
+
+Request kinds:
+
+* ``evaluate`` — one (design, workload, fab location) point → a full
+  lifecycle report (bit-identical to ``CarbonModel.evaluate``);
+* ``batch`` — a list of evaluate points, deduplicated and coalesced onto
+  one :class:`repro.engine.BatchEvaluator` pass;
+* ``sweep`` — a 2D reference design × integration options × fab
+  locations, expanded server-side into a batch;
+* ``montecarlo`` — a Monte-Carlo uncertainty summary (mean/std/
+  percentiles) over the default Table 2 factor ranges.
+
+Responses are enveloped: ``{"schema": 1, "ok": true, "result": ...}``
+plus a ``cache`` tag (``"store"`` / ``"computed"`` / ``"coalesced"``)
+describing where the answer came from, or
+``{"schema": 1, "ok": false, "error": {...}}`` with a typed error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.design import ChipDesign
+from ..core.operational import Workload
+from ..errors import CarbonModelError
+from ..io.designs import design_from_dict
+from ..studies.sweep import DEFAULT_INTEGRATIONS
+
+#: Version of the request/response wire format. Bump on breaking changes;
+#: the persistent store keys include it, so stale cached payloads can
+#: never serve a newer schema.
+SCHEMA_VERSION = 1
+
+#: Service-side guard rails (a batch of millions belongs in a file, not
+#: one HTTP body).
+MAX_BATCH_POINTS = 10_000
+MAX_MC_SAMPLES = 100_000
+
+REQUEST_TYPES = ("evaluate", "batch", "sweep", "montecarlo")
+
+
+class SchemaError(CarbonModelError):
+    """A request violates the wire schema (bad key, type, or value)."""
+
+    def __init__(self, message: str, field: "str | None" = None) -> None:
+        super().__init__(message)
+        self.field = field
+
+
+def error_payload(error: Exception) -> dict:
+    """The typed, JSON-ready description of an error."""
+    payload: dict = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    field = getattr(error, "field", None)
+    if field is not None:
+        payload["field"] = field
+    return payload
+
+
+def ok_envelope(result, **extra) -> dict:
+    """A success response envelope."""
+    envelope: dict = {"schema": SCHEMA_VERSION, "ok": True}
+    envelope.update(extra)
+    envelope["result"] = result
+    return envelope
+
+
+def error_envelope(error: Exception) -> dict:
+    """A failure response envelope with the typed error payload."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "ok": False,
+        "error": error_payload(error),
+    }
+
+
+# -- field helpers -----------------------------------------------------------
+
+
+def _reject_unknown(data: dict, allowed: "tuple[str, ...]",
+                    where: str) -> None:
+    unknown = [key for key in data if key not in allowed]
+    if unknown:
+        raise SchemaError(
+            f"{where}: unknown key(s) {', '.join(sorted(map(repr, unknown)))}"
+            f" (allowed: {', '.join(allowed)})",
+            field=f"{where}.{sorted(unknown)[0]}",
+        )
+
+
+def _require_mapping(data, where: str) -> dict:
+    if not isinstance(data, dict):
+        raise SchemaError(
+            f"{where} must be a JSON object, got {type(data).__name__}",
+            field=where,
+        )
+    return data
+
+
+def _check_envelope(data: dict, expected_type: "str | None") -> str:
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"request must carry \"schema\": {SCHEMA_VERSION}, got "
+            f"{version!r}",
+            field="schema",
+        )
+    kind = data.get("type")
+    if kind not in REQUEST_TYPES:
+        raise SchemaError(
+            f"request \"type\" must be one of {', '.join(REQUEST_TYPES)}, "
+            f"got {kind!r}",
+            field="type",
+        )
+    if expected_type is not None and kind != expected_type:
+        raise SchemaError(
+            f"endpoint expects a {expected_type!r} request, got {kind!r}",
+            field="type",
+        )
+    return kind
+
+
+def _number(value, where: str, minimum=None) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(
+            f"{where} must be a number, got {type(value).__name__}",
+            field=where,
+        )
+    if minimum is not None and value <= minimum:
+        raise SchemaError(f"{where} must be > {minimum}, got {value}",
+                          field=where)
+    return float(value)
+
+
+def _integer(value, where: str, minimum: int, maximum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemaError(
+            f"{where} must be an integer, got {type(value).__name__}",
+            field=where,
+        )
+    if not minimum <= value <= maximum:
+        raise SchemaError(
+            f"{where} must lie in [{minimum}, {maximum}], got {value}",
+            field=where,
+        )
+    return value
+
+
+def _location(value, where: str):
+    """A grid location: a name or a raw g CO₂/kWh number."""
+    if isinstance(value, str) and value:
+        return value
+    if not isinstance(value, bool) and isinstance(value, (int, float)):
+        return float(value)
+    raise SchemaError(
+        f"{where} must be a grid name or a g CO2/kWh number, got {value!r}",
+        field=where,
+    )
+
+
+# -- workload ----------------------------------------------------------------
+
+_WORKLOAD_KEYS = ("name", "total_tera_ops", "use_location", "lifetime_years")
+
+
+def workload_from_value(value, where: str = "workload") -> "Workload | None":
+    """Parse the ``workload`` field: ``"av"``, ``"none"``/null, or a record."""
+    if value is None or value == "none":
+        return None
+    if value == "av":
+        return Workload.autonomous_vehicle()
+    data = _require_mapping(value, where)
+    _reject_unknown(data, _WORKLOAD_KEYS, where)
+    for key in ("name", "total_tera_ops"):
+        if key not in data:
+            raise SchemaError(f"{where} record missing {key!r}",
+                              field=f"{where}.{key}")
+    name = data["name"]
+    if not isinstance(name, str) or not name:
+        raise SchemaError(f"{where}.name must be a non-empty string",
+                          field=f"{where}.name")
+    kwargs: dict = {
+        "name": name,
+        "total_tera_ops": _number(
+            data["total_tera_ops"], f"{where}.total_tera_ops", minimum=0.0
+        ),
+    }
+    if "use_location" in data:
+        kwargs["use_location"] = _location(
+            data["use_location"], f"{where}.use_location"
+        )
+    if "lifetime_years" in data:
+        kwargs["lifetime_years"] = _number(
+            data["lifetime_years"], f"{where}.lifetime_years", minimum=0.0
+        )
+    return Workload(**kwargs)
+
+
+def workload_to_value(workload: "Workload | None"):
+    """Inverse of :func:`workload_from_value` (records stay records)."""
+    if workload is None:
+        return None
+    av = Workload.autonomous_vehicle()
+    if workload == av:
+        return "av"
+    return {
+        "name": workload.name,
+        "total_tera_ops": workload.total_tera_ops,
+        "use_location": workload.use_location,
+        "lifetime_years": workload.lifetime_years,
+    }
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """One evaluation point, fully resolved from the wire format."""
+
+    design: ChipDesign
+    workload: "Workload | None"
+    fab_location: "str | float | None"
+    label: "str | None" = None
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    points: tuple[EvaluateRequest, ...]
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A reference design fanned over integrations × fab locations."""
+
+    reference: ChipDesign
+    integrations: tuple[str, ...]
+    fab_locations: tuple
+    workload: "Workload | None"
+
+
+@dataclass(frozen=True)
+class MonteCarloRequest:
+    design: ChipDesign
+    workload: "Workload | None"
+    fab_location: "str | float | None"
+    samples: int
+    seed: int
+
+
+def _parse_design(value, where: str) -> ChipDesign:
+    return design_from_dict(_require_mapping(value, where))
+
+
+def _parse_point(
+    data: dict, where: str = "request"
+) -> EvaluateRequest:
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "workload", "fab_location", "label"),
+        where,
+    )
+    if "design" not in data:
+        raise SchemaError(f"{where} missing \"design\"",
+                          field=f"{where}.design")
+    label = data.get("label")
+    if label is not None and not isinstance(label, str):
+        raise SchemaError(f"{where}.label must be a string",
+                          field=f"{where}.label")
+    fab_location = data.get("fab_location")
+    if fab_location is not None:
+        fab_location = _location(fab_location, f"{where}.fab_location")
+    return EvaluateRequest(
+        design=_parse_design(data["design"], f"{where}.design"),
+        workload=workload_from_value(
+            data.get("workload", "av"), f"{where}.workload"
+        ),
+        fab_location=fab_location,
+        label=label,
+    )
+
+
+def parse_evaluate_request(data) -> EvaluateRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "evaluate")
+    return _parse_point(data)
+
+
+def parse_batch_request(data) -> BatchRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "batch")
+    _reject_unknown(data, ("schema", "type", "points"), "request")
+    points = data.get("points")
+    if not isinstance(points, list) or not points:
+        raise SchemaError(
+            "batch request needs a non-empty \"points\" array",
+            field="points",
+        )
+    if len(points) > MAX_BATCH_POINTS:
+        raise SchemaError(
+            f"batch is limited to {MAX_BATCH_POINTS} points per request, "
+            f"got {len(points)}",
+            field="points",
+        )
+    parsed = []
+    for index, point in enumerate(points):
+        where = f"points[{index}]"
+        point = _require_mapping(point, where)
+        _reject_unknown(
+            point, ("design", "workload", "fab_location", "label"), where
+        )
+        parsed.append(_parse_point(dict(point), where))
+    return BatchRequest(points=tuple(parsed))
+
+
+def parse_sweep_request(data) -> SweepRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "sweep")
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "integrations", "fab_locations",
+         "workload"),
+        "request",
+    )
+    if "design" not in data:
+        raise SchemaError("sweep request missing \"design\"", field="design")
+    reference = _parse_design(data["design"], "design")
+    integrations = data.get("integrations")
+    if integrations is None:
+        integrations = list(DEFAULT_INTEGRATIONS)
+    if not isinstance(integrations, list) or not integrations or not all(
+        isinstance(name, str) and name for name in integrations
+    ):
+        raise SchemaError(
+            "sweep \"integrations\" must be a non-empty array of names",
+            field="integrations",
+        )
+    fab_locations = data.get("fab_locations")
+    if fab_locations is None:
+        fab_locations = [None]
+    else:
+        if not isinstance(fab_locations, list) or not fab_locations:
+            raise SchemaError(
+                "sweep \"fab_locations\" must be a non-empty array",
+                field="fab_locations",
+            )
+        fab_locations = [
+            _location(value, f"fab_locations[{index}]")
+            for index, value in enumerate(fab_locations)
+        ]
+    if len(integrations) * len(fab_locations) > MAX_BATCH_POINTS:
+        raise SchemaError(
+            f"sweep expands past the {MAX_BATCH_POINTS}-point batch limit",
+            field="integrations",
+        )
+    return SweepRequest(
+        reference=reference,
+        integrations=tuple(integrations),
+        fab_locations=tuple(fab_locations),
+        workload=workload_from_value(data.get("workload", "av")),
+    )
+
+
+def parse_montecarlo_request(data) -> MonteCarloRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "montecarlo")
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "workload", "fab_location", "samples",
+         "seed"),
+        "request",
+    )
+    if "design" not in data:
+        raise SchemaError("montecarlo request missing \"design\"",
+                          field="design")
+    fab_location = data.get("fab_location")
+    if fab_location is not None:
+        fab_location = _location(fab_location, "fab_location")
+    return MonteCarloRequest(
+        design=_parse_design(data["design"], "design"),
+        workload=workload_from_value(data.get("workload", "av")),
+        fab_location=fab_location,
+        samples=_integer(
+            # The engine needs >= 2 draws for a distribution summary.
+            data.get("samples", 200), "samples", 2, MAX_MC_SAMPLES
+        ),
+        seed=_integer(
+            # numpy's default_rng rejects negative seeds.
+            data.get("seed", 20240623), "seed", 0, 2**62
+        ),
+    )
+
+
+_PARSERS = {
+    "evaluate": parse_evaluate_request,
+    "batch": parse_batch_request,
+    "sweep": parse_sweep_request,
+    "montecarlo": parse_montecarlo_request,
+}
+
+
+def parse_request(data):
+    """Parse any request, dispatching on its ``type`` field."""
+    data = _require_mapping(data, "request")
+    kind = _check_envelope(data, None)
+    return _PARSERS[kind](data)

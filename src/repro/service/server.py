@@ -1,0 +1,252 @@
+"""The HTTP face of the service: a stdlib-only threaded JSON API.
+
+``CarbonService`` is a :class:`http.server.ThreadingHTTPServer` whose
+handler routes:
+
+* ``POST /evaluate``   — one point → a lifecycle report;
+* ``POST /batch``      — many points, deduplicated;
+* ``POST /sweep``      — integration × fab-location grid of a reference;
+* ``POST /montecarlo`` — a Monte-Carlo uncertainty summary;
+* ``GET  /healthz``    — liveness + config echo;
+* ``GET  /stats``      — dispatcher / engine / store counters.
+
+Validation errors answer 400 with the typed error envelope of
+:mod:`repro.service.schema`; unknown routes answer 404; unexpected
+failures answer 500 (the error type still in the payload). Worker
+threads share one :class:`~repro.service.dispatcher.Dispatcher`, whose
+store/in-flight coalescing makes concurrent identical requests cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..config.parameters import ParameterSet
+from ..errors import CarbonModelError
+from . import schema
+from .dispatcher import Dispatcher
+from .store import ResultStore
+
+#: Request bodies above this size are refused outright (16 MiB of JSON
+#: is far beyond any legitimate batch under the schema's point limits).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Route requests to the owning :class:`CarbonService`'s dispatcher."""
+
+    server: "CarbonService"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            sys.stderr.write(
+                "[carbon3d] %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Advertise what the server is about to do anyway (set when a
+            # request body was never drained off a keep-alive socket).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, error: Exception) -> None:
+        self._send_json(status, schema.error_envelope(error))
+
+    def _read_json_body(self) -> dict:
+        # Until the body is fully read off the socket, answering on a
+        # keep-alive connection would leave the unread bytes to be parsed
+        # as the next HTTP request — poison the connection instead of
+        # reusing it.
+        self.close_connection = True
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise schema.SchemaError(
+                "request needs a Content-Length header and a JSON body"
+            ) from None
+        if not 0 < length <= MAX_BODY_BYTES:
+            raise schema.SchemaError(
+                f"request body must be 1..{MAX_BODY_BYTES} bytes, "
+                f"got {length}"
+            )
+        raw = self.rfile.read(length)
+        self.close_connection = False
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise schema.SchemaError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.server.health_payload())
+            elif self.path == "/stats":
+                self._send_json(
+                    200,
+                    schema.ok_envelope(self.server.dispatcher.stats_dict()),
+                )
+            else:
+                self._send_error(
+                    404, schema.SchemaError(f"no such route: {self.path}")
+                )
+        except Exception as error:  # pragma: no cover - defensive
+            self.server.dispatcher.stats.errors += 1
+            self._send_error(500, error)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        dispatcher = self.server.dispatcher
+        try:
+            body = self._read_json_body()
+            if self.path == "/evaluate":
+                request = schema.parse_evaluate_request(body)
+                result, source = dispatcher.evaluate(request)
+                self._send_json(
+                    200, schema.ok_envelope(result, cache=source)
+                )
+            elif self.path == "/batch":
+                request = schema.parse_batch_request(body)
+                self._send_json(
+                    200, schema.ok_envelope(dispatcher.batch(request))
+                )
+            elif self.path == "/sweep":
+                request = schema.parse_sweep_request(body)
+                self._send_json(
+                    200, schema.ok_envelope(dispatcher.sweep(request))
+                )
+            elif self.path == "/montecarlo":
+                request = schema.parse_montecarlo_request(body)
+                result, source = dispatcher.montecarlo(request)
+                self._send_json(
+                    200, schema.ok_envelope(result, cache=source)
+                )
+            else:
+                self._send_error(
+                    404, schema.SchemaError(f"no such route: {self.path}")
+                )
+        except CarbonModelError as error:
+            dispatcher.stats.errors += 1
+            self._send_error(400, error)
+        except Exception as error:
+            dispatcher.stats.errors += 1
+            self._send_error(500, error)
+
+
+class CarbonService(ThreadingHTTPServer):
+    """A carbon-evaluation server bound to one dispatcher + result store."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: "tuple[str, int]" = ("127.0.0.1", 0),
+        params: "ParameterSet | None" = None,
+        fab_location: "str | float" = "taiwan",
+        store_path: "str | None" = None,
+        store: "ResultStore | None" = None,
+        max_entries: int = 100_000,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        if store is None and store_path is not None:
+            store = ResultStore(store_path, max_entries=max_entries)
+        self.store = store
+        self.dispatcher = Dispatcher(
+            params=params, fab_location=fab_location, store=store
+        )
+        self.verbose = verbose
+        self.started_s = time.time()
+        self._serving = False
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def health_payload(self) -> dict:
+        return schema.ok_envelope({
+            "status": "ok",
+            "schema": schema.SCHEMA_VERSION,
+            "uptime_s": time.time() - self.started_s,
+            "fab_location": self.dispatcher.fab_location,
+            "store": None if self.store is None else self.store.path,
+            "endpoints": [
+                "/evaluate", "/batch", "/sweep", "/montecarlo",
+                "/healthz", "/stats",
+            ],
+        })
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def handle_error(self, request, client_address) -> None:
+        """Keep routine client disconnects out of the server log.
+
+        A keep-alive client closing its socket lands here as a
+        ConnectionError from the blocked readline; the socketserver
+        default would print a full traceback per disconnect.
+        """
+        import sys as _sys
+
+        error = _sys.exc_info()[1]
+        if isinstance(error, (ConnectionError, TimeoutError)):
+            return
+        if self.verbose:
+            super().handle_error(request, client_address)
+        else:
+            _sys.stderr.write(
+                f"[carbon3d] request error from {client_address}: "
+                f"{type(error).__name__}: {error}\n"
+            )
+
+    def close(self) -> None:
+        """Shut down the listener and release the store handle.
+
+        Safe to call on a server that never entered ``serve_forever`` —
+        ``shutdown()`` would otherwise block forever waiting on the serve
+        loop's completion event.
+        """
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+        if self.store is not None:
+            self.store.close()
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> CarbonService:
+    """Bind a service (``port=0`` picks a free port; nothing runs yet)."""
+    return CarbonService(address=(host, port), **kwargs)
+
+
+def serve_forever(service: CarbonService) -> None:
+    """Run until interrupted, then close cleanly."""
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        service.close()

@@ -1,0 +1,291 @@
+"""Persistent, content-addressed result store (SQLite, stdlib-only).
+
+The store maps a **content key** — the SHA-256 digest of a canonical
+rendering of the engine's value fingerprints (see
+:func:`canonical_text`) — to the JSON payload of a finished evaluation.
+Because the key is derived from the *values* a pipeline stage reads (the
+frozen parameter records, the design, the workload, the grid carbon
+intensities), two requests share an entry exactly when the engine could
+not distinguish them — the same sharing rule
+:mod:`repro.engine.fingerprint` applies in-process, made durable.
+
+Unlike Python's ``hash()`` (randomized per process for strings), the
+digest is stable across interpreter sessions, so a server restart keeps
+serving from the store instead of recomputing — the ROADMAP's
+"cross-session cache persistence" follow-up.
+
+Eviction follows the same :class:`repro.caching.EvictionPolicy` the
+engine's in-memory caches use — LRU up to ``max_entries`` — implemented
+over a monotonically increasing ``last_used`` clock column (batched
+deletes amortize the SQL cost). Hit/miss/eviction statistics are kept
+per instance and, cumulatively, in the database itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import sqlite3
+import threading
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
+from pathlib import Path
+
+from ..caching import EvictionPolicy
+from ..engine.fingerprint import CachedKey
+from ..errors import CarbonModelError
+
+#: Bump when the canonical encoding or stored payload shape changes; a
+#: mismatched database is cleared rather than served.
+STORE_FORMAT_VERSION = 1
+
+
+class StoreError(CarbonModelError):
+    """The result store cannot serve (corrupt file, closed handle, ...)."""
+
+
+def canonical_text(value) -> str:
+    """A deterministic, session-stable rendering of a fingerprint value.
+
+    Handles exactly the shapes engine fingerprints are made of — frozen
+    dataclasses, enums, tuples/lists, dicts, strings, numbers, ``None``
+    and :class:`~repro.engine.fingerprint.CachedKey` wrappers — and
+    refuses anything else (a silent fallback would risk two different
+    requests sharing a key). Floats render via ``repr``, which
+    round-trips exactly.
+    """
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, CachedKey):
+        return canonical_text(value.value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(canonical_text(item) for item in value) + ")"
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_text(k), canonical_text(v)) for k, v in value.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join(
+            f"{f.name}={canonical_text(getattr(value, f.name))}"
+            for f in dataclass_fields(value)
+        )
+        return f"{type(value).__name__}({parts})"
+    raise StoreError(
+        f"cannot canonically encode {type(value).__name__!r} into a "
+        f"content key"
+    )
+
+
+def content_key(value) -> str:
+    """SHA-256 digest of :func:`canonical_text` — the store's address."""
+    return hashlib.sha256(canonical_text(value).encode("utf-8")).hexdigest()
+
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    key       TEXT PRIMARY KEY,
+    payload   TEXT NOT NULL,
+    created   REAL NOT NULL,
+    last_used INTEGER NOT NULL,
+    use_count INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_results_last_used ON results (last_used);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class ResultStore:
+    """SQLite-backed content-addressed cache of finished evaluations.
+
+    ``path`` may be ``":memory:"`` (tests) or a filesystem path; the
+    connection is shared across the server's request threads behind one
+    lock (evaluations dominate request cost by orders of magnitude, so a
+    single writer is not a throughput concern).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path" = ":memory:",
+        max_entries: int = 100_000,
+        policy: "EvictionPolicy | None" = None,
+    ) -> None:
+        self.path = str(path)
+        self.policy = (
+            policy if policy is not None
+            else EvictionPolicy.for_store(max_entries)
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Lifetime counters accumulate in memory and flush to the meta
+        #: table lazily (stats/close) — a per-probe UPSERT would triple
+        #: the SQL of every cache lookup for pure bookkeeping.
+        self._pending = {"hits": 0, "misses": 0, "evictions": 0}
+        self._lock = threading.Lock()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
+        except sqlite3.Error as error:  # pragma: no cover - bad path
+            raise StoreError(f"cannot open result store: {error}") from error
+        with self._lock:
+            # A cache may trade durability-on-crash for lookup latency:
+            # losing an entry only costs a recomputation.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=OFF")
+            self._conn.executescript(_SCHEMA_SQL)
+            version = self._meta_get("format_version")
+            if version is None:
+                self._meta_set("format_version", str(STORE_FORMAT_VERSION))
+            elif version != str(STORE_FORMAT_VERSION):
+                # A stale format cannot be trusted to share keys; start over.
+                self._conn.execute("DELETE FROM results")
+                self._meta_set("format_version", str(STORE_FORMAT_VERSION))
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(last_used), 0) FROM results"
+            ).fetchone()
+            self._clock = int(row[0])
+            self._conn.commit()
+
+    # -- meta helpers (caller holds the lock) -------------------------------
+
+    def _meta_get(self, key: str) -> "str | None":
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def _meta_set(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    def _flush_lifetime(self) -> None:
+        for name, amount in self._pending.items():
+            if amount:
+                current = self._meta_get(f"lifetime_{name}")
+                self._meta_set(
+                    f"lifetime_{name}",
+                    str((int(current) if current else 0) + amount),
+                )
+                self._pending[name] = 0
+        self._conn.commit()
+
+    # -- the cache interface -------------------------------------------------
+
+    def get(self, key: str) -> "str | None":
+        """The stored payload for ``key``, marking it most-recently-used."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                self._pending["misses"] += 1
+                return None
+            self._clock += 1
+            self._conn.execute(
+                "UPDATE results SET last_used = ?, use_count = use_count + 1 "
+                "WHERE key = ?",
+                (self._clock, key),
+            )
+            self.hits += 1
+            self._pending["hits"] += 1
+            self._conn.commit()
+            return row[0]
+
+    def put(self, key: str, payload: str) -> None:
+        """Insert (or refresh) a payload, evicting LRU entries past the bound."""
+        import time
+
+        with self._lock:
+            self._clock += 1
+            self._conn.execute(
+                "INSERT INTO results (key, payload, created, last_used, "
+                "use_count) VALUES (?, ?, ?, ?, 0) "
+                "ON CONFLICT(key) DO UPDATE SET payload = excluded.payload, "
+                "last_used = excluded.last_used",
+                (key, payload, time.time(), self._clock),
+            )
+            count = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            overflow = count - self.policy.max_entries
+            if overflow > 0:
+                drop = max(self.policy.evict_batch, overflow)
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE key IN ("
+                    "SELECT key FROM results WHERE key != ? "
+                    "ORDER BY last_used ASC LIMIT ?)",
+                    (key, drop),
+                )
+                self.evictions += cursor.rowcount
+                self._pending["evictions"] += cursor.rowcount
+            self._conn.commit()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ?", (key,)
+            ).fetchone() is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        """Instance and lifetime counters, JSON-ready for ``/stats``."""
+        with self._lock:
+            self._flush_lifetime()
+            entries = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            lifetime = {
+                name: int(self._meta_get(f"lifetime_{name}") or 0)
+                for name in ("hits", "misses", "evictions")
+            }
+        return {
+            "path": self.path,
+            "entries": entries,
+            "max_entries": self.policy.max_entries,
+            "evict_batch": self.policy.evict_batch,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lifetime": lifetime,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._flush_lifetime()
+            except sqlite3.Error:  # pragma: no cover - already closed
+                pass
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.metrics import DecisionMetrics, decision_metrics, format_decision_table
-from ..core.model import CarbonModel
 from ..core.operational import Workload
 from ..core.report import LifecycleReport
 from .drive import drive_design
@@ -63,19 +62,33 @@ def table5_study(
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
+    evaluator=None,
 ) -> Table5Result:
-    """Reproduce Table 5 (defaults: ORIN, AV workload, 10-year lifetime)."""
+    """Reproduce Table 5 (defaults: ORIN, AV workload, 10-year lifetime).
+
+    Evaluation routes through a :class:`repro.engine.BatchEvaluator`
+    (pass ``evaluator=`` to share caches — e.g. with the Fig. 5 grid,
+    which evaluates the same ORIN splits); results are bit-identical to
+    the per-design ``CarbonModel`` path (equivalence-tested).
+    """
+    from .sweep import _evaluator_for
+
     params = params if params is not None else DEFAULT_PARAMETERS
     workload = (
         workload if workload is not None else Workload.autonomous_vehicle()
     )
-    baseline = CarbonModel(
-        drive_design(device, "2D"), params, fab_location
-    ).evaluate(workload)
+    evaluator = _evaluator_for(evaluator, params, fab_location)
+    baseline = evaluator.report(
+        drive_design(device, "2D"), workload=workload, params=params,
+        fab_location=fab_location,
+    )
     rows = []
     for option in TABLE5_OPTIONS:
         design = drive_design(device, option, approach="homogeneous")
-        report = CarbonModel(design, params, fab_location).evaluate(workload)
+        report = evaluator.report(
+            design, workload=workload, params=params,
+            fab_location=fab_location,
+        )
         rows.append(
             Table5Row(
                 option=option,

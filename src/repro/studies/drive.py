@@ -23,7 +23,6 @@ from ..config.integration import AssemblyFlow, StackingStyle
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..config.power import NVIDIA_DRIVE_SERIES, DeviceSurvey
 from ..core.design import ChipDesign
-from ..core.model import CarbonModel
 from ..core.operational import Workload
 from ..core.report import LifecycleReport
 from ..errors import ParameterError
@@ -180,12 +179,24 @@ def drive_study(
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
     devices: "list[str] | None" = None,
+    evaluator=None,
 ) -> DriveStudyResult:
-    """Evaluate the full Fig. 5 grid for one division approach."""
+    """Evaluate the full Fig. 5 grid for one division approach.
+
+    Evaluation routes through a :class:`repro.engine.BatchEvaluator`
+    (pass ``evaluator=`` to share caches with other studies): the grid
+    re-prices each device's split designs across nine integration
+    options, so the shared resolve/operational memos do most of the work
+    once. Results are bit-identical to the per-design ``CarbonModel``
+    path (equivalence-tested).
+    """
+    from .sweep import _evaluator_for
+
     params = params if params is not None else DEFAULT_PARAMETERS
     workload = (
         workload if workload is not None else Workload.autonomous_vehicle()
     )
+    evaluator = _evaluator_for(evaluator, params, fab_location)
     device_list = (
         [_lookup_device(name) for name in devices]
         if devices is not None
@@ -195,7 +206,10 @@ def drive_study(
     for device in device_list:
         for label, _, _ in FIG5_OPTIONS:
             design = drive_design(device, label, approach)
-            report = CarbonModel(design, params, fab_location).evaluate(workload)
+            report = evaluator.report(
+                design, workload=workload, params=params,
+                fab_location=fab_location,
+            )
             cells.append(
                 DriveCell(device=device.name, option=label, report=report)
             )

@@ -22,6 +22,13 @@ from ..core.operational import Workload
 from ..core.report import LifecycleReport
 from ..errors import ParameterError
 
+#: The full Table 1 integration span, in presentation order — the default
+#: x-axis of :func:`sweep_integrations` and of the service's sweep requests.
+DEFAULT_INTEGRATIONS: tuple[str, ...] = (
+    "2d", "micro_3d", "hybrid_3d", "m3d",
+    "mcm", "info", "emib", "si_interposer",
+)
+
 
 def _evaluator_for(evaluator, params, fab_location="taiwan"):
     """A caller-supplied engine, or a fresh one for this sweep."""
@@ -52,10 +59,7 @@ def sweep_integrations(
     params = params if params is not None else DEFAULT_PARAMETERS
     evaluator = _evaluator_for(evaluator, params, fab_location)
     if integrations is None:
-        integrations = [
-            "2d", "micro_3d", "hybrid_3d", "m3d",
-            "mcm", "info", "emib", "si_interposer",
-        ]
+        integrations = list(DEFAULT_INTEGRATIONS)
     points = []
     for name in integrations:
         if params.integration_spec(name).is_2d:

@@ -147,3 +147,48 @@ class TestAnalysisCommands:
         assert main(["export", "drive", str(out_path)]) == 0
         rows = json.loads(out_path.read_text())
         assert len(rows) == 36
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8787
+        assert args.store == "carbon3d_store.sqlite3"
+        assert args.no_store is False
+
+    def test_bench_parser_service_flag(self):
+        args = build_parser().parse_args(["bench", "--service"])
+        assert args.service is True
+        assert args.output is None
+
+    def test_submit_roundtrip(self, design_json, tmp_path, capsys):
+        import threading
+
+        from repro.service.server import make_server
+
+        server = make_server(store_path=str(tmp_path / "store.sqlite3"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(
+                ["submit", str(design_json), "--url", server.url]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "cli_chip" in out
+            assert "served from   : computed" in out
+            # Second submission hits the persistent store.
+            assert main(
+                ["submit", str(design_json), "--url", server.url, "--json"]
+            ) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["design"] == "cli_chip"
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_submit_unreachable_is_typed_error(self, design_json, capsys):
+        assert main(
+            ["submit", str(design_json), "--url", "http://127.0.0.1:9",
+             "--timeout", "2"]
+        ) == 1
+        assert "error" in capsys.readouterr().err

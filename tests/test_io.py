@@ -148,3 +148,77 @@ class TestResultRows:
         write_json([report_row(report)], path)
         data = json.loads(path.read_text())
         assert data[0]["design"] == report.design_name
+
+
+class TestMalformedDesigns:
+    """Bad JSON values must raise typed DesignErrors, never tracebacks."""
+
+    def base(self) -> dict:
+        return {
+            "name": "chip",
+            "integration": "hybrid_3d",
+            "stacking": "f2f",
+            "assembly": "d2w",
+            "dies": [
+                {"name": "top", "node": "7nm", "gate_count": 8.5e9},
+                {"name": "bottom", "node": "7nm", "gate_count": 8.5e9},
+            ],
+        }
+
+    def test_unknown_stacking_style(self):
+        data = self.base()
+        data["stacking"] = "sideways"
+        with pytest.raises(DesignError, match="stacking.*known"):
+            design_from_dict(data)
+
+    def test_unknown_assembly_flow(self):
+        data = self.base()
+        data["assembly"] = "telekinesis"
+        with pytest.raises(DesignError, match="assembly.*known"):
+            design_from_dict(data)
+
+    def test_unknown_die_kind(self):
+        data = self.base()
+        data["dies"][0]["kind"] = "quantum"
+        with pytest.raises(DesignError, match="die kind.*known"):
+            design_from_dict(data)
+
+    def test_non_string_integration(self):
+        data = self.base()
+        data["integration"] = 3
+        with pytest.raises(DesignError, match="integration"):
+            design_from_dict(data)
+
+    def test_non_object_design(self):
+        with pytest.raises(DesignError, match="object"):
+            design_from_dict(["not", "a", "design"])
+
+    def test_non_array_dies(self):
+        data = self.base()
+        data["dies"] = "two of them"
+        with pytest.raises(DesignError, match="array"):
+            design_from_dict(data)
+
+    def test_non_object_die(self):
+        data = self.base()
+        data["dies"][1] = 42
+        with pytest.raises(DesignError, match="die record"):
+            design_from_dict(data)
+
+    def test_non_object_package(self):
+        data = self.base()
+        data["package"] = "fcbga"
+        with pytest.raises(DesignError, match="package"):
+            design_from_dict(data)
+
+    def test_non_numeric_gate_count(self):
+        data = self.base()
+        data["dies"][0]["gate_count"] = "lots"
+        with pytest.raises(DesignError, match="gate_count"):
+            design_from_dict(data)
+
+    def test_non_numeric_yield(self):
+        data = self.base()
+        data["dies"][0]["yield"] = "high"
+        with pytest.raises(DesignError, match="yield"):
+            design_from_dict(data)

@@ -1,0 +1,295 @@
+"""End-to-end service tests: HTTP round-trips, restart persistence.
+
+The acceptance scenario of the service PR lives here: submitting the
+CLI's documented design JSON over HTTP returns a report bit-identical to
+``CarbonModel.evaluate``, and killing/restarting the server serves the
+same request from the persistent store (hits increment, nothing
+re-resolves).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.model import CarbonModel
+from repro.core.operational import Workload
+from repro.io.designs import design_from_dict
+from repro.service import ServiceClient, ServiceError, make_server
+
+
+def design_payload(name="cli_chip", gates=17e9) -> dict:
+    """The design JSON schema the CLI documents."""
+    return {
+        "name": name,
+        "integration": "hybrid_3d",
+        "stacking": "f2f",
+        "assembly": "d2w",
+        "package": {"class": "fcbga"},
+        "throughput_tops": 254.0,
+        "dies": [
+            {"name": "top", "node": "7nm", "gate_count": gates / 2,
+             "workload_share": 0.5},
+            {"name": "bottom", "node": "7nm", "gate_count": gates / 2,
+             "workload_share": 0.5},
+        ],
+    }
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A running server (persistent store in tmp) + client, torn down after."""
+    server = make_server(store_path=str(tmp_path / "store.sqlite3"))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, ServiceClient(server.url)
+    finally:
+        server.close()
+        thread.join(timeout=5.0)
+
+
+class TestRoundTrip:
+    def test_evaluate_bit_identical_to_carbon_model(self, service):
+        _, client = service
+        envelope = client.evaluate(design_payload())
+        reference = CarbonModel(
+            design_from_dict(design_payload()), fab_location="taiwan"
+        ).evaluate(Workload.autonomous_vehicle())
+        # JSON round-trip the reference exactly as the wire does.
+        assert envelope["result"] == json.loads(
+            json.dumps(reference.to_dict())
+        )
+        assert envelope["cache"] == "computed"
+
+    def test_repeat_served_from_store(self, service):
+        _, client = service
+        first = client.evaluate(design_payload())
+        second = client.evaluate(design_payload())
+        assert second["cache"] == "store"
+        assert second["result"] == first["result"]
+
+    def test_workload_none(self, service):
+        _, client = service
+        envelope = client.evaluate(design_payload(), workload="none")
+        assert "operational_kg" not in envelope["result"]
+
+    def test_fab_location_changes_result(self, service):
+        _, client = service
+        taiwan = client.evaluate(design_payload())["result"]
+        iceland = client.evaluate(
+            design_payload(), fab_location="iceland"
+        )["result"]
+        assert iceland["embodied_kg"] < taiwan["embodied_kg"]
+
+    def test_healthz(self, service):
+        _, client = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "/evaluate" in health["endpoints"]
+
+    def test_stats_counts_layers(self, service):
+        _, client = service
+        client.evaluate(design_payload())
+        client.evaluate(design_payload())
+        stats = client.stats()
+        assert stats["dispatcher"]["computed"] == 1
+        assert stats["store"]["hits"] == 1
+        assert stats["engine"]["points_evaluated"] == 1
+
+
+class TestRestartPersistence:
+    def test_cold_restart_serves_from_store(self, tmp_path):
+        """The PR's acceptance criterion, end to end."""
+        store_path = str(tmp_path / "store.sqlite3")
+
+        server = make_server(store_path=store_path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url)
+        first = client.evaluate(design_payload())
+        assert first["cache"] == "computed"
+        server.close()
+        thread.join(timeout=5.0)
+
+        # Kill → restart on the same store file: fresh engine, warm store.
+        server = make_server(store_path=store_path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url)
+        try:
+            second = client.evaluate(design_payload())
+            assert second["cache"] == "store"
+            assert second["result"] == first["result"]   # bit-identical
+            stats = client.stats()
+            assert stats["store"]["hits"] == 1           # hit incremented
+            assert stats["engine"]["resolve_misses"] == 0  # no re-resolve
+            assert stats["engine"]["points_evaluated"] == 0
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+
+class TestBatchAndSweep:
+    def test_batch_dedup_and_order(self, service):
+        _, client = service
+        points = [
+            {"design": design_payload("a"), "label": "p0"},
+            {"design": design_payload("b")},
+            {"design": design_payload("a"), "label": "p2"},  # duplicate of p0
+        ]
+        envelope = client.batch(points)
+        rows = envelope["result"]
+        assert [row["label"] for row in rows] == ["p0", None, "p2"]
+        assert rows[0]["report"] == rows[2]["report"]
+        stats = client.stats()
+        assert stats["dispatcher"]["deduplicated"] == 1
+        assert stats["dispatcher"]["computed"] == 2
+
+    def test_sweep_grid(self, service):
+        _, client = service
+        reference = {
+            "name": "ref", "throughput_tops": 254.0,
+            "dies": [{"name": "d", "node": "7nm", "gate_count": 17e9,
+                      "efficiency_tops_per_w": 2.74}],
+        }
+        envelope = client.sweep(
+            reference, integrations=["2d", "hybrid_3d"],
+            fab_locations=["taiwan", "iceland"],
+        )
+        rows = envelope["result"]
+        assert len(rows) == 4
+        assert rows[0]["label"] == "2d@taiwan"
+        assert {row["report"]["integration"] for row in rows} == {
+            "2d", "hybrid_3d",
+        }
+
+    def test_montecarlo_summary_cached(self, service):
+        _, client = service
+        first = client.montecarlo(design_payload(), samples=40)
+        assert first["cache"] == "computed"
+        assert first["result"]["samples"] == 40
+        assert first["result"]["mean_kg"] > 0
+        second = client.montecarlo(design_payload(), samples=40)
+        assert second["cache"] == "store"
+        assert second["result"] == first["result"]
+        # A different seed is a different content address.
+        third = client.montecarlo(design_payload(), samples=40, seed=7)
+        assert third["cache"] == "computed"
+
+
+class TestCoalescing:
+    def test_concurrent_identical_points_compute_once(self, tmp_path):
+        server = make_server(store_path=None)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(server.url)
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                envelopes = list(pool.map(
+                    lambda _: client.evaluate(design_payload()), range(8)
+                ))
+            results = [e["result"] for e in envelopes]
+            assert all(result == results[0] for result in results)
+            # Without a store every response is computed or coalesced;
+            # the engine only ever saw one distinct point.
+            assert server.dispatcher.evaluator.stats.resolve_misses == 1
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+
+class TestErrors:
+    def test_malformed_json_is_400_schema_error(self, service):
+        server, _ = service
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/evaluate", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["error"]["type"] == "SchemaError"
+
+    def test_bad_design_value_is_typed_error(self, service):
+        _, client = service
+        bad = design_payload()
+        bad["stacking"] = "sideways"
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(bad)
+        assert excinfo.value.error_type == "DesignError"
+        assert excinfo.value.status == 400
+
+    def test_unknown_node_is_typed_error(self, service):
+        _, client = service
+        bad = design_payload()
+        bad["dies"][0]["node"] = "9nm"
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(bad)
+        assert excinfo.value.status == 400
+
+    def test_unknown_route_is_404(self, service):
+        server, _ = service
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/nope", data=b"{}",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_close_before_serve_does_not_deadlock(self):
+        server = make_server()
+        server.close()                      # never entered serve_forever
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+
+class TestDispatcherParamsPinning:
+    def test_caller_evaluator_with_other_params_cannot_poison_store(self):
+        """Content keys fingerprint the dispatcher's params, so compute
+        must run under those same params even on a shared evaluator."""
+        from repro.config.parameters import DEFAULT_PARAMETERS
+        from repro.engine import BatchEvaluator
+        from repro.service.dispatcher import Dispatcher
+        from repro.service.schema import parse_evaluate_request
+        from repro.service.store import ResultStore
+
+        other = DEFAULT_PARAMETERS.with_node_override(
+            "7nm", defect_density_per_cm2=0.5
+        )
+        dispatcher = Dispatcher(
+            store=ResultStore(":memory:"),
+            evaluator=BatchEvaluator(params=other),
+        )
+        request = parse_evaluate_request({
+            "schema": 1, "type": "evaluate", "design": design_payload(),
+        })
+        result, _ = dispatcher.evaluate(request)
+        reference = CarbonModel(
+            design_from_dict(design_payload()), fab_location="taiwan"
+        ).evaluate(Workload.autonomous_vehicle())
+        assert result == json.loads(json.dumps(reference.to_dict()))
+
+    def test_plugin_evaluators_rejected(self):
+        from repro.engine import BatchEvaluator
+        from repro.errors import ParameterError
+        from repro.service.dispatcher import Dispatcher
+
+        with pytest.raises(ParameterError, match="plugin"):
+            Dispatcher(
+                evaluator=BatchEvaluator(efficiency_plugin=lambda *a: None)
+            )

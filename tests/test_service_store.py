@@ -1,0 +1,170 @@
+"""Persistent content-addressed result store: keys, LRU, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.caching import EvictionPolicy
+from repro.config.parameters import DEFAULT_PARAMETERS
+from repro.core.operational import Workload
+from repro.service.dispatcher import (
+    evaluate_fingerprint,
+    montecarlo_fingerprint,
+)
+from repro.service.store import (
+    ResultStore,
+    StoreError,
+    canonical_text,
+    content_key,
+)
+
+
+class TestCanonicalText:
+    def test_primitives(self):
+        assert canonical_text(None) == "None"
+        assert canonical_text(True) == "True"
+        assert canonical_text(1) == "1"
+        assert canonical_text(1.5) == "1.5"
+        assert canonical_text("a\"b") == '"a\\"b"'
+
+    def test_float_int_distinct(self):
+        assert canonical_text(1.0) != canonical_text(1)
+
+    def test_nested_structures(self):
+        assert canonical_text((1, (2, "x"))) == '(1,(2,"x"))'
+        assert canonical_text({"b": 2, "a": 1}) == '{"a":1,"b":2}'
+
+    def test_dataclass_and_enum(self):
+        from repro.config.integration import BondingMethod
+
+        node = DEFAULT_PARAMETERS.node("7nm")
+        text = canonical_text((node, BondingMethod.HYBRID))
+        assert "ProcessNode(" in text
+        assert "BondingMethod.HYBRID" in text
+
+    def test_refuses_unknown_types(self):
+        with pytest.raises(StoreError, match="canonically encode"):
+            canonical_text(object())
+
+    def test_content_key_is_stable_hex(self):
+        key = content_key(("evaluate", 1))
+        assert key == content_key(("evaluate", 1))
+        assert len(key) == 64
+        assert key != content_key(("evaluate", 2))
+
+
+class TestFingerprints:
+    def test_same_values_same_key(self, orin_2d, av_workload):
+        a = evaluate_fingerprint(
+            orin_2d, DEFAULT_PARAMETERS, "taiwan", av_workload
+        )
+        b = evaluate_fingerprint(
+            orin_2d, DEFAULT_PARAMETERS, "taiwan",
+            Workload.autonomous_vehicle(),
+        )
+        assert content_key(a) == content_key(b)
+
+    def test_location_changes_key(self, orin_2d, av_workload):
+        a = evaluate_fingerprint(
+            orin_2d, DEFAULT_PARAMETERS, "taiwan", av_workload
+        )
+        b = evaluate_fingerprint(
+            orin_2d, DEFAULT_PARAMETERS, "iceland", av_workload
+        )
+        assert content_key(a) != content_key(b)
+
+    def test_parameter_perturbation_changes_key(self, orin_2d, av_workload):
+        perturbed = DEFAULT_PARAMETERS.with_node_override(
+            "7nm", defect_density_per_cm2=0.2
+        )
+        a = evaluate_fingerprint(
+            orin_2d, DEFAULT_PARAMETERS, "taiwan", av_workload
+        )
+        b = evaluate_fingerprint(orin_2d, perturbed, "taiwan", av_workload)
+        assert content_key(a) != content_key(b)
+
+    def test_montecarlo_key_pins_draws(self, hybrid_stack, av_workload):
+        a = montecarlo_fingerprint(
+            hybrid_stack, DEFAULT_PARAMETERS, "taiwan", av_workload, 100, 1
+        )
+        b = montecarlo_fingerprint(
+            hybrid_stack, DEFAULT_PARAMETERS, "taiwan", av_workload, 100, 2
+        )
+        assert content_key(a) != content_key(b)
+
+
+class TestResultStore:
+    def test_roundtrip_and_counters(self):
+        with ResultStore(":memory:") as store:
+            assert store.get("k") is None
+            store.put("k", json.dumps({"total_kg": 1.25}))
+            assert json.loads(store.get("k"))["total_kg"] == 1.25
+            assert store.hits == 1
+            assert store.misses == 1
+            assert len(store) == 1
+            assert "k" in store and "other" not in store
+
+    def test_put_refreshes_payload(self):
+        with ResultStore(":memory:") as store:
+            store.put("k", "old")
+            store.put("k", "new")
+            assert store.get("k") == "new"
+            assert len(store) == 1
+
+    def test_lru_eviction(self):
+        policy = EvictionPolicy(max_entries=3, evict_batch=1)
+        with ResultStore(":memory:", policy=policy) as store:
+            for name in "abc":
+                store.put(name, name)
+            assert store.get("a") == "a"        # refresh 'a'
+            store.put("d", "d")                 # evicts 'b'
+            assert store.get("b") is None
+            assert store.get("a") == "a"
+            assert store.get("d") == "d"
+            assert store.evictions == 1
+
+    def test_batched_eviction(self):
+        policy = EvictionPolicy(max_entries=4, evict_batch=2)
+        with ResultStore(":memory:", policy=policy) as store:
+            for index in range(5):
+                store.put(str(index), "x")
+            assert len(store) == 3              # one overflow drops a batch
+            assert store.get("4") == "x"        # newest entry survives
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        with ResultStore(path) as store:
+            store.put("k", "payload")
+        with ResultStore(path) as reopened:
+            assert reopened.get("k") == "payload"
+            assert reopened.hits == 1
+            lifetime = reopened.stats()["lifetime"]
+            assert lifetime["hits"] == 1
+
+    def test_lru_clock_survives_reopen(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        policy = EvictionPolicy(max_entries=2, evict_batch=1)
+        with ResultStore(path, policy=policy) as store:
+            store.put("old", "1")
+            store.put("new", "2")
+        with ResultStore(path, policy=policy) as reopened:
+            reopened.put("newest", "3")         # evicts 'old', not 'new'
+            assert reopened.get("old") is None
+            assert reopened.get("new") == "2"
+
+    def test_stats_shape(self):
+        with ResultStore(":memory:", max_entries=10) as store:
+            stats = store.stats()
+            assert stats["entries"] == 0
+            assert stats["max_entries"] == 10
+            assert set(stats["lifetime"]) == {"hits", "misses", "evictions"}
+
+    def test_clear(self):
+        with ResultStore(":memory:") as store:
+            store.put("k", "v")
+            store.get("k")
+            store.clear()
+            assert len(store) == 0
+            assert store.hits == 0

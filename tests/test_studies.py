@@ -181,3 +181,56 @@ class TestSweeps:
             sweep_wafer_diameters(orin_2d, [300.0]), title="wafer"
         )
         assert "wafer" in text and "300 mm" in text
+
+
+class TestEngineRoutedStudies:
+    """drive_study / table5_study route through BatchEvaluator — the
+    results must stay bit-identical to the per-design CarbonModel path."""
+
+    def test_drive_study_matches_scalar_path(self):
+        from repro.core.model import CarbonModel
+        from repro.studies.drive import FIG5_OPTIONS, drive_design
+
+        workload = Workload.autonomous_vehicle()
+        result = drive_study(approach="homogeneous", devices=["ORIN"])
+        assert len(result.cells) == len(FIG5_OPTIONS)
+        for cell in result.cells:
+            design = drive_design("ORIN", cell.option, "homogeneous")
+            reference = CarbonModel(design, fab_location="taiwan").evaluate(
+                workload
+            )
+            assert cell.report == reference
+
+    def test_drive_study_shares_an_external_evaluator(self):
+        from repro.engine import BatchEvaluator
+
+        evaluator = BatchEvaluator()
+        first = drive_study(approach="homogeneous", devices=["ORIN"],
+                            evaluator=evaluator)
+        points_after_first = evaluator.stats.points_evaluated
+        second = drive_study(approach="homogeneous", devices=["ORIN"],
+                             evaluator=evaluator)
+        # The repeat is served entirely from the evaluator's memos.
+        assert evaluator.stats.resolve_misses <= points_after_first
+        assert [c.report for c in second.cells] == [
+            c.report for c in first.cells
+        ]
+
+    def test_table5_matches_scalar_path(self):
+        from repro.core.model import CarbonModel
+        from repro.studies.decision import TABLE5_OPTIONS, table5_study
+        from repro.studies.drive import drive_design
+
+        workload = Workload.autonomous_vehicle()
+        result = table5_study()
+        baseline = CarbonModel(
+            drive_design("ORIN", "2D"), fab_location="taiwan"
+        ).evaluate(workload)
+        assert result.baseline == baseline
+        assert len(result.rows) == len(TABLE5_OPTIONS)
+        for row in result.rows:
+            design = drive_design("ORIN", row.option, approach="homogeneous")
+            reference = CarbonModel(design, fab_location="taiwan").evaluate(
+                workload
+            )
+            assert row.report == reference
