@@ -6,13 +6,21 @@ Usage::
     python benchmarks/perf_report.py [--output BENCH_engine.json]
                                      [--samples 500] [--repeats 3]
     python benchmarks/perf_report.py --service [--output BENCH_service.json]
+    python benchmarks/perf_report.py --quick
 
 Equivalent to ``python -m repro.cli bench`` (and ``bench --service``);
 both call :func:`repro.cli.run_bench_cli`, so future PRs can track the
 wall-clock and speedup trajectory from one implementation. The default
 run times the batch engine against the naive scalar path; ``--service``
 times HTTP requests/second against a live server with a cold vs warm
-persistent result store.
+persistent result store. Each run *appends* a timestamped entry to the
+BENCH file's ``trajectory`` (the latest result stays at the top level),
+so the perf history across PRs is preserved.
+
+``--quick`` is the CI smoke mode: a small draw count, one repeat, and —
+unless ``--output`` is given explicitly — no BENCH file write, so the
+equivalence assertions still run everywhere without a loaded CI runner's
+timings polluting the recorded trajectory.
 """
 
 from __future__ import annotations
@@ -43,14 +51,26 @@ def main(argv: "list[str] | None" = None) -> int:
         "--service", action="store_true",
         help="bench the HTTP service warm-vs-cold store instead of the engine",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: small samples, one repeat, no BENCH write "
+             "(unless --output is given)",
+    )
     args = parser.parse_args(argv)
 
+    samples = args.samples
+    repeats = args.repeats
+    write = True
+    if args.quick:
+        samples = samples if samples is not None else 40
+        repeats = 1
+        write = args.output is not None
     output = args.output
     if output is None:
         name = "BENCH_service.json" if args.service else "BENCH_engine.json"
         output = str(_REPO_ROOT / name)
     text, output = run_bench_cli(
-        args.service, output, args.samples, args.repeats
+        args.service, output, samples, repeats, write=write
     )
     print(text)
     print(f"wrote {output}")

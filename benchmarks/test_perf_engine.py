@@ -1,21 +1,28 @@
 """Engine perf bench: naive-vs-engine timings, written to BENCH_engine.json.
 
-The acceptance bar for the batch engine: ≥ 3× on the 500-draw
-Monte-Carlo versus the naive per-draw path, with bit-identical results
-(the bench itself raises if the paths diverge). The grid bench tracks
-the sweep-style workload; its ratio is informational.
+The acceptance bars for the batch engine: ≥ 3× on the 500-draw
+Monte-Carlo versus the naive per-draw path, and the process worker mode
+at least as fast as the thread mode on that same 500-draw bench (each
+mode at its own default worker count — threads are GIL-bound on the
+pure-Python pipeline while processes size themselves to the usable
+CPUs). All paths must be bit-identical (the bench itself raises if any
+diverges). The grid bench tracks the sweep-style workload; its ratio is
+informational.
 """
 
-from pathlib import Path
+import json
 
 from repro.engine.bench import format_benches, run_benches
 
-_REPO_ROOT = Path(__file__).resolve().parents[1]
 
-
-def test_engine_speedup_and_equivalence(report_sink):
+def test_engine_speedup_and_equivalence(report_sink, tmp_path):
+    # Written to a tmp path, NOT the tracked BENCH_engine.json: every
+    # pytest run (including CI's) would otherwise append its own noisy
+    # timings to the recorded perf trajectory. The canonical writers are
+    # `carbon3d bench` / `benchmarks/perf_report.py` (without --quick).
+    bench_path = tmp_path / "BENCH_engine.json"
     result = run_benches(
-        output_path=str(_REPO_ROOT / "BENCH_engine.json"),
+        output_path=str(bench_path),
         samples=500,
         repeats=3,
     )
@@ -27,7 +34,23 @@ def test_engine_speedup_and_equivalence(report_sink):
     assert mc["speedup"] >= 3.0, (
         f"engine Monte-Carlo speedup {mc['speedup']:.2f}x below the 3x bar"
     )
+    # The worker-mode bar: opting into process workers must never be a
+    # regression over thread workers on the 500-draw Monte-Carlo bench.
+    # The canonical tracked numbers live in BENCH_engine.json's
+    # trajectory; the in-test tolerance absorbs contended CI runners,
+    # where fork + copy-on-write overhead rides on top of timer noise.
+    assert mc["process_s"] <= mc["thread_s"] * 1.25, (
+        f"process mode {mc['process_s'] * 1e3:.1f}ms slower than thread "
+        f"mode {mc['thread_s'] * 1e3:.1f}ms"
+    )
 
     grid = result["grid"]
     assert grid["identical"] is True
     assert grid["speedup"] > 1.0
+
+    # The BENCH file keeps the cross-PR history: this run must have
+    # *appended* a timestamped trajectory entry, not overwritten it.
+    written = json.loads(bench_path.read_text(encoding="utf-8"))
+    assert written["trajectory"], "bench trajectory missing"
+    assert written["trajectory"][-1]["monte_carlo"]["samples"] == 500
+    assert "timestamp" in written["trajectory"][-1]

@@ -1,4 +1,4 @@
-"""Service perf bench: warm vs cold store, written to BENCH_service.json.
+"""Service perf bench: warm vs cold store (tracked in BENCH_service.json).
 
 The acceptance bar for the service subsystem: a restarted server on a
 warm persistent store answers the same HTTP request list ≥ 3× faster
@@ -7,16 +7,15 @@ answer served from the store, and zero engine resolves (the bench itself
 raises if any of those invariants break).
 """
 
-from pathlib import Path
-
 from repro.service.bench import format_service_bench, run_service_bench
 
-_REPO_ROOT = Path(__file__).resolve().parents[1]
 
-
-def test_service_warm_store_speedup(report_sink):
+def test_service_warm_store_speedup(report_sink, tmp_path):
+    # tmp path, not the tracked BENCH_service.json — see the matching
+    # note in test_perf_engine.py: pytest runs must not append noisy
+    # entries to the recorded perf trajectory.
     result = run_service_bench(
-        output_path=str(_REPO_ROOT / "BENCH_service.json"),
+        output_path=str(tmp_path / "BENCH_service.json"),
         repeats=3,
     )
     report_sink(

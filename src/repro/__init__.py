@@ -12,8 +12,12 @@ paper's structure:
   :class:`LifecycleReport` (Eq. 1/3/16, Sec. 3.4);
 * decisions — :func:`decision_metrics` (Eq. 2, Table 5);
 * baselines — :mod:`repro.baselines` (ACT, ACT+, LCA, first-order);
+* backends — :mod:`repro.pipeline`: the explicit stage pipeline and the
+  :class:`~repro.pipeline.CarbonBackend` registry (:func:`get_backend`,
+  :func:`backend_names`, :func:`register_backend`) putting 3D-Carbon and
+  every baseline behind one evaluation path;
 * case studies — :mod:`repro.studies` (EPYC/Lakefield validation, NVIDIA
-  DRIVE series);
+  DRIVE series, cross-backend comparison);
 * batch evaluation — :class:`BatchEvaluator` / :class:`EvalPoint`
   (:mod:`repro.engine`).
 
@@ -24,7 +28,7 @@ Every multi-point study (sweeps, node scaling, Monte-Carlo uncertainty,
 tornado sensitivity, configuration search) routes through the batch
 engine, which memoizes the pipeline stage-by-stage on *value
 fingerprints* — tuples of the frozen records a stage actually reads
-(:mod:`repro.engine.fingerprint`):
+(:mod:`repro.pipeline.fingerprint`):
 
 * **resolve** (wirelength, areas, BEOL, floorplan, yields) is keyed on
   the design plus the resolve-relevant parameter slice; a
@@ -41,7 +45,9 @@ fingerprints* — tuples of the frozen records a stage actually reads
   :class:`repro.engine.ParameterPerturber`, and evaluates draws in
   chunks through the memoized pipeline — ``transient`` points never grow
   the caches;
-* an opt-in ``workers=`` mode spreads large grids over a thread pool.
+* an opt-in ``workers=`` mode spreads large grids over a thread pool,
+  and ``workers="process"`` over forked process workers (true, GIL-free
+  parallelism, sized to the usable CPUs).
 
 Engine results are bit-identical to the scalar :class:`CarbonModel`
 path; ``python -m repro.cli bench`` times one against the other and
@@ -81,11 +87,19 @@ from .core import (
     format_report_table,
 )
 from .errors import (
+    BackendError,
     CarbonModelError,
     DesignError,
     InvalidDesignError,
     ParameterError,
     UnknownTechnologyError,
+)
+from .pipeline import (
+    BackendReport,
+    CarbonBackend,
+    backend_names,
+    get_backend,
+    register_backend,
 )
 
 __version__ = "1.0.0"
@@ -105,9 +119,12 @@ def __getattr__(name: str):
 
 __all__ = [
     "AssemblyFlow",
+    "BackendError",
+    "BackendReport",
     "BandwidthResult",
     "BatchEvaluator",
     "BondingMethod",
+    "CarbonBackend",
     "CarbonModel",
     "CarbonModelError",
     "ChipDesign",
@@ -135,9 +152,12 @@ __all__ = [
     "UnknownTechnologyError",
     "Workload",
     "WorkloadSuite",
+    "backend_names",
     "decision_metrics",
     "embodied_carbon",
     "evaluate_design",
+    "get_backend",
+    "register_backend",
     "format_decision_table",
     "format_report_table",
     "__version__",

@@ -106,11 +106,19 @@ def monte_carlo(
     seed: int = 20240623,
     evaluator=None,
     chunk_size: int | None = None,
+    workers: "int | str | None" = None,
+    worker_mode: "str | None" = None,
+    backend=None,
 ) -> UncertaintyResult:
     """Propagate parameter uncertainty into the total-carbon distribution.
 
     Pass an existing :class:`repro.engine.BatchEvaluator` to share caches
-    with other studies of the same design space.
+    with other studies of the same design space. ``workers`` /
+    ``worker_mode`` fan the draws over thread or forked process workers
+    (``workers="process"`` for short — bit-identical, see
+    :func:`repro.engine.montecarlo.monte_carlo_totals`); ``backend``
+    prices the draws under any registered carbon backend instead of
+    3D-Carbon.
     """
     from ..engine import BatchEvaluator
     from ..engine.montecarlo import (
@@ -126,14 +134,18 @@ def monte_carlo(
         factors = _default_factors_for(design)
     if evaluator is None:
         evaluator = BatchEvaluator(params=params, fab_location=fab_location)
-    base = evaluator.report(
-        design, workload=workload, params=params, fab_location=fab_location
-    ).total_kg
+    base = evaluator.backend_total_kg(
+        design, backend, workload=workload, params=params,
+        fab_location=fab_location,
+    )
     multipliers = triangular_multipliers(factors, samples, seed)
     draws = monte_carlo_totals(
         design, factors, multipliers, workload, params, fab_location,
         evaluator,
         chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+        workers=workers,
+        worker_mode=worker_mode,
+        backend=backend,
     )
     return UncertaintyResult(samples_kg=tuple(draws), base_kg=base)
 

@@ -67,17 +67,22 @@ def act_plus_estimate(
     ci_fab_kg_per_kwh: float,
     params: ParameterSet | None = None,
     packaging_kg: float = ACT_PACKAGING_KG,
+    resolved=None,
 ) -> ActPlusEstimate:
     """ACT+ embodied estimate for any :class:`ChipDesign`.
 
     Die areas are resolved with the shared area model so that gate-count
     designs are comparable; everything downstream of the area is ACT's
-    simplified accounting.
+    simplified accounting. ``resolved`` (optional) reuses an existing
+    resolution of the same (design, params) pair — the backend pipeline
+    passes its shared resolve-stage output so cross-model comparisons
+    resolve each design once.
     """
     params = params if params is not None else DEFAULT_PARAMETERS
     if ci_fab_kg_per_kwh < 0:
         raise ParameterError("fab carbon intensity must be >= 0")
-    resolved = resolve_design(design, params)
+    if resolved is None:
+        resolved = resolve_design(design, params)
     dies = [
         (rdie.name, rdie.node.name, rdie.area_mm2) for rdie in resolved.dies
     ]

@@ -34,6 +34,15 @@ class FirstOrderEstimate:
     def total_kg(self) -> float:
         return self.die_kg + self.packaging_kg
 
+    def breakdown(self) -> dict[str, float]:
+        """Component → kg mapping, shaped like the other baselines'."""
+        return {
+            "die": self.die_kg,
+            "bonding": 0.0,
+            "packaging": self.packaging_kg,
+            "interposer": 0.0,
+        }
+
 
 def first_order_estimate(
     total_die_area_mm2: float,

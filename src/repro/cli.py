@@ -48,7 +48,13 @@ from .io.designs import design_from_dict
 from .io.results import drive_study_rows, table5_rows, write_csv, write_json
 from .studies.decision import table5_study
 from .studies.drive import drive_study
-from .studies.validation import epyc_validation, lakefield_validation
+from .studies.validation import (
+    compare_backends,
+    epyc_7452_design,
+    epyc_validation,
+    lakefield_design,
+    lakefield_validation,
+)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -88,6 +94,32 @@ def _cmd_validate_lakefield(args: argparse.Namespace) -> int:
     print(f"  D2W yields: logic {result.d2w_logic_yield * 100:.1f}% "
           f"(paper 89.3%), memory {result.d2w_memory_yield * 100:.1f}% "
           f"(paper 88.4%); W2W {result.w2w_yield * 100:.1f}% (paper 79.7%)")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Sec. 4-style cross-model table: one batched engine call."""
+    if args.design == "epyc":
+        design = epyc_7452_design()
+    elif args.design == "lakefield":
+        design = lakefield_design()
+    else:
+        with open(args.design, encoding="utf-8") as handle:
+            design = design_from_dict(json.load(handle))
+    backends = None
+    if args.backends is not None:
+        backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    workload = (
+        Workload.autonomous_vehicle() if args.workload == "av" else None
+    )
+    result = compare_backends(
+        design, backends=backends, workload=workload,
+        fab_location=args.fab_location,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in result.reports], indent=2))
+    else:
+        print(result.format_table())
     return 0
 
 
@@ -149,32 +181,36 @@ def run_bench_cli(
     output: "str | None" = None,
     samples: "int | None" = None,
     repeats: int = 3,
+    write: bool = True,
 ) -> "tuple[str, str]":
     """Run the engine or service bench; return (summary text, output path).
 
     The single implementation behind ``carbon3d bench`` and
     ``benchmarks/perf_report.py`` — defaults (500 MC draws / 400 service
-    draws, ``BENCH_engine.json`` / ``BENCH_service.json``) live only here.
+    draws, ``BENCH_engine.json`` / ``BENCH_service.json``) live only
+    here. ``write=False`` runs the bench without touching the BENCH
+    files (the CI smoke run uses this so a throttled runner's numbers
+    never pollute the perf trajectory).
     """
     if service:
         from .service.bench import format_service_bench, run_service_bench
 
         output = output if output else "BENCH_service.json"
         result = run_service_bench(
-            output_path=output,
+            output_path=output if write else None,
             samples=samples if samples is not None else 400,
             repeats=repeats,
         )
-        return format_service_bench(result), output
+        return format_service_bench(result), output if write else "(not written)"
     from .engine.bench import format_benches, run_benches
 
     output = output if output else "BENCH_engine.json"
     result = run_benches(
-        output_path=output,
+        output_path=output if write else None,
         samples=samples if samples is not None else 500,
         repeats=repeats,
     )
-    return format_benches(result), output
+    return format_benches(result), output if write else "(not written)"
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -285,6 +321,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "validate-lakefield", help="Fig. 4(b) Lakefield validation"
     ).set_defaults(func=_cmd_validate_lakefield)
+
+    p_compare = sub.add_parser(
+        "compare",
+        help="Sec. 4-style cross-model table: every carbon backend on "
+             "one design, in one batched engine call",
+    )
+    p_compare.add_argument(
+        "design",
+        help="design JSON path, or the built-in 'epyc' / 'lakefield'",
+    )
+    p_compare.add_argument(
+        "--backends", default=None,
+        help="comma-separated backend names (default: all registered)",
+    )
+    p_compare.add_argument(
+        "--workload", choices=("av", "none"), default="none",
+        help="operational workload for backends that model the use phase",
+    )
+    p_compare.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_compare.set_defaults(func=_cmd_compare)
 
     p_drive = sub.add_parser("drive", help="Fig. 5 NVIDIA DRIVE study")
     p_drive.add_argument(

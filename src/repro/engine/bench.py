@@ -23,7 +23,6 @@ Invoked by ``python -m repro.cli bench`` and by
 
 from __future__ import annotations
 
-import json
 import time
 
 from ..analysis.sensitivity import default_factors
@@ -81,9 +80,26 @@ def _grid_points(workload: Workload) -> "list[EvalPoint]":
 
 def bench_monte_carlo(samples: int = 500, seed: int = 20240623,
                       repeats: int = 3) -> dict:
-    """Time the naive scalar MC against the engine MC; assert equivalence."""
+    """Time the naive scalar MC against the engine MC; assert equivalence.
+
+    Also times the engine's two opt-in worker *modes* at the same draw
+    count, each at its own sensible default — thread mode with
+    ``max(2, default)`` threads (one thread is just the serial loop),
+    process mode with :func:`repro.engine.parallel.default_worker_count`
+    forked workers (the usable CPU count: forking past the affinity mask
+    only adds overhead, so on a single-CPU host process mode runs the
+    serial loop fork-free). Thread workers are GIL-bound on this
+    pure-Python pipeline and never beat serial; process workers scale
+    with cores. Both modes must reproduce the serial engine's exact
+    samples, and the report records both timings (plus the worker
+    counts) so the trajectory shows the mode comparison per machine.
+    """
     if repeats < 1:
         raise ParameterError(f"need >= 1 bench repeat, got {repeats}")
+    from .parallel import default_worker_count
+
+    thread_workers = max(2, default_worker_count())
+    process_workers = default_worker_count()
     design = ChipDesign.homogeneous_split(reference_design(), "hybrid_3d")
     workload = Workload.autonomous_vehicle()
     factors = default_factors(node="7nm", integration="hybrid_3d")
@@ -128,11 +144,34 @@ def bench_monte_carlo(samples: int = 500, seed: int = 20240623,
         )
         engine_s = min(engine_s, time.perf_counter() - start)
 
+    thread_s = float("inf")
+    thread_result = None
+    for _ in range(repeats):
+        clear_model_caches()
+        start = time.perf_counter()
+        thread_result = monte_carlo(
+            design, factors=factors, workload=workload, samples=samples,
+            seed=seed, workers=thread_workers, worker_mode="thread",
+        )
+        thread_s = min(thread_s, time.perf_counter() - start)
+
+    process_s = float("inf")
+    process_result = None
+    for _ in range(repeats):
+        clear_model_caches()
+        start = time.perf_counter()
+        process_result = monte_carlo(
+            design, factors=factors, workload=workload, samples=samples,
+            seed=seed, workers="process",
+        )
+        process_s = min(process_s, time.perf_counter() - start)
+
     scalar = _monte_carlo_scalar(
         design, factors=factors, workload=workload, samples=samples, seed=seed
     )
     identical = (
         engine.samples_kg == tuple(naive_draws) == scalar.samples_kg
+        == thread_result.samples_kg == process_result.samples_kg
         and engine.base_kg == naive_base == scalar.base_kg
     )
     if not identical:
@@ -145,6 +184,11 @@ def bench_monte_carlo(samples: int = 500, seed: int = 20240623,
         "naive_s": naive_s,
         "engine_s": engine_s,
         "speedup": naive_s / engine_s,
+        "thread_workers": thread_workers,
+        "process_workers": process_workers,
+        "thread_s": thread_s,
+        "process_s": process_s,
+        "process_speedup_vs_thread": thread_s / process_s,
         "identical": True,
     }
 
@@ -205,9 +249,9 @@ def run_benches(
         "grid": bench_grid(repeats=repeats),
     }
     if output_path:
-        with open(output_path, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2)
-            handle.write("\n")
+        from ..io.results import write_bench_report
+
+        write_bench_report(result, output_path)
     return result
 
 
@@ -215,14 +259,24 @@ def format_benches(result: dict) -> str:
     """One-line-per-bench human rendering."""
     mc = result["monte_carlo"]
     grid = result["grid"]
-    return "\n".join([
+    lines = [
         f"monte_carlo  {mc['samples']} draws × {mc['factors']} factors: "
         f"naive {mc['naive_s'] * 1e3:.1f}ms → engine "
         f"{mc['engine_s'] * 1e3:.1f}ms "
         f"({mc['speedup']:.1f}×, identical={mc['identical']})",
+    ]
+    if "process_s" in mc:
+        lines.append(
+            f"mc workers   thread×{mc['thread_workers']} "
+            f"{mc['thread_s'] * 1e3:.1f}ms vs process×{mc['process_workers']} "
+            f"{mc['process_s'] * 1e3:.1f}ms "
+            f"(process {mc['process_speedup_vs_thread']:.2f}× vs thread)"
+        )
+    lines.append(
         f"grid         {grid['points']} points "
         f"({grid['integrations']} integrations × {grid['locations']} "
         f"locations): naive {grid['naive_s'] * 1e3:.1f}ms → engine "
         f"{grid['engine_s'] * 1e3:.1f}ms ({grid['speedup']:.1f}×, "
-        f"identical={grid['identical']})",
-    ])
+        f"identical={grid['identical']})"
+    )
+    return "\n".join(lines)

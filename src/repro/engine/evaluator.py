@@ -12,9 +12,18 @@ points cannot distinguish:
   only perturbs the defect density re-prices yields without re-running
   the Davis model;
 * **embodied**, **bandwidth** and **operational** stages are memoized on
-  their own input fingerprints (see :mod:`repro.engine.fingerprint`);
+  their own input fingerprints (see :mod:`repro.pipeline.fingerprint`);
+* every other registered :class:`repro.pipeline.CarbonBackend` (the
+  Sec. 4 baselines) evaluates through the same machinery: the shared
+  resolve memo plus per-(backend, stage) LRU layers keyed on the
+  backend's own stage fingerprints — pass ``backend=`` (or set it on an
+  :class:`EvalPoint`) to get a uniform
+  :class:`~repro.pipeline.backends.BackendReport`;
 * an opt-in ``workers=`` mode evaluates large grids in chunks on a
-  thread pool (caches are shared; results keep submission order).
+  thread pool (caches are shared; results keep submission order), and
+  ``worker_mode="process"`` (or ``workers="process"``) fans chunks over
+  forked process workers for true parallelism — see
+  :mod:`repro.engine.parallel`.
 
 Results are bit-identical to the scalar ``CarbonModel`` path: the engine
 calls the very same stage functions with the very same inputs — caching
@@ -38,7 +47,11 @@ from ..core.operational import (
 )
 from ..core.report import LifecycleReport
 from ..core.resolve import ResolveCache, ResolvedDesign, resolve_design
-from . import fingerprint as fp
+from ..pipeline import fingerprint as fp
+from ..pipeline.backends import BackendReport, Repro3DBackend
+from ..pipeline.registry import resolve_backend
+from ..pipeline.stage import EvalContext, PipelineRun
+from .parallel import fork_map, normalize_workers
 
 
 @dataclass(frozen=True)
@@ -47,7 +60,11 @@ class EvalPoint:
 
     ``params``, ``fab_location`` and ``workload`` default to the
     evaluator's own (``None`` means "inherit"); ``label`` tags the result
-    for the caller and never influences evaluation.
+    for the caller and never influences evaluation. ``backend`` selects a
+    registered :class:`repro.pipeline.CarbonBackend` by name — ``None``
+    keeps the classic 3D-Carbon path (a :class:`LifecycleReport`), any
+    explicit name (including ``"repro3d"``) yields the uniform
+    :class:`~repro.pipeline.backends.BackendReport`.
     """
 
     design: ChipDesign
@@ -55,6 +72,7 @@ class EvalPoint:
     fab_location: "str | float | None" = None
     workload: Workload | None = None
     label: str | None = None
+    backend: str | None = None
 
 
 @dataclass
@@ -71,6 +89,8 @@ class EngineStats:
     operational_misses: int = 0
     structure_hits: int = 0
     structure_misses: int = 0
+    backend_stage_hits: int = 0
+    backend_stage_misses: int = 0
     points_evaluated: int = 0
 
     def as_dict(self) -> dict:
@@ -104,6 +124,44 @@ class _Caches:
         self.operational = LRUCache(policy)
 
 
+class _BackendStageMemo:
+    """PipelineRun memo adapter over the engine's per-(backend, stage) caches.
+
+    Keys arrive as ``(stage_name, stage_key)`` pairs; each (backend,
+    stage) pair gets its own LRU layer under the shared eviction policy,
+    and hits/misses land in the engine's stats. ``transient`` points
+    still *read* warm entries but never store their own: baseline
+    estimate keys embed the resolve fingerprint, so per-draw keys are
+    unique and storing them would only evict the warm working set.
+    """
+
+    __slots__ = ("evaluator", "backend_name", "transient")
+
+    def __init__(self, evaluator: "BatchEvaluator", backend_name: str,
+                 transient: bool = False) -> None:
+        self.evaluator = evaluator
+        self.backend_name = backend_name
+        self.transient = transient
+
+    def get(self, key):
+        stage_name, stage_key = key
+        cache = self.evaluator._backend_cache(self.backend_name, stage_name)
+        value = cache.get(stage_key)
+        stats = self.evaluator._stats
+        if value is None:
+            stats.backend_stage_misses += 1
+        else:
+            stats.backend_stage_hits += 1
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if self.transient:
+            return
+        stage_name, stage_key = key
+        cache = self.evaluator._backend_cache(self.backend_name, stage_name)
+        cache[stage_key] = value
+
+
 class BatchEvaluator:
     """Memoized evaluation of many (design, params, location, workload) points."""
 
@@ -112,14 +170,18 @@ class BatchEvaluator:
         params: ParameterSet | None = None,
         fab_location: "str | float" = "taiwan",
         efficiency_plugin=None,
-        workers: int | None = None,
+        workers: "int | str | None" = None,
         chunk_size: int = 16,
         cache_limit: int = 4096,
+        worker_mode: str | None = None,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
         self.efficiency_plugin = efficiency_plugin
-        self.workers = workers
+        # Validate the pair eagerly; keep the resolved defaults.
+        self.worker_mode, self.workers = normalize_workers(
+            workers, worker_mode
+        )
         self.chunk_size = chunk_size
         #: Per-cache entry bound, enforced as LRU eviction — the same
         #: :class:`repro.caching.EvictionPolicy` the persistent service
@@ -131,6 +193,9 @@ class BatchEvaluator:
         self.eviction_policy = EvictionPolicy(max_entries=cache_limit)
         self.resolve_cache = ResolveCache(policy=self.eviction_policy)
         self._caches = _Caches(self.eviction_policy)
+        #: Per-(backend name, stage name) LRU layers for non-default
+        #: backends; the resolve stage is served by the shared caches.
+        self._backend_caches: "dict[tuple[str, str], LRUCache]" = {}
         self._stats = EngineStats()
         # Identity-keyed interning of draw-stable lookups. Values hold
         # strong references to the keyed objects, so an id can never be
@@ -151,9 +216,17 @@ class BatchEvaluator:
         """Drop every memoized result (stats reset too)."""
         self.resolve_cache.clear()
         self._caches = _Caches(self.eviction_policy)
+        self._backend_caches = {}
         self._stats = EngineStats()
         self._ci_cache.clear()
         self._statics.clear()
+
+    def _backend_cache(self, backend_name: str, stage_name: str) -> LRUCache:
+        cache = self._backend_caches.get((backend_name, stage_name))
+        if cache is None:
+            cache = LRUCache(self.eviction_policy)
+            self._backend_caches[(backend_name, stage_name)] = cache
+        return cache
 
     def _ci(self, params: ParameterSet, location) -> float:
         """Grid carbon intensity, interned per (grid table, location)."""
@@ -416,36 +489,168 @@ class BatchEvaluator:
         self._stats.points_evaluated += 1
         return embodied_kg + operational_kg
 
-    def evaluate(self, point: EvalPoint) -> LifecycleReport:
-        """Evaluate one :class:`EvalPoint`."""
-        return self.report(
+    # -- backend-protocol evaluation ------------------------------------------
+
+    def backend_report(
+        self,
+        design: ChipDesign,
+        backend=None,
+        params: ParameterSet | None = None,
+        fab_location: "str | float | None" = None,
+        workload: Workload | None = None,
+        transient: bool = False,
+    ) -> BackendReport:
+        """Evaluate ``design`` through any registered carbon backend.
+
+        ``backend`` is a registry name or a :class:`~repro.pipeline.
+        CarbonBackend` instance (``None`` → ``repro3d``). The default
+        3D-Carbon backend takes the engine's specialized memo path; every
+        other backend runs its explicit stage pipeline with the resolve
+        stage seeded from the shared resolution caches and later stages
+        memoized per (backend, stage) fingerprint. Results are
+        bit-identical to the backend's direct ``evaluate`` (same stage
+        functions, same inputs).
+        """
+        # ``None`` means "the engine's own 3D-Carbon path" — including
+        # this evaluator's efficiency plugin, matching ``report()`` and
+        # ``EvalPoint(backend=None)``. An *explicit* backend (name or
+        # instance) must stay bit-identical to that backend's direct
+        # ``evaluate()``, so its fast path requires the plugins to
+        # actually match; otherwise its own pipeline runs with its own
+        # plugin (None for the registered ``repro3d``).
+        if backend is None:
+            return Repro3DBackend.wrap_report(self.report(
+                design, workload=workload, params=params,
+                fab_location=fab_location, transient=transient,
+            ))
+        backend = resolve_backend(backend)
+        params = params if params is not None else self.params
+        location = fab_location if fab_location is not None else self.fab_location
+        if (
+            isinstance(backend, Repro3DBackend)
+            and backend.efficiency_plugin is self.efficiency_plugin
+        ):
+            return Repro3DBackend.wrap_report(self.report(
+                design, workload=workload, params=params,
+                fab_location=location, transient=transient,
+            ))
+        ctx = EvalContext(
+            design=design,
+            params=params,
+            fab_location=location,
+            ci_fab=self._ci(params, location),
+            workload=workload,
+        )
+        run = PipelineRun(
+            backend, ctx, memo=_BackendStageMemo(self, backend.name, transient)
+        )
+        if backend.has_stage("resolve"):
+            rkey = self._rkey(design, params)
+            run.seed(
+                "resolve", rkey, self._resolved(design, params, rkey, transient)
+            )
+        summary = run.summary()
+        self._stats.points_evaluated += 1
+        return summary
+
+    def backend_total_kg(
+        self,
+        design: ChipDesign,
+        backend=None,
+        params: ParameterSet | None = None,
+        fab_location: "str | float | None" = None,
+        workload: Workload | None = None,
+        transient: bool = False,
+    ) -> float:
+        """Eq. 1 total under any backend (report-free repro3d fast path).
+
+        ``backend=None`` is the engine's own path (plugin included), as
+        in :meth:`backend_report`; an explicit backend prices exactly as
+        its direct ``evaluate()`` would.
+        """
+        if backend is None:
+            return self.total_kg(
+                design, workload=workload, params=params,
+                fab_location=fab_location, transient=transient,
+            )
+        backend = resolve_backend(backend)
+        if (
+            isinstance(backend, Repro3DBackend)
+            and backend.efficiency_plugin is self.efficiency_plugin
+        ):
+            return self.total_kg(
+                design, workload=workload, params=params,
+                fab_location=fab_location, transient=transient,
+            )
+        return self.backend_report(
+            design, backend, params=params, fab_location=fab_location,
+            workload=workload, transient=transient,
+        ).total_kg
+
+    def evaluate(self, point: EvalPoint):
+        """Evaluate one :class:`EvalPoint`.
+
+        Returns a :class:`LifecycleReport` for the classic path
+        (``point.backend is None``) or a :class:`BackendReport` when the
+        point names a backend explicitly.
+        """
+        if point.backend is None:
+            return self.report(
+                point.design,
+                workload=point.workload,
+                params=point.params,
+                fab_location=point.fab_location,
+            )
+        return self.backend_report(
             point.design,
-            workload=point.workload,
+            point.backend,
             params=point.params,
             fab_location=point.fab_location,
+            workload=point.workload,
         )
 
     def evaluate_many(
         self,
         points: "list[EvalPoint]",
-        workers: int | None = None,
+        workers: "int | str | None" = None,
         chunk_size: int | None = None,
-    ) -> "list[LifecycleReport]":
+        worker_mode: str | None = None,
+    ) -> list:
         """Evaluate a batch of points, preserving order.
 
-        With ``workers`` (or the evaluator default) > 1 the batch is cut
-        into chunks and spread over a thread pool; the shared caches make
-        this safe (a racing miss computes the same value twice, nothing
-        worse) and results always come back in input order.
+        With thread workers (``workers`` int > 1, the default mode) the
+        batch is cut into chunks and spread over a thread pool; the
+        shared caches make this safe (a racing miss computes the same
+        value twice, nothing worse). With ``worker_mode="process"`` (or
+        ``workers="process"``) chunks fan over forked process workers —
+        true parallelism for CPU-bound batches; children inherit the
+        warm caches copy-on-write, but their new cache entries (and stats)
+        stay in the child. Results always come back in input order,
+        bit-identical across all three modes.
         """
         points = list(points)
-        workers = workers if workers is not None else self.workers
-        if workers is None or workers <= 1 or len(points) <= 1:
+        if workers is None and worker_mode is None:
+            mode, count = self.worker_mode, self.workers
+        else:
+            # Each omitted half of the pair inherits the evaluator's
+            # configuration: an explicit mode keeps the configured
+            # worker count and vice versa.
+            if workers is None and self.workers > 0:
+                workers = self.workers
+            if worker_mode is None and workers != "process":
+                worker_mode = self.worker_mode
+            mode, count = normalize_workers(workers, worker_mode)
+        if count <= 1 or len(points) <= 1:
             return [self.evaluate(point) for point in points]
         size = max(1, chunk_size if chunk_size is not None else self.chunk_size)
         chunks = [points[i:i + size] for i in range(0, len(points), size)]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            chunk_results = list(
-                pool.map(lambda chunk: [self.evaluate(p) for p in chunk], chunks)
-            )
+
+        def evaluate_chunk(chunk: "list[EvalPoint]") -> list:
+            return [self.evaluate(point) for point in chunk]
+
+        if mode == "process":
+            chunk_results = fork_map(evaluate_chunk, chunks, count)
+        else:
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                chunk_results = list(pool.map(evaluate_chunk, chunks))
         return [report for chunk in chunk_results for report in chunk]

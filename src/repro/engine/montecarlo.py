@@ -184,29 +184,58 @@ def monte_carlo_totals(
     fab_location: "str | float",
     evaluator: BatchEvaluator,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: "int | str | None" = None,
+    worker_mode: "str | None" = None,
+    backend=None,
 ) -> "list[float]":
     """Total-carbon draw values through the memoized pipeline, in chunks.
 
     Each chunk is perturbed as a batch first, then evaluated as a batch:
-    the chunk is the engine's unit of work (and the natural seam for a
-    future worker split), and keeping the phases separate means a chunk's
-    perturbed parameter sets die together instead of interleaving with
-    evaluation garbage.
+    the chunk is the engine's unit of work (and the natural seam the
+    worker modes split on), and keeping the phases separate means a
+    chunk's perturbed parameter sets die together instead of interleaving
+    with evaluation garbage.
+
+    ``workers``/``worker_mode`` mirror :meth:`BatchEvaluator.
+    evaluate_many`: thread chunks share the evaluator's caches;
+    ``"process"`` fans chunks over forked workers (each child inherits
+    the warm caches copy-on-write and evaluates its contiguous slice of
+    draws). ``backend`` prices the draws under any registered
+    :class:`repro.pipeline.CarbonBackend` instead of 3D-Carbon. All
+    paths return the draw totals in row order, bit-identical to the
+    serial loop.
     """
+    from .parallel import fork_map, normalize_workers
+
     perturber = ParameterPerturber(factors, params)
-    totals: list[float] = []
     size = max(1, chunk_size)
     # One bulk conversion to Python floats (bit-exact): per-row numpy
     # scalar indexing costs more than the whole perturbation otherwise.
     rows = np.asarray(multipliers).tolist()
-    for start in range(0, len(rows), size):
-        chunk = [perturber.perturbed(row) for row in rows[start:start + size]]
-        for perturbed in chunk:
-            totals.append(evaluator.total_kg(
+
+    def evaluate_rows(chunk_rows: "list[list[float]]") -> "list[float]":
+        chunk = [perturber.perturbed(row) for row in chunk_rows]
+        return [
+            evaluator.backend_total_kg(
                 design,
+                backend,
                 workload=workload,
                 params=perturbed,
                 fab_location=fab_location,
                 transient=True,
-            ))
-    return totals
+            )
+            for perturbed in chunk
+        ]
+
+    mode, count = normalize_workers(workers, worker_mode)
+    chunks = [rows[start:start + size] for start in range(0, len(rows), size)]
+    if count <= 1 or len(chunks) <= 1:
+        return [total for chunk in chunks for total in evaluate_rows(chunk)]
+    if mode == "process":
+        chunk_results = fork_map(evaluate_rows, chunks, count)
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=count) as pool:
+            chunk_results = list(pool.map(evaluate_rows, chunks))
+    return [total for chunk in chunk_results for total in chunk]

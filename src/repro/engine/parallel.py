@@ -1,0 +1,211 @@
+"""Process-level parallelism for the batch engine: a fork-based map.
+
+Because every pipeline stage is a pure function over picklable values
+(the :mod:`repro.pipeline` contract), a whole work chunk can be
+evaluated in a forked child and only its *results* shipped back — no
+task pickling, no executor threads, no per-task IPC. :func:`fork_map`
+exploits that:
+
+* the parent ``os.fork()``\\ s ``workers - 1`` children and then acts as
+  worker 0 itself, so a 2-worker map costs exactly one fork (~1 ms)
+  while the parent stays busy;
+* children inherit the parent's memory copy-on-write — including every
+  warm engine cache at fork time — evaluate their contiguous slice, and
+  pickle the result list back through a pipe;
+* results are reassembled in submission order, so callers see the same
+  list a serial loop would produce (the engine's bit-identical guarantee
+  extends across the fork boundary: same stage functions, same inputs).
+
+``concurrent.futures.ProcessPoolExecutor`` measures ~13 ms of setup on
+this workload class versus ~1 ms for a raw fork+pipe round trip, which
+is why the engine rolls its own. Platforms without ``os.fork`` get a
+typed error — thread mode remains the portable default.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Sequence
+
+from ..errors import ParameterError
+
+#: Upper bound on default process workers (forks are cheap, but past a
+#: point more children only add pipe traffic).
+MAX_DEFAULT_WORKERS = 8
+
+
+def fork_available() -> bool:
+    """Whether this platform supports ``os.fork`` (POSIX)."""
+    return hasattr(os, "fork")
+
+
+def default_worker_count() -> int:
+    """Workers for ``workers="process"``: the usable CPU count.
+
+    Respects the scheduler affinity mask (container CPU limits), capped
+    at :data:`MAX_DEFAULT_WORKERS`. On a single-CPU host this is 1: the
+    wall clock of a CPU-bound batch is bounded by total CPU time, so
+    forking there buys no parallelism and only pays fork + copy-on-write
+    overhead — process mode degrades gracefully to the serial loop
+    instead. Pass an explicit worker count to force forking anyway.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        usable = os.cpu_count() or 1
+    return max(1, min(MAX_DEFAULT_WORKERS, usable))
+
+
+def normalize_workers(
+    workers, worker_mode: "str | None" = None
+) -> "tuple[str, int]":
+    """Resolve the ``workers=`` / ``worker_mode=`` pair to (mode, count).
+
+    ``workers`` may be an int, ``None`` (no parallelism unless the mode
+    implies a default), or the string ``"process"`` — sugar for
+    ``worker_mode="process"`` with :func:`default_worker_count` workers.
+    """
+    if workers == "process":
+        if worker_mode not in (None, "process"):
+            raise ParameterError(
+                f"workers='process' conflicts with worker_mode="
+                f"{worker_mode!r}"
+            )
+        return "process", default_worker_count()
+    mode = worker_mode if worker_mode is not None else "thread"
+    if mode not in ("thread", "process"):
+        raise ParameterError(
+            f"worker_mode must be 'thread' or 'process', got {mode!r}"
+        )
+    if workers is None:
+        count = default_worker_count() if mode == "process" else 0
+    elif isinstance(workers, int):
+        count = workers
+    else:
+        raise ParameterError(
+            f"workers must be an int, None or 'process', got {workers!r}"
+        )
+    return mode, count
+
+
+def _read_exact(fd: int, n: int) -> bytes:
+    chunks = []
+    while n > 0:
+        chunk = os.read(fd, min(n, 1 << 20))
+        if not chunk:
+            raise ParameterError("process worker pipe closed early")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _child_main(write_fd: int, fn: Callable, items: Sequence) -> None:
+    """Worker body: evaluate the slice, pickle (ok, payload) back, exit.
+
+    ``os._exit`` (not ``sys.exit``) so the child never runs the parent's
+    atexit hooks, test harness teardown or buffered-IO flushes twice.
+    """
+    try:
+        try:
+            payload = pickle.dumps(
+                (True, [fn(item) for item in items]),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except BaseException as error:  # ship the failure, don't die silent
+            try:
+                payload = pickle.dumps(
+                    (False, error), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                payload = pickle.dumps(
+                    (False, ParameterError(
+                        f"process worker failed with unpicklable "
+                        f"{type(error).__name__}: {error}"
+                    )),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        os.write(write_fd, len(payload).to_bytes(8, "little"))
+        written = 0
+        view = memoryview(payload)
+        while written < len(payload):
+            written += os.write(write_fd, view[written:])
+    finally:
+        os._exit(0)
+
+
+def fork_map(
+    fn: Callable[[Any], Any],
+    items: Sequence,
+    workers: int,
+) -> list:
+    """``[fn(item) for item in items]``, fanned over forked processes.
+
+    Items are split into ``workers`` contiguous slices; slice 0 runs in
+    the parent (concurrently with the children), slices 1.. in forked
+    children. ``fn`` may be any callable — closures included — because
+    nothing crosses the fork boundary except each child's pickled result
+    list. A child exception is re-raised in the parent.
+
+    Do not call from a thread holding locks other threads also take (the
+    usual fork-vs-threads caveat); the engine only reaches this from its
+    own batch entry points.
+    """
+    items = list(items)
+    workers = max(1, min(workers, len(items)))
+    if workers == 1:
+        return [fn(item) for item in items]
+    if not fork_available():
+        raise ParameterError(
+            "process workers need os.fork(), which this platform lacks; "
+            "use thread workers instead"
+        )
+    # Contiguous slices, sized within ±1, preserving submission order.
+    base, extra = divmod(len(items), workers)
+    slices = []
+    start = 0
+    for index in range(workers):
+        end = start + base + (1 if index < extra else 0)
+        slices.append(items[start:end])
+        start = end
+
+    children: "list[tuple[int, int]]" = []  # (pid, read_fd)
+    try:
+        for chunk in slices[1:]:
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                _child_main(write_fd, fn, chunk)  # never returns
+            os.close(write_fd)
+            children.append((pid, read_fd))
+        results = [fn(item) for item in slices[0]]
+        for pid, read_fd in children:
+            size = int.from_bytes(_read_exact(read_fd, 8), "little")
+            ok, payload = pickle.loads(_read_exact(read_fd, size))
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+            if not ok:
+                raise payload
+            results.extend(payload)
+        return results
+    except BaseException:
+        # Terminate and *reap* every child: a WNOHANG poll here would
+        # leave still-running children as permanent zombies once they
+        # exit. SIGTERM makes the blocking waitpid return promptly.
+        import signal
+
+        for pid, read_fd in children:
+            try:
+                os.close(read_fd)
+            except OSError:
+                pass
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except (OSError, ProcessLookupError):
+                pass
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        raise

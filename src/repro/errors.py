@@ -27,6 +27,27 @@ class UnknownTechnologyError(ParameterError):
     """A process node or integration technology name is not in the database."""
 
 
+class BackendError(CarbonModelError):
+    """A carbon-backend name is unknown (or the backend cannot serve).
+
+    Raised by the :mod:`repro.pipeline` registry and surfaced unchanged by
+    the CLI and the service (which maps it to a typed 400 payload rather
+    than a traceback). ``backend`` carries the offending name and
+    ``known`` the registered alternatives; ``field`` tags the request
+    field for service error payloads.
+    """
+
+    field = "backend"
+
+    def __init__(
+        self, message: str, backend: "str | None" = None,
+        known: "tuple[str, ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.known = tuple(known)
+
+
 class InvalidDesignError(CarbonModelError):
     """The design fails a deployment constraint (e.g. I/O bandwidth)."""
 

@@ -1,0 +1,59 @@
+"""Explicit stage pipeline + the unified carbon-backend protocol.
+
+The package turns the implicit resolve → embodied → bandwidth →
+operational flow into first-class objects:
+
+* :mod:`repro.pipeline.stage` — :class:`Stage` (a pure, picklable step),
+  :class:`EvalContext` (one evaluation point) and :class:`PipelineRun`
+  (lazy, memoizable execution with per-stage fingerprints);
+* :mod:`repro.pipeline.fingerprint` — the exact value fingerprints every
+  memo layer (engine caches, service store) keys stages on;
+* :mod:`repro.pipeline.backends` — :class:`CarbonBackend`
+  implementations: 3D-Carbon itself (``repro3d``) and the Sec. 4
+  baselines (``act``, ``act_plus``, ``lca``, ``first_order``), all
+  sharing the resolution stage and summarized into a uniform
+  :class:`BackendReport`;
+* :mod:`repro.pipeline.registry` — the process-wide name → backend table
+  the engine, CLI and service all consult.
+
+Every layer above (engine batching, service store keys, `carbon3d
+compare`, the validation studies) routes through this protocol, so a new
+carbon model plugs in by registering one backend.
+"""
+
+from .backends import (
+    ActBackend,
+    ActPlusBackend,
+    BackendReport,
+    CarbonBackend,
+    FirstOrderBackend,
+    LcaBackend,
+    Repro3DBackend,
+)
+from .registry import (
+    DEFAULT_BACKEND,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .stage import EvalContext, PipelineRun, Stage, StageError
+
+__all__ = [
+    "ActBackend",
+    "ActPlusBackend",
+    "BackendReport",
+    "CarbonBackend",
+    "DEFAULT_BACKEND",
+    "EvalContext",
+    "FirstOrderBackend",
+    "LcaBackend",
+    "PipelineRun",
+    "Repro3DBackend",
+    "Stage",
+    "StageError",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,88 @@
+"""The backend registry: names → :class:`CarbonBackend` instances.
+
+One flat, process-wide table. The built-in five (``repro3d`` plus the
+four Sec. 4 baselines) register at import time; callers can register
+custom backends (e.g. an :class:`~repro.pipeline.backends.LcaBackend`
+pinned to per-die accounting) under new names. Unknown names raise the
+typed :class:`repro.errors.BackendError` everywhere — engine, CLI and
+service all consult this registry, so the error (and its ``known`` list)
+is consistent across every entry point.
+"""
+
+from __future__ import annotations
+
+from ..errors import BackendError
+from .backends import (
+    ActBackend,
+    ActPlusBackend,
+    CarbonBackend,
+    FirstOrderBackend,
+    LcaBackend,
+    Repro3DBackend,
+)
+
+#: The default backend — the paper's own model.
+DEFAULT_BACKEND = "repro3d"
+
+_REGISTRY: "dict[str, CarbonBackend]" = {}
+
+
+def register_backend(backend: CarbonBackend, replace: bool = False) -> None:
+    """Add ``backend`` under ``backend.name``.
+
+    Registering an already-taken name requires ``replace=True`` — a
+    silent overwrite would re-route every layer keyed on that id
+    (engine memos, service store entries) to a different model.
+    """
+    if not backend.name:
+        raise BackendError("a backend needs a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {backend.name!r} is already registered "
+            f"(pass replace=True to override)",
+            backend=backend.name,
+            known=backend_names(),
+        )
+    _REGISTRY[backend.name] = backend
+
+
+def backend_names() -> "tuple[str, ...]":
+    """Registered backend ids, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> CarbonBackend:
+    """The backend registered under ``name``; typed error when unknown."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        known = ", ".join(backend_names())
+        raise BackendError(
+            f"unknown backend {name!r} (registered: {known})",
+            backend=name if isinstance(name, str) else repr(name),
+            known=backend_names(),
+        )
+    return backend
+
+
+def resolve_backend(backend) -> CarbonBackend:
+    """Accept a backend instance, a registered name, or ``None`` (default)."""
+    if backend is None:
+        return _REGISTRY[DEFAULT_BACKEND]
+    if isinstance(backend, CarbonBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_backend(backend)
+    raise BackendError(
+        f"backend must be a name or a CarbonBackend, got "
+        f"{type(backend).__name__}",
+        backend=repr(backend),
+        known=backend_names(),
+    )
+
+
+# Built-ins, in the presentation order comparison tables use.
+register_backend(Repro3DBackend())
+register_backend(ActBackend())
+register_backend(ActPlusBackend())
+register_backend(LcaBackend())
+register_backend(FirstOrderBackend())

@@ -24,7 +24,6 @@ Invoked by ``python -m repro.cli bench --service`` and
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import threading
@@ -155,9 +154,9 @@ def run_service_bench(
         ),
     }
     if output_path:
-        with open(output_path, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2)
-            handle.write("\n")
+        from ..io.results import write_bench_report
+
+        write_bench_report(result, output_path)
     return result
 
 

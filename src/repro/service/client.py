@@ -127,8 +127,13 @@ class ServiceClient:
         workload="av",
         fab_location=None,
         label: "str | None" = None,
+        backend: "str | None" = None,
     ) -> dict:
-        """One point; returns the envelope (``result`` + ``cache`` tag)."""
+        """One point; returns the envelope (``result`` + ``cache`` tag).
+
+        ``backend`` selects a registered carbon backend (``"act"``,
+        ``"lca"``, ...); omitted means the 3D-Carbon model.
+        """
         payload: dict = {
             "type": "evaluate",
             "design": _design_value(design),
@@ -138,6 +143,8 @@ class ServiceClient:
             payload["fab_location"] = fab_location
         if label is not None:
             payload["label"] = label
+        if backend is not None:
+            payload["backend"] = backend
         return self._post("/evaluate", payload)
 
     def batch(self, points: "list[dict]") -> dict:
@@ -150,6 +157,7 @@ class ServiceClient:
         integrations: "list[str] | None" = None,
         fab_locations: "list | None" = None,
         workload="av",
+        backend: "str | None" = None,
     ) -> dict:
         payload: dict = {
             "type": "sweep",
@@ -160,6 +168,8 @@ class ServiceClient:
             payload["integrations"] = integrations
         if fab_locations is not None:
             payload["fab_locations"] = fab_locations
+        if backend is not None:
+            payload["backend"] = backend
         return self._post("/sweep", payload)
 
     def montecarlo(
@@ -169,6 +179,8 @@ class ServiceClient:
         fab_location=None,
         samples: int = 200,
         seed: int = 20240623,
+        backend: "str | None" = None,
+        return_samples: bool = False,
     ) -> dict:
         payload: dict = {
             "type": "montecarlo",
@@ -179,4 +191,8 @@ class ServiceClient:
         }
         if fab_location is not None:
             payload["fab_location"] = fab_location
+        if backend is not None:
+            payload["backend"] = backend
+        if return_samples:
+            payload["return_samples"] = True
         return self._post("/montecarlo", payload)

@@ -35,7 +35,8 @@ from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import ParameterError
 from ..engine import BatchEvaluator
-from ..engine import fingerprint as fp
+from ..pipeline.registry import DEFAULT_BACKEND, resolve_backend
+from ..pipeline.stage import EvalContext
 from .schema import (
     SCHEMA_VERSION,
     BatchRequest,
@@ -57,31 +58,25 @@ def evaluate_fingerprint(
     params: ParameterSet,
     fab_location: "str | float",
     workload: "Workload | None",
+    backend: "str | None" = None,
 ) -> tuple:
     """The value fingerprint of one full-report evaluation.
 
-    The union of the engine's per-stage keys: the resolve fingerprint
-    (design, spec, node records, family extras), the Eq. 3 extras (wafer,
-    BEOL flag, packaging record, fab CI), the Sec. 3.4 constraint block
-    and — when a workload is attached — the workload record plus the
-    use-phase carbon intensity. Everything the pipeline can observe, and
-    nothing more, so the store shares entries exactly as widely as the
-    engine's memos do.
+    The backend id plus the backend's own store fingerprint — the union
+    of its per-stage keys (for ``repro3d``: the resolve fingerprint, the
+    Eq. 3 extras, the Sec. 3.4 constraint block and the workload part;
+    for the baselines: whatever *their* stages read, which is less).
+    Everything the backend's pipeline can observe, and nothing more, so
+    the store shares entries exactly as widely as the engine's memos do —
+    and never across backends.
     """
-    rkey = fp.resolve_key(design, params)
-    ci_fab = params.grid(fab_location).kg_co2_per_kwh
-    workload_part = None
-    if workload is not None:
-        workload_part = (
-            workload,
-            params.grid(workload.use_location).kg_co2_per_kwh,
-        )
+    backend = resolve_backend(backend)
+    ctx = EvalContext.build(design, params, fab_location, workload)
     return (
         "evaluate",
         SCHEMA_VERSION,
-        fp.embodied_key(rkey, design, params, ci_fab),
-        params.bandwidth,
-        workload_part,
+        backend.name,
+        backend.store_fingerprint(ctx),
     )
 
 
@@ -92,23 +87,28 @@ def montecarlo_fingerprint(
     workload: "Workload | None",
     samples: int,
     seed: int,
+    backend: "str | None" = None,
+    return_samples: bool = False,
 ) -> tuple:
     """The value fingerprint of a Monte-Carlo summary.
 
     The evaluate fingerprint pins every base value the pipeline reads;
     the draw sequence is pinned by (samples, seed) and by the factor
     *definitions* (name and triangular range — the perturbation functions
-    are deterministic in those).
+    are deterministic in those). ``return_samples`` is part of the key:
+    a summary-only payload must never serve a request that asked for the
+    full distribution.
     """
     factors = default_factors(
         node=design.dies[0].node, integration=design.integration
     )
     return (
         "montecarlo",
-        evaluate_fingerprint(design, params, fab_location, workload),
+        evaluate_fingerprint(design, params, fab_location, workload, backend),
         tuple((f.name, f.low, f.high) for f in factors),
         samples,
         seed,
+        return_samples,
     )
 
 
@@ -220,8 +220,35 @@ class Dispatcher:
                 self.params,
                 self._point_fab_location(point),
                 point.workload,
+                point.backend,
             )
         )
+
+    def _point_report_dict(self, point: EvaluateRequest) -> dict:
+        """Compute one point through the engine, shaped for the wire.
+
+        The default backend keeps the classic ``LifecycleReport`` payload
+        (bit-identical to ``CarbonModel.evaluate(...).to_dict()``); any
+        explicit non-default backend answers with the uniform
+        ``BackendReport`` payload. params is pinned explicitly: the
+        content key fingerprints ``self.params``, so the evaluation must
+        use the same set even on a caller-supplied evaluator with
+        different defaults.
+        """
+        if point.backend == DEFAULT_BACKEND:
+            return self.evaluator.report(
+                point.design,
+                workload=point.workload,
+                params=self.params,
+                fab_location=self._point_fab_location(point),
+            ).to_dict()
+        return self.evaluator.backend_report(
+            point.design,
+            point.backend,
+            workload=point.workload,
+            params=self.params,
+            fab_location=self._point_fab_location(point),
+        ).to_dict()
 
     # -- request handlers ----------------------------------------------------
 
@@ -230,19 +257,9 @@ class Dispatcher:
         self.stats.requests += 1
         self.stats.points += 1
         key = self._point_key(request)
-
-        def compute() -> dict:
-            # params is pinned explicitly: the content key fingerprints
-            # self.params, so the evaluation must use the same set even on
-            # a caller-supplied evaluator with different defaults.
-            return self.evaluator.report(
-                request.design,
-                workload=request.workload,
-                params=self.params,
-                fab_location=self._point_fab_location(request),
-            ).to_dict()
-
-        return self._compute_through(key, compute)
+        return self._compute_through(
+            key, lambda: self._point_report_dict(request)
+        )
 
     def batch(self, request: BatchRequest) -> "list[dict]":
         """Deduplicated batch → one entry per input point, input order."""
@@ -278,6 +295,12 @@ class Dispatcher:
                     fab_location=self._point_fab_location(point),
                     workload=point.workload,
                     label=point.label,
+                    # None keeps the classic LifecycleReport payload for
+                    # the default backend; see _point_report_dict.
+                    backend=(
+                        None if point.backend == DEFAULT_BACKEND
+                        else point.backend
+                    ),
                 )
                 for _, point in to_compute
             ])
@@ -316,6 +339,7 @@ class Dispatcher:
                         workload=request.workload,
                         fab_location=location,
                         label=f"{name}@{label_location}",
+                        backend=request.backend,
                     )
                 )
         return self.batch(BatchRequest(points=tuple(points)))
@@ -333,6 +357,7 @@ class Dispatcher:
             montecarlo_fingerprint(
                 request.design, self.params, fab_location,
                 request.workload, request.samples, request.seed,
+                request.backend, request.return_samples,
             )
         )
 
@@ -349,9 +374,11 @@ class Dispatcher:
                 samples=request.samples,
                 seed=request.seed,
                 evaluator=self.evaluator,
+                backend=request.backend,
             )
-            return {
+            payload = {
                 "design": request.design.name,
+                "backend": request.backend,
                 "workload": workload_to_value(request.workload),
                 "samples": result.n,
                 "seed": request.seed,
@@ -362,6 +389,12 @@ class Dispatcher:
                 "p50_kg": result.p50,
                 "p95_kg": result.p95,
             }
+            if request.return_samples:
+                # The full draw distribution, in draw order. JSON floats
+                # round-trip exactly (repr shortest-float), so a stored
+                # payload serves the same bits a fresh run would.
+                payload["samples_kg"] = list(result.samples_kg)
+            return payload
 
         return self._compute_through(key, compute)
 

@@ -16,7 +16,13 @@ Request kinds:
 * ``sweep`` — a 2D reference design × integration options × fab
   locations, expanded server-side into a batch;
 * ``montecarlo`` — a Monte-Carlo uncertainty summary (mean/std/
-  percentiles) over the default Table 2 factor ranges.
+  percentiles) over the default Table 2 factor ranges; with
+  ``"return_samples": true`` the full draw distribution rides along.
+
+Every request kind accepts an optional ``"backend"`` — a registered
+:mod:`repro.pipeline` backend id (``repro3d`` by default, or one of the
+Sec. 4 baselines ``act`` / ``act_plus`` / ``lca`` / ``first_order``).
+Unknown names answer with the registry's typed ``BackendError`` payload.
 
 Responses are enveloped: ``{"schema": 1, "ok": true, "result": ...}``
 plus a ``cache`` tag (``"store"`` / ``"computed"`` / ``"coalesced"``)
@@ -32,6 +38,7 @@ from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import CarbonModelError
 from ..io.designs import design_from_dict
+from ..pipeline.registry import DEFAULT_BACKEND, get_backend
 from ..studies.sweep import DEFAULT_INTEGRATIONS
 
 #: Version of the request/response wire format. Bump on breaking changes;
@@ -156,6 +163,32 @@ def _integer(value, where: str, minimum: int, maximum: int) -> int:
     return value
 
 
+def _boolean(value, where: str) -> bool:
+    if not isinstance(value, bool):
+        raise SchemaError(
+            f"{where} must be a boolean, got {type(value).__name__}",
+            field=where,
+        )
+    return value
+
+
+def backend_from_value(value, where: str = "backend") -> str:
+    """The ``backend`` field: a registered backend id (default repro3d).
+
+    Unknown names raise the registry's typed
+    :class:`~repro.errors.BackendError` — the service maps it to a 400
+    payload carrying the known alternatives, same as the CLI and engine.
+    """
+    if value is None:
+        return DEFAULT_BACKEND
+    if not isinstance(value, str) or not value:
+        raise SchemaError(
+            f"{where} must be a backend name, got {value!r}", field=where
+        )
+    get_backend(value)  # raises BackendError for unknown names
+    return value
+
+
 def _location(value, where: str):
     """A grid location: a name or a raw g CO₂/kWh number."""
     if isinstance(value, str) and value:
@@ -232,6 +265,7 @@ class EvaluateRequest:
     workload: "Workload | None"
     fab_location: "str | float | None"
     label: "str | None" = None
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -247,6 +281,7 @@ class SweepRequest:
     integrations: tuple[str, ...]
     fab_locations: tuple
     workload: "Workload | None"
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -256,6 +291,8 @@ class MonteCarloRequest:
     fab_location: "str | float | None"
     samples: int
     seed: int
+    backend: str = DEFAULT_BACKEND
+    return_samples: bool = False
 
 
 def _parse_design(value, where: str) -> ChipDesign:
@@ -267,7 +304,8 @@ def _parse_point(
 ) -> EvaluateRequest:
     _reject_unknown(
         data,
-        ("schema", "type", "design", "workload", "fab_location", "label"),
+        ("schema", "type", "design", "workload", "fab_location", "label",
+         "backend"),
         where,
     )
     if "design" not in data:
@@ -287,6 +325,7 @@ def _parse_point(
         ),
         fab_location=fab_location,
         label=label,
+        backend=backend_from_value(data.get("backend"), f"{where}.backend"),
     )
 
 
@@ -317,7 +356,9 @@ def parse_batch_request(data) -> BatchRequest:
         where = f"points[{index}]"
         point = _require_mapping(point, where)
         _reject_unknown(
-            point, ("design", "workload", "fab_location", "label"), where
+            point,
+            ("design", "workload", "fab_location", "label", "backend"),
+            where,
         )
         parsed.append(_parse_point(dict(point), where))
     return BatchRequest(points=tuple(parsed))
@@ -329,7 +370,7 @@ def parse_sweep_request(data) -> SweepRequest:
     _reject_unknown(
         data,
         ("schema", "type", "design", "integrations", "fab_locations",
-         "workload"),
+         "workload", "backend"),
         "request",
     )
     if "design" not in data:
@@ -368,6 +409,7 @@ def parse_sweep_request(data) -> SweepRequest:
         integrations=tuple(integrations),
         fab_locations=tuple(fab_locations),
         workload=workload_from_value(data.get("workload", "av")),
+        backend=backend_from_value(data.get("backend")),
     )
 
 
@@ -377,7 +419,7 @@ def parse_montecarlo_request(data) -> MonteCarloRequest:
     _reject_unknown(
         data,
         ("schema", "type", "design", "workload", "fab_location", "samples",
-         "seed"),
+         "seed", "backend", "return_samples"),
         "request",
     )
     if "design" not in data:
@@ -397,6 +439,10 @@ def parse_montecarlo_request(data) -> MonteCarloRequest:
         seed=_integer(
             # numpy's default_rng rejects negative seeds.
             data.get("seed", 20240623), "seed", 0, 2**62
+        ),
+        backend=backend_from_value(data.get("backend")),
+        return_samples=_boolean(
+            data.get("return_samples", False), "return_samples"
         ),
     )
 

@@ -180,12 +180,15 @@ class CarbonService(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def health_payload(self) -> dict:
+        from ..pipeline.registry import backend_names
+
         return schema.ok_envelope({
             "status": "ok",
             "schema": schema.SCHEMA_VERSION,
             "uptime_s": time.time() - self.started_s,
             "fab_location": self.dispatcher.fab_location,
             "store": None if self.store is None else self.store.path,
+            "backends": list(backend_names()),
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo",
                 "/healthz", "/stats",

@@ -5,9 +5,10 @@ rendering of the engine's value fingerprints (see
 :func:`canonical_text`) — to the JSON payload of a finished evaluation.
 Because the key is derived from the *values* a pipeline stage reads (the
 frozen parameter records, the design, the workload, the grid carbon
-intensities), two requests share an entry exactly when the engine could
-not distinguish them — the same sharing rule
-:mod:`repro.engine.fingerprint` applies in-process, made durable.
+intensities) plus the id of the carbon backend that computed them, two
+requests share an entry exactly when the engine could not distinguish
+them — the same sharing rule :mod:`repro.pipeline.fingerprint` applies
+in-process, made durable.
 
 Unlike Python's ``hash()`` (randomized per process for strings), the
 digest is stable across interpreter sessions, so a server restart keeps
@@ -33,12 +34,14 @@ from dataclasses import is_dataclass
 from pathlib import Path
 
 from ..caching import EvictionPolicy
-from ..engine.fingerprint import CachedKey
 from ..errors import CarbonModelError
+from ..pipeline.fingerprint import CachedKey
 
 #: Bump when the canonical encoding or stored payload shape changes; a
 #: mismatched database is cleared rather than served.
-STORE_FORMAT_VERSION = 1
+#: v2: content keys carry the carbon-backend id (the backend-protocol
+#: refactor), so a v1 store — keyed without one — is cleared.
+STORE_FORMAT_VERSION = 2
 
 
 class StoreError(CarbonModelError):
@@ -48,9 +51,9 @@ class StoreError(CarbonModelError):
 def canonical_text(value) -> str:
     """A deterministic, session-stable rendering of a fingerprint value.
 
-    Handles exactly the shapes engine fingerprints are made of — frozen
+    Handles exactly the shapes pipeline fingerprints are made of — frozen
     dataclasses, enums, tuples/lists, dicts, strings, numbers, ``None``
-    and :class:`~repro.engine.fingerprint.CachedKey` wrappers — and
+    and :class:`~repro.pipeline.fingerprint.CachedKey` wrappers — and
     refuses anything else (a silent fallback would risk two different
     requests sharing a key). Floats render via ``repr``, which
     round-trips exactly.

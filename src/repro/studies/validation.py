@@ -1,7 +1,9 @@
 """Validation studies of Sec. 4: EPYC 7452 (Fig. 4a) and Lakefield (Fig. 4b).
 
-Both studies compare 3D-Carbon's embodied prediction against the LCA-report
-baseline and ACT+ on published products:
+:func:`compare_backends` generalizes the section's method — run every
+registered carbon backend over one design in a single batched engine
+call — to any :class:`~repro.core.design.ChipDesign`; the two named
+studies reproduce the paper's published comparisons:
 
 * **AMD EPYC 7452** — an MCM 2.5D server CPU: four 74 mm² 7 nm CCDs plus a
   416 mm² 14 nm I/O die on a 58.5 × 75.4 mm organic package [8, 23].
@@ -22,7 +24,10 @@ from ..config.integration import AssemblyFlow, StackingStyle
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign, Die, DieKind, PackageSpec
 from ..core.embodied import EmbodiedReport, embodied_carbon
+from ..core.operational import Workload
 from ..core.resolve import resolve_design
+from ..pipeline.backends import BackendReport
+from ..pipeline.registry import backend_names, get_backend
 
 #: EPYC 7452 physical inputs (Sec. 4.1 and product documentation).
 EPYC_CCD_AREA_MM2 = 74.0
@@ -104,6 +109,108 @@ def lakefield_design(assembly: AssemblyFlow = AssemblyFlow.D2W) -> ChipDesign:
         stacking=StackingStyle.F2F,
         assembly=assembly,
         package=PackageSpec("pop_mobile", area_mm2=LAKEFIELD_PACKAGE_AREA_MM2),
+    )
+
+
+@dataclass(frozen=True)
+class BackendComparison:
+    """Every registered carbon model's verdict on one design.
+
+    The generalized Sec. 4 cross-model table: one row per backend, all
+    evaluated in a single batched engine call (the design resolves once
+    and every model prices the same resolution).
+    """
+
+    design_name: str
+    workload_name: "str | None"
+    reports: tuple[BackendReport, ...]
+
+    def report(self, backend: str) -> BackendReport:
+        for entry in self.reports:
+            if entry.backend == backend:
+                return entry
+        raise KeyError(backend)
+
+    def rows(self) -> "list[tuple]":
+        """(label, die, bonding, packaging, interposer, emb, oper, total)."""
+        rows = []
+        for entry in self.reports:
+            breakdown = entry.breakdown_dict()
+            rows.append((
+                get_backend(entry.backend).label,
+                breakdown.get("die", 0.0),
+                breakdown.get("bonding", 0.0),
+                breakdown.get("packaging", 0.0),
+                breakdown.get("interposer", 0.0),
+                entry.embodied_kg,
+                entry.operational_kg,
+                entry.total_kg,
+            ))
+        return rows
+
+    def format_table(self) -> str:
+        """Fixed-width cross-model table (kg CO₂e; '—' = not modeled)."""
+        header = (
+            f"{'model':<14} {'die':>9} {'bond':>8} {'pkg':>8} {'subst':>8} "
+            f"{'embodied':>9} {'oper':>9} {'total':>9}"
+        )
+        lines = [
+            f"cross-model comparison — {self.design_name}"
+            + (f" under {self.workload_name}" if self.workload_name else ""),
+            header,
+            "-" * len(header),
+        ]
+        for label, die, bond, pkg, subst, emb, oper, total in self.rows():
+            oper_text = f"{oper:9.2f}" if oper is not None else f"{'—':>9}"
+            lines.append(
+                f"{label:<14.14} {die:9.2f} {bond:8.2f} {pkg:8.2f} "
+                f"{subst:8.2f} {emb:9.2f} {oper_text} {total:9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_backends(
+    design: ChipDesign,
+    backends: "list[str] | None" = None,
+    workload: "Workload | None" = None,
+    params: ParameterSet | None = None,
+    fab_location: "str | float" = "taiwan",
+    evaluator=None,
+) -> BackendComparison:
+    """Evaluate ``design`` under every (or selected) carbon backend.
+
+    One batched :meth:`~repro.engine.BatchEvaluator.evaluate_many` call:
+    the shared resolve stage runs once and each backend's own stages are
+    memoized per fingerprint, so adding a model to the comparison costs
+    only that model's pricing math. Results are bit-identical to each
+    backend's direct API (parity-tested).
+    """
+    from ..engine import BatchEvaluator, EvalPoint
+
+    params = params if params is not None else DEFAULT_PARAMETERS
+    if evaluator is None:
+        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
+    if backends is None:
+        backends = list(backend_names())
+    else:
+        for name in backends:
+            get_backend(name)  # typed BackendError before any evaluation
+    points = [
+        EvalPoint(
+            design=design,
+            params=params,
+            fab_location=fab_location,
+            workload=workload,
+            label=name,
+            backend=name,
+        )
+        for name in backends
+    ]
+    reports = evaluator.evaluate_many(points)
+    return BackendComparison(
+        design_name=design.name,
+        workload_name=workload.name if workload is not None else None,
+        reports=tuple(reports),
     )
 
 

@@ -282,3 +282,72 @@ class TestParseRequestDispatch:
     def test_unknown_type_rejected(self):
         with pytest.raises(SchemaError, match="type"):
             parse_request({"schema": SCHEMA_VERSION, "type": "divine"})
+
+
+class TestBackendField:
+    def test_defaults_to_repro3d(self):
+        parsed = parse_request(evaluate_payload())
+        assert parsed.backend == "repro3d"
+
+    def test_accepts_registered_names(self):
+        for name in ("repro3d", "act", "act_plus", "lca", "first_order"):
+            parsed = parse_request(evaluate_payload(backend=name))
+            assert parsed.backend == name
+
+    def test_unknown_backend_is_typed_backend_error(self):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError) as excinfo:
+            parse_request(evaluate_payload(backend="gabi"))
+        payload = schema.error_payload(excinfo.value)
+        assert payload["type"] == "BackendError"
+        assert payload["field"] == "backend"
+
+    def test_backend_must_be_a_string(self):
+        with pytest.raises(SchemaError, match="backend"):
+            parse_request(evaluate_payload(backend=3))
+
+    def test_batch_points_carry_backends(self):
+        parsed = parse_request({
+            "schema": SCHEMA_VERSION, "type": "batch",
+            "points": [
+                {"design": design_payload(), "backend": "act"},
+                {"design": design_payload()},
+            ],
+        })
+        assert [p.backend for p in parsed.points] == ["act", "repro3d"]
+
+    def test_sweep_and_montecarlo_accept_backend(self):
+        sweep = parse_request({
+            "schema": SCHEMA_VERSION, "type": "sweep",
+            "design": design_payload(integration="2d"), "backend": "lca",
+        })
+        assert sweep.backend == "lca"
+        mc = parse_request({
+            "schema": SCHEMA_VERSION, "type": "montecarlo",
+            "design": design_payload(), "backend": "first_order",
+        })
+        assert mc.backend == "first_order"
+
+
+class TestReturnSamplesField:
+    def test_defaults_false(self):
+        parsed = parse_request({
+            "schema": SCHEMA_VERSION, "type": "montecarlo",
+            "design": design_payload(),
+        })
+        assert parsed.return_samples is False
+
+    def test_accepts_true(self):
+        parsed = parse_request({
+            "schema": SCHEMA_VERSION, "type": "montecarlo",
+            "design": design_payload(), "return_samples": True,
+        })
+        assert parsed.return_samples is True
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(SchemaError, match="return_samples"):
+            parse_request({
+                "schema": SCHEMA_VERSION, "type": "montecarlo",
+                "design": design_payload(), "return_samples": 1,
+            })

@@ -293,3 +293,126 @@ class TestDispatcherParamsPinning:
             Dispatcher(
                 evaluator=BatchEvaluator(efficiency_plugin=lambda *a: None)
             )
+
+
+class TestBackendRouting:
+    """The backend dimension end to end: routing, store keys, errors."""
+
+    def test_baseline_backend_round_trip(self, service):
+        from repro.pipeline import get_backend
+
+        _, client = service
+        envelope = client.evaluate(design_payload(), backend="act")
+        direct = get_backend("act").evaluate(
+            design_from_dict(design_payload()),
+            fab_location="taiwan",
+            workload=Workload.autonomous_vehicle(),
+        )
+        assert envelope["result"] == json.loads(
+            json.dumps(direct.to_dict())
+        )
+        assert envelope["result"]["backend"] == "act"
+
+    def test_store_keys_differ_per_backend(self, service):
+        _, client = service
+        first = client.evaluate(design_payload(), backend="act")
+        other = client.evaluate(design_payload(), backend="first_order")
+        assert first["cache"] == other["cache"] == "computed"
+        assert first["result"]["total_kg"] != other["result"]["total_kg"]
+        # Same backend again: served from the persistent store.
+        again = client.evaluate(design_payload(), backend="act")
+        assert again["cache"] == "store"
+        assert again["result"] == first["result"]
+
+    def test_default_payload_shape_unchanged(self, service):
+        """No backend field → the classic CarbonModel payload (no tag)."""
+        _, client = service
+        envelope = client.evaluate(design_payload())
+        assert "backend" not in envelope["result"]
+
+    def test_unknown_backend_is_400_typed_payload(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(design_payload(), backend="gabi")
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "BackendError"
+        assert excinfo.value.payload["field"] == "backend"
+
+    def test_sweep_with_backend(self, service):
+        _, client = service
+        design = {
+            "name": "flat", "integration": "2d",
+            "package": {"class": "fcbga"}, "throughput_tops": 254.0,
+            "dies": [{"name": "d", "node": "7nm", "gate_count": 17e9,
+                      "workload_share": 1.0}],
+        }
+        envelope = client.sweep(
+            design, integrations=["2d", "mcm"], backend="lca"
+        )
+        assert [e["report"]["backend"] for e in envelope["result"]] \
+            == ["lca", "lca"]
+
+    def test_healthz_lists_backends(self, service):
+        _, client = service
+        assert client.healthz()["backends"] == [
+            "repro3d", "act", "act_plus", "lca", "first_order"
+        ]
+
+
+class TestMonteCarloSamples:
+    def test_return_samples_round_trips_through_store(self, tmp_path):
+        from repro.analysis.uncertainty import monte_carlo
+
+        store = str(tmp_path / "store.sqlite3")
+        reference = monte_carlo(
+            design_from_dict(design_payload()),
+            workload=Workload.autonomous_vehicle(),
+            samples=24, seed=7,
+        )
+
+        def one_pass():
+            server = make_server(store_path=store)
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                client = ServiceClient(server.url)
+                return client.montecarlo(
+                    design_payload(), samples=24, seed=7,
+                    return_samples=True,
+                )
+            finally:
+                server.close()
+                thread.join(timeout=5.0)
+
+        cold = one_pass()
+        warm = one_pass()  # restarted server: must come from the store
+        assert cold["cache"] == "computed" and warm["cache"] == "store"
+        assert cold["result"] == warm["result"]
+        assert cold["result"]["samples_kg"] == list(reference.samples_kg)
+
+    def test_summary_and_samples_are_distinct_entries(self, service):
+        _, client = service
+        summary = client.montecarlo(design_payload(), samples=16, seed=3)
+        full = client.montecarlo(
+            design_payload(), samples=16, seed=3, return_samples=True
+        )
+        assert "samples_kg" not in summary["result"]
+        assert len(full["result"]["samples_kg"]) == 16
+        # A stored summary must never serve a samples request: both were
+        # computed, under different content keys.
+        assert summary["cache"] == full["cache"] == "computed"
+        for key in ("mean_kg", "std_kg", "p95_kg"):
+            assert summary["result"][key] == full["result"][key]
+
+    def test_montecarlo_backend_prices_draws_under_that_model(self, service):
+        _, client = service
+        act = client.montecarlo(
+            design_payload(), samples=16, seed=3, backend="act"
+        )["result"]
+        repro = client.montecarlo(
+            design_payload(), samples=16, seed=3
+        )["result"]
+        assert act["backend"] == "act"
+        assert act["mean_kg"] != repro["mean_kg"]
