@@ -2,6 +2,9 @@
 
 from .optimizer import Candidate, SearchResult, search_configurations
 from .sensitivity import (
+    FactorSet,
+    FactorSpec,
+    FactorTarget,
     SensitivityFactor,
     SensitivityResult,
     default_factors,
@@ -16,6 +19,9 @@ from .uncertainty import (
 
 __all__ = [
     "Candidate",
+    "FactorSet",
+    "FactorSpec",
+    "FactorTarget",
     "SearchResult",
     "SensitivityFactor",
     "SensitivityResult",

@@ -9,10 +9,13 @@ defaults, and the swing in total carbon is recorded:
     swing = C(high) − C(low)
     elasticity ≈ (ΔC/C) / (Δp/p) at the default point
 
-The default factor set covers the knobs the paper's Table 2 calls out:
-defect density, fab energy (EPA), grid intensities, bonding energy and
-yield, packaging carbon, I/O area ratio, and the bandwidth-constraint
-traffic intensity.
+Factor declarations live in :mod:`repro.uncertainty.factors` — the
+default set here is 3D-Carbon's Table 2 set
+(:func:`~repro.uncertainty.factors.table2_factor_set`), and passing
+``backend=`` runs the study over that backend's *own* factor set (the
+ACT intensity table, the GaBi CPA spread, ...), pricing each swing under
+that model. ``FactorTarget`` and ``default_factors`` remain importable
+from here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -20,64 +23,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from ..config.integration import AssemblyFlow, BondingMethod
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import ParameterError
+from ..uncertainty.factors import (  # noqa: F401 (back-compat re-exports)
+    FactorSet,
+    FactorSpec,
+    FactorTarget,
+    table2_factor_set,
+)
 
 #: A factor perturbs a ParameterSet to a given multiplier of its default.
 FactorFn = Callable[[ParameterSet, float], ParameterSet]
 
 
 @dataclass(frozen=True)
-class FactorTarget:
-    """Declarative description of the single field a factor scales.
-
-    ``kind`` names the parameter database ("node", "bonding", "packaging",
-    "integration", "bandwidth"), ``key`` addresses the record inside it,
-    ``field`` the scaled attribute. The batch engine's Monte-Carlo fast
-    path uses targets to apply a whole factor row with one override per
-    record instead of one copy-on-write chain per factor; factors without
-    a target still work everywhere via their ``apply`` callable.
-    """
-
-    kind: str
-    key: tuple
-    field: str
-    clamp_to_one: bool = False
-
-    def read(self, params: ParameterSet) -> float:
-        """The unperturbed value of the targeted field."""
-        if self.kind == "node":
-            record = params.node(self.key[0])
-        elif self.kind == "bonding":
-            record = params.bonding.get(self.key[0], self.key[1])
-        elif self.kind == "packaging":
-            record = params.packaging.get(self.key[0])
-        elif self.kind == "integration":
-            record = params.integration_spec(self.key[0])
-        elif self.kind == "bandwidth":
-            record = params.bandwidth
-        else:
-            raise ParameterError(f"unknown factor-target kind {self.kind!r}")
-        return getattr(record, self.field)
-
-    def scale(self, value: float, multiplier: float) -> float:
-        """The perturbed value — same expression the ``apply`` closures use."""
-        scaled = value * multiplier
-        if self.clamp_to_one:
-            scaled = min(scaled, 1.0)
-        return scaled
-
-
-@dataclass(frozen=True)
 class SensitivityFactor:
     """One tunable input: name, low/high multipliers, and the perturber.
 
-    ``target`` (optional) is the declarative twin of ``apply`` — when
-    present it must describe the same perturbation, which lets the batch
-    engine group applications (see :class:`FactorTarget`).
+    The legacy closure-based factor shape, kept for callers that perturb
+    fields no declarative :class:`~repro.uncertainty.factors.FactorTarget`
+    addresses. ``target`` (optional) is the declarative twin of ``apply``
+    — when present it must describe the same perturbation, which lets
+    the perturbation plan compile grouped applications. New code should
+    prefer :class:`~repro.uncertainty.factors.FactorSpec`, whose
+    application is derived from the target itself.
     """
 
     name: str
@@ -94,125 +65,27 @@ class SensitivityFactor:
             )
 
 
-def _scale_node_field(node: str, field: str) -> FactorFn:
-    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
-        value = getattr(params.node(node), field)
-        return params.with_node_override(node, **{field: value * multiplier})
-
-    return apply
-
-
-def _scale_bonding(method: BondingMethod, flow: AssemblyFlow,
-                   field: str) -> FactorFn:
-    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
-        value = getattr(params.bonding.get(method, flow), field)
-        scaled = value * multiplier
-        if field == "bond_yield":
-            scaled = min(scaled, 1.0)
-        return params.with_bonding_override(method, flow, **{field: scaled})
-
-    return apply
-
-
-def _scale_packaging(package_class: str) -> FactorFn:
-    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
-        value = params.packaging.get(package_class).cpa_kg_per_cm2
-        return params.with_packaging_override(
-            package_class, cpa_kg_per_cm2=value * multiplier
-        )
-
-    return apply
-
-
-def _scale_traffic() -> FactorFn:
-    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
-        return params.with_bandwidth(
-            traffic_bytes_per_op=(
-                params.bandwidth.traffic_bytes_per_op * multiplier
-            )
-        )
-
-    return apply
-
-
-def _scale_io_area(integration: str) -> FactorFn:
-    def apply(params: ParameterSet, multiplier: float) -> ParameterSet:
-        value = params.integration_spec(integration).io_area_ratio
-        return params.with_integration_override(
-            integration, io_area_ratio=min(value * multiplier, 1.0)
-        )
-
-    return apply
-
-
 def default_factors(
     node: str = "7nm",
     integration: str = "hybrid_3d",
     package_class: str = "fcbga",
-) -> "list[SensitivityFactor]":
-    """The Table 2-inspired factor set for a given design flavour."""
-    def node_factor(label, low, high, field):
-        return SensitivityFactor(
-            label, low, high, _scale_node_field(node, field),
-            target=FactorTarget("node", (node,), field),
-        )
+) -> "list[FactorSpec]":
+    """The Table 2-inspired factor set for a given design flavour.
 
-    factors = [
-        node_factor(
-            f"defect_density[{node}]", 0.5, 2.0, "defect_density_per_cm2"
-        ),
-        node_factor(f"fab_energy_epa[{node}]", 0.7, 1.4, "epa_kwh_per_cm2"),
-        node_factor(f"raw_material_mpa[{node}]", 0.7, 1.4, "mpa_kg_per_cm2"),
-        SensitivityFactor(
-            f"packaging_cpa[{package_class}]", 0.5, 2.0,
-            _scale_packaging(package_class),
-            target=FactorTarget(
-                "packaging", (package_class,), "cpa_kg_per_cm2"
-            ),
-        ),
-        SensitivityFactor(
-            "traffic_bytes_per_op", 0.5, 2.0, _scale_traffic(),
-            target=FactorTarget("bandwidth", (), "traffic_bytes_per_op"),
-        ),
-    ]
-    spec = DEFAULT_PARAMETERS.integration_spec(integration)
-    if spec.bonding is not BondingMethod.NONE:
-        flow = (
-            AssemblyFlow.D2W if spec.is_3d else AssemblyFlow.CHIP_LAST
-        )
-        factors.append(
-            SensitivityFactor(
-                f"bonding_epa[{spec.bonding.value}/{flow.value}]",
-                0.5, 2.0,
-                _scale_bonding(spec.bonding, flow, "epa_kwh_per_cm2"),
-                target=FactorTarget(
-                    "bonding", (spec.bonding, flow), "epa_kwh_per_cm2"
-                ),
-            )
-        )
-        factors.append(
-            SensitivityFactor(
-                f"bond_yield[{spec.bonding.value}/{flow.value}]",
-                0.95, 1.02,
-                _scale_bonding(spec.bonding, flow, "bond_yield"),
-                target=FactorTarget(
-                    "bonding", (spec.bonding, flow), "bond_yield",
-                    clamp_to_one=True,
-                ),
-            )
-        )
-    if spec.io_area_ratio > 0:
-        factors.append(
-            SensitivityFactor(
-                f"io_area_ratio[{integration}]", 0.5, 2.0,
-                _scale_io_area(integration),
-                target=FactorTarget(
-                    "integration", (integration,), "io_area_ratio",
-                    clamp_to_one=True,
-                ),
-            )
-        )
-    return factors
+    Back-compat shim over :func:`repro.uncertainty.factors.
+    table2_factor_set`: same names, ranges, targets and order as ever
+    (the specs' derived ``apply`` is bit-identical to the historical
+    closures), returned as a plain list.
+    """
+    return list(table2_factor_set(node, integration, package_class))
+
+
+def _factors_for(design: ChipDesign, params: ParameterSet,
+                 backend) -> FactorSet:
+    """The factor set a study defaults to: the backend's own."""
+    from ..pipeline.registry import resolve_backend
+
+    return resolve_backend(backend).factor_set(design, params)
 
 
 @dataclass(frozen=True)
@@ -245,11 +118,12 @@ class SensitivityResult:
 
 def tornado(
     design: ChipDesign,
-    factors: "list[SensitivityFactor] | None" = None,
+    factors=None,
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
     evaluator=None,
+    backend=None,
 ) -> "list[SensitivityResult]":
     """Run the one-at-a-time study; results sorted by swing, largest first.
 
@@ -257,33 +131,54 @@ def tornado(
     share caches across studies): factors that only touch embodied- or
     use-phase parameters reuse the base design resolution instead of
     re-running the wirelength pipeline 2×(factors)+1 times.
+
+    ``backend`` prices the swings under any registered carbon backend
+    and, when ``factors`` is omitted, swings that backend's own factor
+    set. Model-scoped factors (backend constants) evaluate through a
+    per-extreme derived backend instead of a perturbed parameter set.
     """
     from ..engine import BatchEvaluator
+    from ..pipeline.registry import resolve_backend
 
     params = params if params is not None else DEFAULT_PARAMETERS
     if factors is None:
-        node = design.dies[0].node
-        factors = default_factors(node=node, integration=design.integration)
+        factors = _factors_for(design, params, backend)
+    factors = list(factors)
     if evaluator is None:
         evaluator = BatchEvaluator(params=params, fab_location=fab_location)
 
-    def _evaluate(point_params: ParameterSet) -> float:
-        return evaluator.report(
-            design, workload=workload, params=point_params,
+    def _evaluate(point_params: ParameterSet, point_backend) -> float:
+        return evaluator.backend_total_kg(
+            design, point_backend, workload=workload, params=point_params,
             fab_location=fab_location,
-        ).total_kg
+        )
 
-    base = _evaluate(params)
+    def _is_model(factor) -> bool:
+        target = getattr(factor, "target", None)
+        return target is not None and getattr(target, "kind", None) == "model"
+
+    model_base = (
+        resolve_backend(backend) if any(_is_model(f) for f in factors)
+        else None
+    )
+
+    def _evaluate_factor(factor, multiplier: float) -> float:
+        if _is_model(factor):
+            derived = model_base.with_model_multipliers(
+                {factor.target.field: multiplier}
+            )
+            return _evaluate(params, derived)
+        return _evaluate(factor.apply(params, multiplier), backend)
+
+    base = _evaluate(params, backend)
     results = []
     for factor in factors:
-        low = _evaluate(factor.apply(params, factor.low))
-        high = _evaluate(factor.apply(params, factor.high))
         results.append(
             SensitivityResult(
                 factor=factor.name,
-                low_kg=low,
+                low_kg=_evaluate_factor(factor, factor.low),
                 base_kg=base,
-                high_kg=high,
+                high_kg=_evaluate_factor(factor, factor.high),
                 low_multiplier=factor.low,
                 high_multiplier=factor.high,
             )

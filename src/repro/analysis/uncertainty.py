@@ -1,16 +1,22 @@
 """Monte-Carlo uncertainty propagation for carbon estimates.
 
 Carbon-model inputs are ranges, not points (the paper's Table 2 lists
-ranges for nearly everything). This module samples the key parameters
-from independent triangular distributions centred on the calibrated
-defaults, evaluates the design for each draw, and summarizes the carbon
-distribution (mean, standard deviation, percentiles).
+ranges for nearly everything). This module samples the declared factors
+of a :class:`~repro.uncertainty.factors.FactorSet`, evaluates the design
+for each draw, and summarizes the carbon distribution (mean, standard
+deviation, percentiles).
 
 A deterministic seed makes runs reproducible; numpy powers the sampling.
-Evaluation routes through :class:`repro.engine.BatchEvaluator`: all
-multipliers are drawn up front as one ``(samples, n_factors)`` array
-(bit-identical to the legacy scalar draw sequence) and each draw reuses
-the memoized parts of the pipeline the perturbation cannot touch. The
+All draws — scalar fallback included — come from one compiled
+:class:`~repro.uncertainty.plan.PerturbationPlan`, and evaluation routes
+through :class:`repro.engine.BatchEvaluator`: multipliers are drawn up
+front as one ``(samples, n_factors)`` array (bit-identical to the legacy
+scalar draw sequence for the default triangular sets) and each draw
+reuses the memoized parts of the pipeline the perturbation cannot touch.
+When no factors are passed, the study uses the *backend's own* factor
+set (``backend.factor_set(design)``) — 3D-Carbon's Table 2 set by
+default, the ACT intensity table under ``backend="act"``, and so on —
+so per-model uncertainty bands perturb each model's own inputs. The
 legacy per-draw path survives as :func:`_monte_carlo_scalar` — the
 reference the equivalence tests and the perf benches compare against.
 """
@@ -27,7 +33,7 @@ from ..core.design import ChipDesign
 from ..core.model import CarbonModel
 from ..core.operational import Workload
 from ..errors import ParameterError
-from .sensitivity import SensitivityFactor, default_factors
+from .sensitivity import _factors_for
 
 
 @dataclass(frozen=True)
@@ -84,21 +90,27 @@ class UncertaintyResult:
             f"p95 {self.p95:.2f}]"
         )
 
+    def to_payload(self) -> dict:
+        """The JSON summary-statistics shape of the wire formats.
 
-def _triangular(rng: np.random.Generator, low: float, high: float) -> float:
-    """One multiplier drawn from a triangular(low, 1.0, high) law."""
-    return float(rng.triangular(low, 1.0, high))
-
-
-def _default_factors_for(design: ChipDesign) -> "list[SensitivityFactor]":
-    return default_factors(
-        node=design.dies[0].node, integration=design.integration
-    )
+        The single definition of the band key set the service
+        ``/montecarlo`` and ``/compare`` payloads and the CLI's
+        ``compare --json`` all share.
+        """
+        return {
+            "samples": self.n,
+            "base_kg": self.base_kg,
+            "mean_kg": self.mean_kg,
+            "std_kg": self.std_kg,
+            "p05_kg": self.p05,
+            "p50_kg": self.p50,
+            "p95_kg": self.p95,
+        }
 
 
 def monte_carlo(
     design: ChipDesign,
-    factors: "list[SensitivityFactor] | None" = None,
+    factors=None,
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
@@ -118,29 +130,28 @@ def monte_carlo(
     (``workers="process"`` for short — bit-identical, see
     :func:`repro.engine.montecarlo.monte_carlo_totals`); ``backend``
     prices the draws under any registered carbon backend instead of
-    3D-Carbon.
+    3D-Carbon — and, when ``factors`` is omitted, draws from that
+    backend's own factor set.
     """
     from ..engine import BatchEvaluator
-    from ..engine.montecarlo import (
-        DEFAULT_CHUNK_SIZE,
-        monte_carlo_totals,
-        triangular_multipliers,
-    )
+    from ..engine.montecarlo import DEFAULT_CHUNK_SIZE, monte_carlo_totals
+    from ..uncertainty.plan import PerturbationPlan
 
     if samples < 2:
         raise ParameterError(f"need >= 2 samples, got {samples}")
     params = params if params is not None else DEFAULT_PARAMETERS
     if factors is None:
-        factors = _default_factors_for(design)
+        factors = _factors_for(design, params, backend)
     if evaluator is None:
         evaluator = BatchEvaluator(params=params, fab_location=fab_location)
     base = evaluator.backend_total_kg(
         design, backend, workload=workload, params=params,
         fab_location=fab_location,
     )
-    multipliers = triangular_multipliers(factors, samples, seed)
+    plan = PerturbationPlan(factors, params)
+    multipliers = plan.draw(samples, seed)
     draws = monte_carlo_totals(
-        design, factors, multipliers, workload, params, fab_location,
+        design, plan, multipliers, workload, params, fab_location,
         evaluator,
         chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
         workers=workers,
@@ -152,7 +163,7 @@ def monte_carlo(
 
 def _monte_carlo_scalar(
     design: ChipDesign,
-    factors: "list[SensitivityFactor] | None" = None,
+    factors=None,
     workload: Workload | None = None,
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
@@ -161,25 +172,39 @@ def _monte_carlo_scalar(
 ) -> UncertaintyResult:
     """The legacy scalar Monte-Carlo path (reference implementation).
 
-    One fresh :class:`CarbonModel` and one full pipeline run per draw,
-    multipliers drawn factor-by-factor. Kept verbatim so equivalence
-    tests and the perf benches can compare the engine against it.
+    One fresh :class:`CarbonModel` and one full pipeline run per draw.
+    Multipliers come from the same vectorized
+    :class:`~repro.uncertainty.plan.PerturbationPlan` the engine path
+    draws from (the plan's triangular fast path is bit-identical to the
+    historical factor-by-factor scalar sequence, so this is a draw-code
+    unification, not a value change); each row is then applied through
+    the sequential ``factor.apply`` chain and evaluated scalar-wise.
+    Kept so equivalence tests and the perf benches can compare the
+    engine against the pre-engine evaluation behaviour.
     """
+    from ..uncertainty.plan import PerturbationPlan
+
     if samples < 2:
         raise ParameterError(f"need >= 2 samples, got {samples}")
     params = params if params is not None else DEFAULT_PARAMETERS
     if factors is None:
-        factors = _default_factors_for(design)
+        factors = _factors_for(design, params, None)
     base = CarbonModel(design, params, fab_location).evaluate(workload).total_kg
 
-    rng = np.random.default_rng(seed)
+    plan = PerturbationPlan(factors, params)
+    if plan.has_model_factors:
+        # CarbonModel evaluates 3D-Carbon only — a model-scoped factor
+        # (a backend constant) would be drawn but never applied, so the
+        # "reference" would silently price the wrong distribution.
+        raise ParameterError(
+            "the scalar Monte-Carlo reference cannot apply model-scoped "
+            "factors; use monte_carlo(..., backend=...) for backend "
+            "factor sets"
+        )
+    multipliers = plan.draw(samples, seed)
     draws: list[float] = []
-    for _ in range(samples):
-        perturbed = params
-        for factor in factors:
-            perturbed = factor.apply(
-                perturbed, _triangular(rng, factor.low, factor.high)
-            )
+    for row in multipliers.tolist():
+        perturbed = plan.sequential(row)
         report = CarbonModel(design, perturbed, fab_location).evaluate(workload)
         draws.append(report.total_kg)
     return UncertaintyResult(samples_kg=tuple(draws), base_kg=base)
@@ -194,6 +219,8 @@ def comparison_robustness(
     samples: int = 200,
     seed: int = 20240623,
     evaluator=None,
+    factors=None,
+    backend=None,
 ) -> float:
     """P(alternative emits less than baseline) under shared parameter draws.
 
@@ -202,28 +229,32 @@ def comparison_robustness(
     design risk rather than sampling noise. Routed through one shared
     :class:`repro.engine.BatchEvaluator`: the perturbed parameters are
     built once per draw and both designs reuse every pipeline stage the
-    draw does not invalidate.
+    draw does not invalidate. ``factors``/``backend`` choose the factor
+    set and pricing model (defaults: the backend's own set for the
+    *alternative* design, priced by 3D-Carbon).
     """
     from ..engine import BatchEvaluator
-    from ..engine.montecarlo import ParameterPerturber, triangular_multipliers
+    from ..uncertainty.plan import PerturbationPlan
 
     if samples < 2:
         raise ParameterError(f"need >= 2 samples, got {samples}")
     params = params if params is not None else DEFAULT_PARAMETERS
-    factors = _default_factors_for(alternative)
+    if factors is None:
+        factors = _factors_for(alternative, params, backend)
     if evaluator is None:
         evaluator = BatchEvaluator(params=params, fab_location=fab_location)
-    multipliers = triangular_multipliers(factors, samples, seed)
-    perturber = ParameterPerturber(factors, params)
+    plan = PerturbationPlan(factors, params)
+    multipliers = plan.draw(samples, seed)
     wins = 0
     for row in multipliers.tolist():
-        perturbed = perturber.perturbed(row)
-        base_kg = evaluator.total_kg(
-            baseline, workload=workload, params=perturbed,
+        perturbed = plan.perturbed(row)
+        draw_backend = plan.backend_for(row, backend)
+        base_kg = evaluator.backend_total_kg(
+            baseline, draw_backend, workload=workload, params=perturbed,
             fab_location=fab_location, transient=True,
         )
-        alt_kg = evaluator.total_kg(
-            alternative, workload=workload, params=perturbed,
+        alt_kg = evaluator.backend_total_kg(
+            alternative, draw_backend, workload=workload, params=perturbed,
             fab_location=fab_location, transient=True,
         )
         if alt_kg < base_kg:

@@ -96,16 +96,22 @@ def lca_estimate(
     params: ParameterSet | None = None,
     monolithic: bool = False,
     packaging_kg: float = GABI_PACKAGING_KG,
+    cpa_scale: float = 1.0,
 ) -> LcaEstimate:
     """LCA-report estimate for ``(node, area_mm2)`` dies.
 
     ``monolithic=True`` prices the summed silicon as one die at the finest
     (clamped) node present — the 2D-monolithic accounting of Sec. 4.1.
+    ``cpa_scale`` multiplies every database CPA factor — the uncertainty
+    knob of the whole (internally consistent) table, exposed as the
+    model-scoped ``gabi_cpa_scale`` Monte-Carlo factor.
     """
     if not dies:
         raise ParameterError("LCA estimate needs at least one die")
     if any(area <= 0 for _, area in dies):
         raise ParameterError("die areas must be positive")
+    if cpa_scale <= 0:
+        raise ParameterError(f"cpa_scale must be positive, got {cpa_scale}")
     params = params if params is not None else DEFAULT_PARAMETERS
 
     clamped: list[str] = []
@@ -115,6 +121,7 @@ def lca_estimate(
         total_area = sum(area for _, area in dies)
         finest = min(dies, key=lambda d: params.node(d[0]).feature_nm)[0]
         factor, was_clamped = gabi_factor(finest, params)
+        factor *= cpa_scale
         if was_clamped:
             clamped.append(finest)
         y = die_yield(
@@ -130,6 +137,7 @@ def lca_estimate(
         die_kg = 0.0
         for node_name, area in dies:
             factor, was_clamped = gabi_factor(node_name, params)
+            factor *= cpa_scale
             if was_clamped:
                 clamped.append(node_name)
             y = die_yield(

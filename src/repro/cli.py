@@ -109,17 +109,76 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     backends = None
     if args.backends is not None:
         backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    if args.service is not None:
+        return _compare_via_service(args, design, backends)
     workload = (
         Workload.autonomous_vehicle() if args.workload == "av" else None
     )
     result = compare_backends(
         design, backends=backends, workload=workload,
-        fab_location=args.fab_location,
+        fab_location=args.fab_location, draws=args.draws, seed=args.seed,
     )
     if args.json:
-        print(json.dumps([r.to_dict() for r in result.reports], indent=2))
+        # Same envelope shape as the service's /compare result, so a
+        # script parsing `compare --json` keeps working when --service
+        # is added (service rows additionally carry cache tags).
+        from .pipeline.registry import get_backend
+
+        rows = []
+        for index, report in enumerate(result.reports):
+            row = {
+                "backend": report.backend,
+                "label": get_backend(report.backend).label,
+                "report": report.to_dict(),
+            }
+            if result.bands is not None:
+                row["uncertainty"] = {
+                    "seed": args.seed,
+                    **result.bands[index].to_payload(),
+                }
+            rows.append(row)
+        print(json.dumps({
+            "design": design.name,
+            "workload": args.workload,
+            "draws": args.draws,
+            "seed": args.seed,
+            "backends": rows,
+        }, indent=2))
     else:
         print(result.format_table())
+    return 0
+
+
+def _compare_via_service(args: argparse.Namespace, design,
+                         backends: "list[str] | None") -> int:
+    """``carbon3d compare --service URL``: the /compare route end."""
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.service)
+    envelope = client.compare(
+        design,
+        backends=backends,
+        workload=args.workload,
+        fab_location=args.fab_location,
+        draws=args.draws,
+        seed=args.seed,
+    )
+    result = envelope["result"]
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    print(f"cross-model comparison — {result['design']} "
+          f"(served by {args.service})")
+    for row in result["backends"]:
+        report = row["report"]
+        line = (f"  {row['label']:<14.14} total {report['total_kg']:9.2f} "
+                f"kg CO2e [{row['cache']}]")
+        uncertainty = row.get("uncertainty")
+        if uncertainty:
+            line += (f"  p05 {uncertainty['p05_kg']:9.2f}  "
+                     f"p50 {uncertainty['p50_kg']:9.2f}  "
+                     f"p95 {uncertainty['p95_kg']:9.2f}")
+        print(line)
     return 0
 
 
@@ -237,7 +296,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store_text = store_path if store_path else "(in-memory only)"
     print(f"carbon3d service listening on {server.url}")
     print(f"  store   : {store_text}")
-    print(f"  routes  : /evaluate /batch /sweep /montecarlo /healthz /stats")
+    print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
+          "/healthz /stats")
     serve_forever(server)
     return 0
 
@@ -341,6 +401,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_compare.add_argument(
+        "--draws", type=int, default=0,
+        help="Monte-Carlo draws per backend (0 = no uncertainty bands); "
+             "each backend draws from its own factor set",
+    )
+    p_compare.add_argument("--seed", type=int, default=20240623)
+    p_compare.add_argument(
+        "--service", default=None, metavar="URL",
+        help="send the comparison to a running carbon3d service "
+             "(one server-side engine batch) instead of computing locally",
     )
     p_compare.set_defaults(func=_cmd_compare)
 

@@ -1,24 +1,20 @@
-"""Vectorized Monte-Carlo support for the batch engine.
+"""Monte-Carlo evaluation through the batch engine.
 
-Two pieces:
+The draw/apply machinery lives in :mod:`repro.uncertainty.plan` — one
+compiled :class:`~repro.uncertainty.plan.PerturbationPlan` per study
+draws every multiplier vectorized (bit-identical to the legacy scalar
+sequence for the default triangular sets) and applies rows through a
+grouped-override fast path. This module keeps the engine-facing loop:
+chunked evaluation of the draws through a memoized
+:class:`~repro.engine.evaluator.BatchEvaluator`, optionally fanned over
+thread or forked process workers, and under any registered carbon
+backend — including per-draw derived backends when the factor set
+carries model-scoped factors (see
+:meth:`repro.pipeline.CarbonBackend.with_model_multipliers`).
 
-* :func:`triangular_multipliers` draws **all** factor multipliers of a
-  study as one ``(samples, n_factors)`` array. NumPy's ``Generator.
-  triangular`` consumes exactly one uniform per variate and fills
-  broadcast output in C order, so the array is bit-identical to the
-  legacy per-factor scalar draw sequence — vectorization changes cost,
-  not values.
-* :class:`ParameterPerturber` turns one row of multipliers into a
-  perturbed :class:`ParameterSet`. When every factor carries a
-  declarative :class:`repro.analysis.sensitivity.FactorTarget` (the
-  built-in factor set does) and no two factors touch the same field, the
-  perturber compiles a grouped plan: one table override per touched
-  record and a single ``ParameterSet`` replace, instead of one full
-  copy-on-write chain per factor. The grouped plan reads each base value
-  from the unperturbed set exactly like the sequential chain does (the
-  fields are disjoint), so the resulting parameters are identical —
-  factors without targets, or colliding ones, fall back to the exact
-  sequential ``factor.apply`` chain.
+``triangular_multipliers`` and ``ParameterPerturber`` remain as
+back-compat shims over the plan; results are bit-identical to the
+historical implementations (the equivalence tests pin this).
 """
 
 from __future__ import annotations
@@ -28,6 +24,7 @@ import numpy as np
 from ..config.parameters import ParameterSet
 from ..core.design import ChipDesign
 from ..core.operational import Workload
+from ..uncertainty.plan import PerturbationPlan, draw_multipliers
 from .evaluator import BatchEvaluator
 
 #: Default number of draws evaluated per chunk of the MC loop.
@@ -35,144 +32,20 @@ DEFAULT_CHUNK_SIZE = 64
 
 
 def triangular_multipliers(factors, samples: int, seed: int) -> np.ndarray:
-    """All triangular(low, 1, high) multipliers as a (samples, n) array."""
-    lows = np.array([factor.low for factor in factors], dtype=float)
-    highs = np.array([factor.high for factor in factors], dtype=float)
-    rng = np.random.default_rng(seed)
-    shape = (samples, len(lows))
-    return rng.triangular(
-        np.broadcast_to(lows, shape), 1.0, np.broadcast_to(highs, shape)
-    )
+    """Back-compat shim: all multipliers as a (samples, n) array.
+
+    Delegates to :func:`repro.uncertainty.plan.draw_multipliers`, whose
+    all-triangular fast path is the exact historical implementation.
+    """
+    return draw_multipliers(factors, samples, seed)
 
 
-#: ParameterSet attribute the records of each target kind live under.
-_KIND_ATTR = {
-    "node": "technology",
-    "bonding": "bonding",
-    "packaging": "packaging",
-    "integration": "integration",
-    "bandwidth": "bandwidth",
-}
+class ParameterPerturber(PerturbationPlan):
+    """Back-compat alias: the compiled row → ParameterSet application.
 
-
-def _record_for(kind: str, key: tuple, base: ParameterSet):
-    """The base record a (kind, key) target group perturbs."""
-    if kind == "node":
-        return base.node(key[0])
-    if kind == "bonding":
-        return base.bonding.get(key[0], key[1])
-    if kind == "packaging":
-        return base.packaging.get(key[0])
-    if kind == "integration":
-        return base.integration_spec(key[0])
-    if kind == "bandwidth":
-        return base.bandwidth
-    raise ValueError(f"unknown factor-target kind {kind!r}")
-
-
-class ParameterPerturber:
-    """Compiles a factor list into a fast row → ParameterSet application."""
-
-    def __init__(self, factors, base: ParameterSet) -> None:
-        self.factors = list(factors)
-        self.base = base
-        self._plan = self._compile()
-
-    def _compile(self):
-        """One precompiled group per perturbed record; None → fall back.
-
-        Per group: the record's class, its base ``__dict__``, and the
-        (field, base value, clamp, row column, multiplier bounds) entries.
-        Record validation runs here, once, on both multiplier extremes:
-        every check is a per-field interval test and each scaled value is
-        monotone in its multiplier, so if both extremes construct, every
-        in-range draw does too — which lets :meth:`perturbed` assemble
-        records without re-running ``__post_init__`` 10⁴ times. Rows with
-        out-of-range multipliers (or factor sets the extremes reject)
-        take the exact sequential ``apply`` chain instead.
-        """
-        seen = set()
-        groups: dict[tuple, list] = {}
-        for index, factor in enumerate(self.factors):
-            target = getattr(factor, "target", None)
-            if target is None:
-                return None
-            field_id = (target.kind, target.key, target.field)
-            if field_id in seen:  # same field twice → order matters, bail out
-                return None
-            seen.add(field_id)
-            groups.setdefault((target.kind, target.key), []).append(
-                (target, index)
-            )
-        plan = []
-        bounds = []
-        for (kind, key), members in groups.items():
-            record = _record_for(kind, key, self.base)
-            base_fields = {
-                name: getattr(record, name)
-                for name in record.__dataclass_fields__
-            }
-            low_fields = dict(base_fields)
-            high_fields = dict(base_fields)
-            scaled = []
-            for target, index in members:
-                factor = self.factors[index]
-                base_value = base_fields[target.field]
-                low_fields[target.field] = target.scale(base_value, factor.low)
-                high_fields[target.field] = target.scale(base_value, factor.high)
-                scaled.append(
-                    (target.field, base_value, target.clamp_to_one, index)
-                )
-                bounds.append((index, factor.low, factor.high))
-            record_cls = type(record)
-            try:
-                record_cls(**low_fields)
-                record_cls(**high_fields)
-            except Exception:
-                # An extreme fails the record's own validation: the grouped
-                # path cannot prove every draw constructs, so fall back.
-                return None
-            plan.append(
-                (_KIND_ATTR[kind], record_cls, base_fields, tuple(scaled))
-            )
-        ps_fields = {
-            name: getattr(self.base, name)
-            for name in self.base.__dataclass_fields__
-        }
-        return (plan, tuple(bounds), ps_fields)
-
-    def _sequential(self, multipliers) -> ParameterSet:
-        perturbed = self.base
-        for factor, multiplier in zip(self.factors, multipliers):
-            perturbed = factor.apply(perturbed, float(multiplier))
-        return perturbed
-
-    def perturbed(self, multipliers) -> ParameterSet:
-        """The base set with one row of multipliers applied."""
-        if self._plan is None:
-            return self._sequential(multipliers)
-        plan, bounds, ps_fields = self._plan
-        for index, low, high in bounds:
-            if not low <= multipliers[index] <= high:
-                # Outside the range validated at compile time — use the
-                # sequential chain, which re-validates every construction.
-                return self._sequential(multipliers)
-
-        overrides = dict(ps_fields)
-        for attr, record_cls, base_fields, scaled_fields in plan:
-            fields = dict(base_fields)
-            for name, base_value, clamp, index in scaled_fields:
-                value = base_value * float(multipliers[index])
-                fields[name] = min(value, 1.0) if clamp else value
-            record = object.__new__(record_cls)
-            record.__dict__.update(fields)
-            if attr == "bandwidth":
-                overrides[attr] = record
-            else:
-                overrides[attr] = overrides[attr].with_record(record)
-        perturbed = object.__new__(ParameterSet)
-        perturbed.__dict__.update(overrides)
-        return perturbed
+    Historical name for :class:`repro.uncertainty.plan.PerturbationPlan`
+    (same constructor signature, same fast/sequential semantics).
+    """
 
 
 def monte_carlo_totals(
@@ -190,6 +63,9 @@ def monte_carlo_totals(
 ) -> "list[float]":
     """Total-carbon draw values through the memoized pipeline, in chunks.
 
+    ``factors`` may be a factor list, a
+    :class:`~repro.uncertainty.factors.FactorSet`, or an already-compiled
+    :class:`~repro.uncertainty.plan.PerturbationPlan` over ``params``.
     Each chunk is perturbed as a batch first, then evaluated as a batch:
     the chunk is the engine's unit of work (and the natural seam the
     worker modes split on), and keeping the phases separate means a
@@ -201,31 +77,40 @@ def monte_carlo_totals(
     ``"process"`` fans chunks over forked workers (each child inherits
     the warm caches copy-on-write and evaluates its contiguous slice of
     draws). ``backend`` prices the draws under any registered
-    :class:`repro.pipeline.CarbonBackend` instead of 3D-Carbon. All
-    paths return the draw totals in row order, bit-identical to the
-    serial loop.
+    :class:`repro.pipeline.CarbonBackend` instead of 3D-Carbon; factor
+    sets with model-scoped factors derive a per-draw backend instance
+    through ``with_model_multipliers``. All paths return the draw totals
+    in row order, bit-identical to the serial loop.
     """
     from .parallel import fork_map, normalize_workers
 
-    perturber = ParameterPerturber(factors, params)
+    plan = (
+        factors if isinstance(factors, PerturbationPlan)
+        else PerturbationPlan(factors, params)
+    )
     size = max(1, chunk_size)
     # One bulk conversion to Python floats (bit-exact): per-row numpy
     # scalar indexing costs more than the whole perturbation otherwise.
     rows = np.asarray(multipliers).tolist()
 
     def evaluate_rows(chunk_rows: "list[list[float]]") -> "list[float]":
-        chunk = [perturber.perturbed(row) for row in chunk_rows]
-        return [
-            evaluator.backend_total_kg(
-                design,
-                backend,
-                workload=workload,
-                params=perturbed,
-                fab_location=fab_location,
-                transient=True,
-            )
-            for perturbed in chunk
+        chunk = [
+            (plan.perturbed(row), plan.backend_for(row, backend))
+            for row in chunk_rows
         ]
+        totals = []
+        for perturbed, draw_backend in chunk:
+            totals.append(
+                evaluator.backend_total_kg(
+                    design,
+                    draw_backend,
+                    workload=workload,
+                    params=perturbed,
+                    fab_location=fab_location,
+                    transient=True,
+                )
+            )
+        return totals
 
     mode, count = normalize_workers(workers, worker_mode)
     chunks = [rows[start:start + size] for start in range(0, len(rows), size)]

@@ -27,9 +27,17 @@ from typing import Any
 from ..baselines.act import ActEstimate, act_estimate
 from ..baselines.act_plus import ActPlusEstimate, act_plus_estimate
 from ..baselines.first_order import FirstOrderEstimate, first_order_estimate
-from ..baselines.lca import LcaEstimate, lca_estimate
+from ..baselines.lca import GABI_FINEST_NODE, LcaEstimate, lca_estimate
 from ..config.parameters import ParameterSet
 from ..core.bandwidth import evaluate_bandwidth
+from ..errors import BackendError
+from ..uncertainty.factors import (
+    FactorSet,
+    act_factor_set,
+    first_order_factor_set,
+    lca_factor_set,
+    table2_factor_set,
+)
 from ..core.embodied import embodied_carbon
 from ..core.operational import operational_carbon
 from ..core.report import LifecycleReport
@@ -147,6 +155,45 @@ class CarbonBackend:
     def summarize(self, ctx: EvalContext, outputs: dict) -> BackendReport:
         """The uniform report; default wraps :meth:`assemble`."""
         raise NotImplementedError
+
+    # -- uncertainty hooks ----------------------------------------------------
+
+    def factor_set(self, design, params: "ParameterSet | None" = None
+                   ) -> FactorSet:
+        """This backend's own Monte-Carlo factor set for ``design``.
+
+        Honest cross-model uncertainty perturbs each model's *own*
+        inputs (the way ACT v3-style models carry their own parameter
+        envelopes), so every built-in backend declares the factors its
+        pipeline actually reads. Custom backends inherit 3D-Carbon's
+        Table 2 set — override to declare your own.
+        """
+        return table2_factor_set(
+            node=design.dies[0].node,
+            integration=design.integration,
+            package_class=design.package.package_class,
+            params=params,
+        )
+
+    def with_model_multipliers(self, multipliers: "dict[str, float]"
+                               ) -> "CarbonBackend":
+        """A derived backend with model constants scaled per draw.
+
+        Factor sets may declare ``kind="model"`` targets — constants of
+        the backend itself (a fixed yield, a database table scale) that
+        no :class:`ParameterSet` field addresses. The perturbation plan
+        hands their per-draw multipliers here; backends exposing such
+        constants return a cheap derived instance whose stage keys pin
+        the scaled values. The base refuses unknown constants so a typo
+        in a factor set fails loudly instead of silently not perturbing.
+        """
+        if not multipliers:
+            return self
+        raise BackendError(
+            f"backend {self.name!r} exposes no model-constant factors "
+            f"(got {', '.join(sorted(multipliers))})",
+            backend=self.name,
+        )
 
     # -- evaluation -----------------------------------------------------------
 
@@ -308,15 +355,36 @@ def act_plus_stage(resolved: ResolvedDesign, params: ParameterSet,
 
 
 def lca_stage(resolved: ResolvedDesign, params: ParameterSet,
-              monolithic: bool) -> LcaEstimate:
+              monolithic: bool, cpa_scale: float = 1.0) -> LcaEstimate:
     """GaBi-style LCA over the resolved (node, area) die list."""
     dies = [(die.node.name, die.area_mm2) for die in resolved.dies]
-    return lca_estimate(dies, params, monolithic=monolithic)
+    return lca_estimate(
+        dies, params, monolithic=monolithic, cpa_scale=cpa_scale
+    )
 
 
-def first_order_stage(resolved: ResolvedDesign) -> FirstOrderEstimate:
+def first_order_stage(
+    resolved: ResolvedDesign,
+    kg_per_cm2: "float | None" = None,
+    packaging_kg: "float | None" = None,
+) -> FirstOrderEstimate:
     """Die-size-only estimate over the summed resolved silicon."""
-    return first_order_estimate(resolved.total_die_area_mm2)
+    kwargs = {}
+    if kg_per_cm2 is not None:
+        kwargs["kg_per_cm2"] = kg_per_cm2
+    if packaging_kg is not None:
+        kwargs["packaging_kg"] = packaging_kg
+    return first_order_estimate(resolved.total_die_area_mm2, **kwargs)
+
+
+def _die_nodes(design) -> "tuple[str, ...]":
+    """Distinct node names of a design's dies, in first-seen order."""
+    nodes: "list[str]" = []
+    for die in design.dies:
+        name = getattr(die.node, "name", die.node)
+        if name not in nodes:
+            nodes.append(name)
+    return tuple(nodes)
 
 
 #: The shared resolution stage every baseline opens with — one object,
@@ -388,6 +456,9 @@ class ActBackend(_BaselineBackend):
     def estimate_args(self, ctx, resolved):
         return (resolved, ctx.params, ctx.ci_fab)
 
+    def factor_set(self, design, params=None) -> FactorSet:
+        return act_factor_set(_die_nodes(design))
+
 
 class ActPlusBackend(_BaselineBackend):
     """ACT+ (Elgamal et al., 2023): ACT with a 2.5D cost factor."""
@@ -401,6 +472,12 @@ class ActPlusBackend(_BaselineBackend):
 
     def estimate_args(self, ctx, resolved):
         return (resolved, ctx.params, ctx.ci_fab)
+
+    def factor_set(self, design, params=None) -> FactorSet:
+        # ACT+ is ACT's accounting plus a fixed cost factor — same
+        # parametric uncertainty, so the same set (distinct fingerprint
+        # is carried by the backend id in every content key).
+        return act_factor_set(_die_nodes(design))
 
 
 class LcaBackend(_BaselineBackend):
@@ -417,9 +494,14 @@ class LcaBackend(_BaselineBackend):
     label = "LCA"
     estimate_stage = Stage("lca", lca_stage, uses=("resolve",))
 
-    def __init__(self, monolithic: "bool | str" = "auto") -> None:
+    def __init__(self, monolithic: "bool | str" = "auto",
+                 cpa_scale: float = 1.0) -> None:
         super().__init__()
         self.monolithic = monolithic
+        #: Multiplier on the whole GaBi CPA table — the model-scoped
+        #: ``gabi_cpa_scale`` factor of :func:`repro.uncertainty.factors.
+        #: lca_factor_set` derives per-draw instances through it.
+        self.cpa_scale = cpa_scale
 
     def _monolithic_for(self, ctx: EvalContext) -> bool:
         if self.monolithic == "auto":
@@ -428,15 +510,47 @@ class LcaBackend(_BaselineBackend):
 
     def estimate_key(self, ctx, rkey):
         # No fab-CI term: the database prices wafers, not fab electricity.
-        return (rkey, self._monolithic_for(ctx))
+        # The 14 nm yield-node record rides along because lca_estimate
+        # always prices yield at the database's finest node, whatever
+        # nodes the design uses — rkey alone would serve stale estimates
+        # when a factor perturbs defect_density[14nm] on a non-14nm
+        # design.
+        return (
+            rkey,
+            self._monolithic_for(ctx),
+            self.cpa_scale,
+            ctx.params.node(GABI_FINEST_NODE),
+        )
 
     def estimate_args(self, ctx, resolved):
-        return (resolved, ctx.params, self._monolithic_for(ctx))
+        return (
+            resolved, ctx.params, self._monolithic_for(ctx), self.cpa_scale
+        )
 
     def store_fingerprint(self, ctx: EvalContext) -> tuple:
         return (
             fp.resolve_key(ctx.design, ctx.params),
             self._monolithic_for(ctx),
+            self.cpa_scale,
+            ctx.params.node(GABI_FINEST_NODE),
+        )
+
+    def factor_set(self, design, params=None) -> FactorSet:
+        return lca_factor_set()
+
+    def with_model_multipliers(self, multipliers) -> "LcaBackend":
+        if not multipliers:
+            return self
+        unknown = set(multipliers) - {"cpa_scale"}
+        if unknown:
+            raise BackendError(
+                f"backend {self.name!r} has no model constant(s) "
+                f"{', '.join(sorted(unknown))}",
+                backend=self.name,
+            )
+        return LcaBackend(
+            monolithic=self.monolithic,
+            cpa_scale=self.cpa_scale * multipliers["cpa_scale"],
         )
 
 
@@ -449,11 +563,55 @@ class FirstOrderBackend(_BaselineBackend):
         "first_order", first_order_stage, uses=("resolve",)
     )
 
+    def __init__(self, kg_per_cm2: "float | None" = None,
+                 packaging_kg: "float | None" = None) -> None:
+        super().__init__()
+        #: ``None`` keeps the module defaults; the model-scoped factors
+        #: of :func:`repro.uncertainty.factors.first_order_factor_set`
+        #: derive per-draw instances with scaled values.
+        self.kg_per_cm2 = kg_per_cm2
+        self.packaging_kg = packaging_kg
+
     def estimate_key(self, ctx, rkey):
-        return (rkey,)
+        return (rkey, self.kg_per_cm2, self.packaging_kg)
 
     def estimate_args(self, ctx, resolved):
-        return (resolved,)
+        return (resolved, self.kg_per_cm2, self.packaging_kg)
 
     def store_fingerprint(self, ctx: EvalContext) -> tuple:
-        return (fp.resolve_key(ctx.design, ctx.params),)
+        return (
+            fp.resolve_key(ctx.design, ctx.params),
+            self.kg_per_cm2,
+            self.packaging_kg,
+        )
+
+    def factor_set(self, design, params=None) -> FactorSet:
+        return first_order_factor_set()
+
+    def with_model_multipliers(self, multipliers) -> "FirstOrderBackend":
+        if not multipliers:
+            return self
+        unknown = set(multipliers) - {"kg_per_cm2", "packaging_kg"}
+        if unknown:
+            raise BackendError(
+                f"backend {self.name!r} has no model constant(s) "
+                f"{', '.join(sorted(unknown))}",
+                backend=self.name,
+            )
+        from ..baselines.first_order import (
+            FIRST_ORDER_KG_PER_CM2,
+            FIRST_ORDER_PACKAGING_KG,
+        )
+
+        base_k = (
+            self.kg_per_cm2 if self.kg_per_cm2 is not None
+            else FIRST_ORDER_KG_PER_CM2
+        )
+        base_c = (
+            self.packaging_kg if self.packaging_kg is not None
+            else FIRST_ORDER_PACKAGING_KG
+        )
+        return FirstOrderBackend(
+            kg_per_cm2=base_k * multipliers.get("kg_per_cm2", 1.0),
+            packaging_kg=base_c * multipliers.get("packaging_kg", 1.0),
+        )

@@ -196,3 +196,31 @@ class ServiceClient:
         if return_samples:
             payload["return_samples"] = True
         return self._post("/montecarlo", payload)
+
+    def compare(
+        self,
+        design,
+        backends: "list[str] | None" = None,
+        workload="none",
+        fab_location=None,
+        draws: int = 0,
+        seed: int = 20240623,
+    ) -> dict:
+        """One design across backends, server-side, in one engine batch.
+
+        ``backends=None`` compares every backend the server registers;
+        ``draws > 0`` adds a per-backend Monte-Carlo band drawn from
+        each backend's own factor set.
+        """
+        payload: dict = {
+            "type": "compare",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+            "draws": draws,
+            "seed": seed,
+        }
+        if backends is not None:
+            payload["backends"] = backends
+        if fab_location is not None:
+            payload["fab_location"] = fab_location
+        return self._post("/compare", payload)

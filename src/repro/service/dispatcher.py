@@ -29,17 +29,17 @@ import json
 import threading
 from concurrent.futures import Future
 
-from ..analysis.sensitivity import default_factors
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import ParameterError
 from ..engine import BatchEvaluator
-from ..pipeline.registry import DEFAULT_BACKEND, resolve_backend
+from ..pipeline.registry import DEFAULT_BACKEND, backend_names, resolve_backend
 from ..pipeline.stage import EvalContext
 from .schema import (
     SCHEMA_VERSION,
     BatchRequest,
+    CompareRequest,
     EvaluateRequest,
     MonteCarloRequest,
     SweepRequest,
@@ -93,19 +93,19 @@ def montecarlo_fingerprint(
     """The value fingerprint of a Monte-Carlo summary.
 
     The evaluate fingerprint pins every base value the pipeline reads;
-    the draw sequence is pinned by (samples, seed) and by the factor
-    *definitions* (name and triangular range — the perturbation functions
-    are deterministic in those). ``return_samples`` is part of the key:
-    a summary-only payload must never serve a request that asked for the
-    full distribution.
+    the draw sequence is pinned by (samples, seed) and by the *backend's
+    own* factor set — the full declarative fingerprint (names, ranges,
+    distributions, correlation groups, targets), so two studies share a
+    stored summary exactly when they drew the same factors the same way,
+    and never across backends with different sets. ``return_samples`` is
+    part of the key: a summary-only payload must never serve a request
+    that asked for the full distribution.
     """
-    factors = default_factors(
-        node=design.dies[0].node, integration=design.integration
-    )
+    factor_set = resolve_backend(backend).factor_set(design, params)
     return (
         "montecarlo",
         evaluate_fingerprint(design, params, fab_location, workload, backend),
-        tuple((f.name, f.low, f.high) for f in factors),
+        factor_set.fingerprint(),
         samples,
         seed,
         return_samples,
@@ -265,7 +265,11 @@ class Dispatcher:
         """Deduplicated batch → one entry per input point, input order."""
         self.stats.requests += 1
         self.stats.points += len(request.points)
-        keys = [self._point_key(point) for point in request.points]
+        return self._batch_points(request.points)
+
+    def _batch_points(self, points) -> "list[dict]":
+        """The batch body (store pass + dedup + one engine call), unmetered."""
+        keys = [self._point_key(point) for point in points]
 
         # Store pass + in-batch dedup: first occurrence of each missing
         # key is evaluated; repeats reuse it.
@@ -273,7 +277,7 @@ class Dispatcher:
         sources: "dict[str, str]" = {}
         to_compute: "list[tuple[str, EvaluateRequest]]" = []
         pending: set = set()
-        for key, point in zip(keys, request.points):
+        for key, point in zip(keys, points):
             if key in results or key in pending:
                 self.stats.deduplicated += 1
                 continue
@@ -317,7 +321,7 @@ class Dispatcher:
                 "cache": sources[key],
                 "report": results[key],
             }
-            for key, point in zip(keys, request.points)
+            for key, point in zip(keys, points)
         ]
 
     def sweep(self, request: SweepRequest) -> "list[dict]":
@@ -348,6 +352,12 @@ class Dispatcher:
         """Monte-Carlo summary → (summary dict, cache tag)."""
         self.stats.requests += 1
         self.stats.points += request.samples
+        return self._montecarlo_through(request)
+
+    def _montecarlo_through(
+        self, request: MonteCarloRequest
+    ) -> "tuple[dict, str]":
+        """The Monte-Carlo body (store → coalesce → compute), unmetered."""
         fab_location = (
             request.fab_location
             if request.fab_location is not None
@@ -380,14 +390,8 @@ class Dispatcher:
                 "design": request.design.name,
                 "backend": request.backend,
                 "workload": workload_to_value(request.workload),
-                "samples": result.n,
                 "seed": request.seed,
-                "base_kg": result.base_kg,
-                "mean_kg": result.mean_kg,
-                "std_kg": result.std_kg,
-                "p05_kg": result.p05,
-                "p50_kg": result.p50,
-                "p95_kg": result.p95,
+                **result.to_payload(),
             }
             if request.return_samples:
                 # The full draw distribution, in draw order. JSON floats
@@ -397,6 +401,65 @@ class Dispatcher:
             return payload
 
         return self._compute_through(key, compute)
+
+    def compare(self, request: CompareRequest) -> dict:
+        """One design fanned across backends, server-side.
+
+        The point reports come from one deduplicated engine batch (the
+        shared resolve stage runs once, each backend prices the same
+        resolution); with ``draws > 0`` each backend's entry additionally
+        carries a Monte-Carlo band drawn from *that backend's own*
+        factor set — every sub-result store-keyed exactly like the
+        standalone ``/evaluate`` and ``/montecarlo`` routes, so a
+        compare never recomputes what a previous request already paid
+        for (and vice versa).
+        """
+        self.stats.requests += 1
+        names = (
+            list(request.backends)
+            if request.backends is not None
+            else list(backend_names())
+        )
+        self.stats.points += len(names) + len(names) * request.draws
+        entries = self._batch_points([
+            EvaluateRequest(
+                design=request.design,
+                workload=request.workload,
+                fab_location=request.fab_location,
+                label=name,
+                backend=name,
+            )
+            for name in names
+        ])
+        rows = []
+        for name, entry in zip(names, entries):
+            row = {
+                "backend": name,
+                "label": resolve_backend(name).label,
+                "cache": entry["cache"],
+                "report": entry["report"],
+            }
+            if request.draws:
+                summary, source = self._montecarlo_through(
+                    MonteCarloRequest(
+                        design=request.design,
+                        workload=request.workload,
+                        fab_location=request.fab_location,
+                        samples=request.draws,
+                        seed=request.seed,
+                        backend=name,
+                    )
+                )
+                row["uncertainty"] = summary
+                row["uncertainty_cache"] = source
+            rows.append(row)
+        return {
+            "design": request.design.name,
+            "workload": workload_to_value(request.workload),
+            "draws": request.draws,
+            "seed": request.seed,
+            "backends": rows,
+        }
 
     def stats_dict(self) -> dict:
         """JSON-ready dispatcher + engine + store statistics."""

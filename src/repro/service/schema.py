@@ -16,8 +16,13 @@ Request kinds:
 * ``sweep`` — a 2D reference design × integration options × fab
   locations, expanded server-side into a batch;
 * ``montecarlo`` — a Monte-Carlo uncertainty summary (mean/std/
-  percentiles) over the default Table 2 factor ranges; with
-  ``"return_samples": true`` the full draw distribution rides along.
+  percentiles) over the chosen backend's *own* factor set (Table 2 for
+  3D-Carbon, the ACT intensity table under ``"backend": "act"``, ...);
+  with ``"return_samples": true`` the full draw distribution rides along;
+* ``compare`` — one design across all (or listed) backends in a single
+  server-side engine call; with ``"draws" > 0`` each backend's entry
+  carries a Monte-Carlo uncertainty band drawn from that backend's own
+  factor set.
 
 Every request kind accepts an optional ``"backend"`` — a registered
 :mod:`repro.pipeline` backend id (``repro3d`` by default, or one of the
@@ -51,7 +56,7 @@ SCHEMA_VERSION = 1
 MAX_BATCH_POINTS = 10_000
 MAX_MC_SAMPLES = 100_000
 
-REQUEST_TYPES = ("evaluate", "batch", "sweep", "montecarlo")
+REQUEST_TYPES = ("evaluate", "batch", "sweep", "montecarlo", "compare")
 
 
 class SchemaError(CarbonModelError):
@@ -295,6 +300,22 @@ class MonteCarloRequest:
     return_samples: bool = False
 
 
+@dataclass(frozen=True)
+class CompareRequest:
+    """One design fanned across carbon backends, server-side.
+
+    ``backends=None`` means every registered backend; ``draws=0`` skips
+    the per-backend uncertainty bands.
+    """
+
+    design: ChipDesign
+    backends: "tuple[str, ...] | None"
+    workload: "Workload | None"
+    fab_location: "str | float | None"
+    draws: int = 0
+    seed: int = 20240623
+
+
 def _parse_design(value, where: str) -> ChipDesign:
     return design_from_dict(_require_mapping(value, where))
 
@@ -447,11 +468,53 @@ def parse_montecarlo_request(data) -> MonteCarloRequest:
     )
 
 
+def parse_compare_request(data) -> CompareRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "compare")
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "backends", "workload", "fab_location",
+         "draws", "seed"),
+        "request",
+    )
+    if "design" not in data:
+        raise SchemaError("compare request missing \"design\"", field="design")
+    backends = data.get("backends")
+    if backends is not None:
+        if not isinstance(backends, list) or not backends:
+            raise SchemaError(
+                "compare \"backends\" must be a non-empty array of backend "
+                "names",
+                field="backends",
+            )
+        backends = tuple(
+            backend_from_value(name, f"backends[{index}]")
+            for index, name in enumerate(backends)
+        )
+    fab_location = data.get("fab_location")
+    if fab_location is not None:
+        fab_location = _location(fab_location, "fab_location")
+    draws = _integer(data.get("draws", 0), "draws", 0, MAX_MC_SAMPLES)
+    if draws == 1:
+        raise SchemaError(
+            "compare \"draws\" must be 0 (no bands) or >= 2", field="draws"
+        )
+    return CompareRequest(
+        design=_parse_design(data["design"], "design"),
+        backends=backends,
+        workload=workload_from_value(data.get("workload", "none")),
+        fab_location=fab_location,
+        draws=draws,
+        seed=_integer(data.get("seed", 20240623), "seed", 0, 2**62),
+    )
+
+
 _PARSERS = {
     "evaluate": parse_evaluate_request,
     "batch": parse_batch_request,
     "sweep": parse_sweep_request,
     "montecarlo": parse_montecarlo_request,
+    "compare": parse_compare_request,
 }
 
 

@@ -6,7 +6,10 @@ handler routes:
 * ``POST /evaluate``   — one point → a lifecycle report;
 * ``POST /batch``      — many points, deduplicated;
 * ``POST /sweep``      — integration × fab-location grid of a reference;
-* ``POST /montecarlo`` — a Monte-Carlo uncertainty summary;
+* ``POST /montecarlo`` — a Monte-Carlo uncertainty summary drawn from
+  the chosen backend's own factor set;
+* ``POST /compare``    — one design across all (or listed) backends in
+  one engine batch, optionally with per-backend uncertainty bands;
 * ``GET  /healthz``    — liveness + config echo;
 * ``GET  /stats``      — dispatcher / engine / store counters.
 
@@ -136,6 +139,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, schema.ok_envelope(result, cache=source)
                 )
+            elif self.path == "/compare":
+                request = schema.parse_compare_request(body)
+                self._send_json(
+                    200, schema.ok_envelope(dispatcher.compare(request))
+                )
             else:
                 self._send_error(
                     404, schema.SchemaError(f"no such route: {self.path}")
@@ -190,7 +198,7 @@ class CarbonService(ThreadingHTTPServer):
             "store": None if self.store is None else self.store.path,
             "backends": list(backend_names()),
             "endpoints": [
-                "/evaluate", "/batch", "/sweep", "/montecarlo",
+                "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
                 "/healthz", "/stats",
             ],
         })

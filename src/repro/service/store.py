@@ -41,7 +41,12 @@ from ..pipeline.fingerprint import CachedKey
 #: mismatched database is cleared rather than served.
 #: v2: content keys carry the carbon-backend id (the backend-protocol
 #: refactor), so a v1 store — keyed without one — is cleared.
-STORE_FORMAT_VERSION = 2
+#: v3: Monte-Carlo keys carry the backend's own factor-set fingerprint
+#: (per-backend uncertainty), and baseline store fingerprints pin model
+#: constants (LCA ``cpa_scale``, first-order coefficients) — a v2 store,
+#: keyed on the shared Table 2 factors whatever the backend, could serve
+#: stale per-backend results and is rebuilt instead.
+STORE_FORMAT_VERSION = 3
 
 
 class StoreError(CarbonModelError):

@@ -124,11 +124,24 @@ class BackendComparison:
     design_name: str
     workload_name: "str | None"
     reports: tuple[BackendReport, ...]
+    #: Per-backend Monte-Carlo bands (parallel to ``reports``), drawn
+    #: from each backend's *own* factor set; ``None`` when the
+    #: comparison ran without draws.
+    bands: "tuple | None" = None
 
     def report(self, backend: str) -> BackendReport:
         for entry in self.reports:
             if entry.backend == backend:
                 return entry
+        raise KeyError(backend)
+
+    def band(self, backend: str):
+        """The backend's uncertainty band (KeyError without draws)."""
+        if self.bands is None:
+            raise KeyError(backend)
+        for entry, band in zip(self.reports, self.bands):
+            if entry.backend == backend:
+                return band
         raise KeyError(backend)
 
     def rows(self) -> "list[tuple]":
@@ -166,6 +179,17 @@ class BackendComparison:
                 f"{label:<14.14} {die:9.2f} {bond:8.2f} {pkg:8.2f} "
                 f"{subst:8.2f} {emb:9.2f} {oper_text} {total:9.2f}"
             )
+        if self.bands is not None:
+            lines.append("")
+            lines.append(
+                "uncertainty (each backend draws its own factor set):"
+            )
+            for entry, band in zip(self.reports, self.bands):
+                lines.append(
+                    f"{get_backend(entry.backend).label:<14.14} "
+                    f"n={band.n:<5d} p05 {band.p05:9.2f}  "
+                    f"p50 {band.p50:9.2f}  p95 {band.p95:9.2f}"
+                )
         return "\n".join(lines)
 
 
@@ -176,6 +200,8 @@ def compare_backends(
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
     evaluator=None,
+    draws: int = 0,
+    seed: int = 20240623,
 ) -> BackendComparison:
     """Evaluate ``design`` under every (or selected) carbon backend.
 
@@ -184,6 +210,13 @@ def compare_backends(
     memoized per fingerprint, so adding a model to the comparison costs
     only that model's pricing math. Results are bit-identical to each
     backend's direct API (parity-tested).
+
+    ``draws > 0`` additionally attaches a Monte-Carlo uncertainty band
+    per backend, drawn from *that backend's own* factor set (Table 2 for
+    3D-Carbon, the ACT intensity table, the GaBi CPA spread, ...) — the
+    honest cross-model comparison the paper's Sec. 4 calls for. All
+    bands share the one evaluator, so the design's resolution and every
+    stage a draw cannot touch are computed once across the whole study.
     """
     from ..engine import BatchEvaluator, EvalPoint
 
@@ -207,10 +240,28 @@ def compare_backends(
         for name in backends
     ]
     reports = evaluator.evaluate_many(points)
+    bands = None
+    if draws:
+        from ..analysis.uncertainty import monte_carlo
+
+        bands = tuple(
+            monte_carlo(
+                design,
+                workload=workload,
+                params=params,
+                fab_location=fab_location,
+                samples=draws,
+                seed=seed,
+                evaluator=evaluator,
+                backend=name,
+            )
+            for name in backends
+        )
     return BackendComparison(
         design_name=design.name,
         workload_name=workload.name if workload is not None else None,
         reports=tuple(reports),
+        bands=bands,
     )
 
 

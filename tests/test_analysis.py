@@ -174,3 +174,70 @@ class TestSearch:
         )
         labels = {c.label for c in result.candidates}
         assert labels == {"hybrid_3d/homog/d2w", "hybrid_3d/homog/w2w"}
+
+
+class TestNonDefaultFactorSets:
+    """Tornado and robustness under a backend's own (non-Table 2) factors."""
+
+    def test_tornado_under_act_factor_set(self, hybrid_orin):
+        from repro.pipeline.registry import get_backend
+
+        results = tornado(hybrid_orin, backend="act")
+        expected = {
+            factor.name
+            for factor in get_backend("act").factor_set(hybrid_orin, PARAMS)
+        }
+        assert {entry.factor for entry in results} == expected
+        # The intensity factors scale ACT's die term directly: every
+        # swing is real and positive (bigger multiplier, more carbon).
+        assert all(entry.swing_kg > 0 for entry in results)
+
+    def test_tornado_prices_model_scoped_factors(self, hybrid_orin):
+        results = tornado(hybrid_orin, backend="lca")
+        by_name = {entry.factor: entry for entry in results}
+        cpa = by_name["gabi_cpa_scale"]
+        assert cpa.low_kg < cpa.base_kg < cpa.high_kg
+        # cpa_scale multiplies only the die term, linearly: the swing
+        # above base vs below base must sit in the bounds' ratio.
+        above = cpa.high_kg - cpa.base_kg
+        below = cpa.base_kg - cpa.low_kg
+        assert above / below == pytest.approx(
+            (cpa.high_multiplier - 1.0) / (1.0 - cpa.low_multiplier),
+            rel=1e-9,
+        )
+
+    def test_tornado_explicit_factor_set_object(self, hybrid_orin):
+        from repro.uncertainty import FactorSet, FactorSpec, FactorTarget
+
+        only_epa = FactorSet("just_epa", (
+            FactorSpec(
+                "epa", 0.5, 2.0,
+                FactorTarget("node", ("7nm",), "epa_kwh_per_cm2"),
+            ),
+        ))
+        results = tornado(hybrid_orin, factors=only_epa)
+        assert [entry.factor for entry in results] == ["epa"]
+
+    def test_robustness_under_backend_factor_set(self, hybrid_orin):
+        probability = comparison_robustness(
+            drive_2d_design("ORIN"), hybrid_orin, workload=WL, samples=30,
+            backend="act",
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_robustness_model_scoped_draws(self, hybrid_orin):
+        """LCA's cpa_scale perturbs both designs per draw (common draws)."""
+        probability = comparison_robustness(
+            drive_2d_design("ORIN"), hybrid_orin, samples=30, backend="lca"
+        )
+        assert 0.0 <= probability <= 1.0
+
+    def test_robustness_reproducible_per_backend(self, hybrid_orin):
+        kwargs = dict(samples=25, seed=99, backend="first_order")
+        first = comparison_robustness(
+            drive_2d_design("ORIN"), hybrid_orin, **kwargs
+        )
+        second = comparison_robustness(
+            drive_2d_design("ORIN"), hybrid_orin, **kwargs
+        )
+        assert first == second

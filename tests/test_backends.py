@@ -341,6 +341,33 @@ class TestCompareBackends:
         assert [r.backend for r in comparison.reports] \
             == ["lca", "first_order"]
 
+    def test_draws_attach_per_backend_bands(self, hybrid_stack):
+        from repro.analysis.uncertainty import monte_carlo
+
+        evaluator = BatchEvaluator(params=PARAMS)
+        comparison = compare_backends(
+            hybrid_stack, backends=["repro3d", "act"],
+            evaluator=evaluator, draws=15, seed=3,
+        )
+        assert comparison.bands is not None
+        band = comparison.band("act")
+        assert band.n == 15
+        # The band is the backend's own monte_carlo study, verbatim.
+        reference = monte_carlo(
+            hybrid_stack, samples=15, seed=3, backend="act",
+            evaluator=evaluator,
+        )
+        assert band.samples_kg == reference.samples_kg
+        assert comparison.band("repro3d").samples_kg != band.samples_kg
+        table = comparison.format_table()
+        assert "uncertainty (each backend draws its own factor set)" in table
+
+    def test_without_draws_bands_absent(self, orin_2d):
+        comparison = compare_backends(orin_2d, backends=["lca"])
+        assert comparison.bands is None
+        with pytest.raises(KeyError):
+            comparison.band("lca")
+
 
 class TestBackendReportShape:
     def test_to_dict_shape(self, hybrid_stack, av_workload):

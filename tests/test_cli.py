@@ -192,3 +192,96 @@ class TestServiceCommands:
              "--timeout", "2"]
         ) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCompareCommand:
+    def test_compare_local_with_draws(self, design_json, capsys):
+        assert main(["compare", str(design_json), "--draws", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-model comparison" in out
+        assert "uncertainty (each backend draws its own factor set)" in out
+        assert "p95" in out
+
+    def test_compare_json_includes_bands(self, design_json, capsys):
+        assert main(
+            ["compare", str(design_json), "--draws", "10",
+             "--backends", "repro3d,act", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        rows = data["backends"]
+        assert [row["backend"] for row in rows] == ["repro3d", "act"]
+        assert rows[0]["report"]["total_kg"] > 0
+        assert rows[0]["uncertainty"]["samples"] == 10
+        assert rows[0]["uncertainty"]["p05_kg"] < rows[0]["uncertainty"]["p95_kg"]
+
+    def test_compare_json_shape_is_service_compatible(
+        self, design_json, capsys
+    ):
+        """Scripts parsing `compare --json` survive adding --service."""
+        import threading
+
+        from repro.service.server import make_server
+
+        argv = ["compare", str(design_json), "--backends", "repro3d,act",
+                "--draws", "8", "--json"]
+        assert main(argv) == 0
+        local = json.loads(capsys.readouterr().out)
+        server = make_server()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(argv + ["--service", server.url]) == 0
+            served = json.loads(capsys.readouterr().out)
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+        for local_row, served_row in zip(local["backends"],
+                                         served["backends"]):
+            # The documented access paths agree value-for-value. (The
+            # repro3d report keeps the richer classic lifecycle payload
+            # server-side, so only the shared keys are compared.)
+            assert local_row["backend"] == served_row["backend"]
+            for key in ("embodied_kg", "total_kg"):
+                assert local_row["report"][key] == served_row["report"][key]
+            for key in ("samples", "base_kg", "mean_kg", "std_kg",
+                        "p05_kg", "p50_kg", "p95_kg"):
+                assert (
+                    local_row["uncertainty"][key]
+                    == served_row["uncertainty"][key]
+                )
+
+    def test_compare_service_round_trip(self, design_json, capsys):
+        import threading
+
+        from repro.service.server import make_server
+
+        server = make_server()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(
+                ["compare", str(design_json), "--service", server.url,
+                 "--backends", "repro3d,lca", "--draws", "8"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "served by" in out
+            assert "3D-Carbon" in out and "LCA" in out
+            assert "p50" in out
+            # --json surfaces the raw /compare payload.
+            assert main(
+                ["compare", str(design_json), "--service", server.url,
+                 "--backends", "repro3d", "--json"]
+            ) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["backends"][0]["backend"] == "repro3d"
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_compare_service_unreachable_is_typed_error(
+        self, design_json, capsys
+    ):
+        assert main(
+            ["compare", str(design_json), "--service", "http://127.0.0.1:9"]
+        ) == 1
+        assert "error" in capsys.readouterr().err

@@ -416,3 +416,81 @@ class TestMonteCarloSamples:
         )["result"]
         assert act["backend"] == "act"
         assert act["mean_kg"] != repro["mean_kg"]
+
+
+class TestCompareRoute:
+    def test_compare_matches_local_study(self, service):
+        from repro.studies.validation import compare_backends
+
+        _, client = service
+        result = client.compare(design_payload())["result"]
+        local = compare_backends(
+            design_from_dict(design_payload()), fab_location="taiwan"
+        )
+        assert [row["backend"] for row in result["backends"]] == [
+            entry.backend for entry in local.reports
+        ]
+        for row, entry in zip(result["backends"], local.reports):
+            assert row["report"]["total_kg"] == entry.total_kg
+        assert "uncertainty" not in result["backends"][0]
+
+    def test_compare_subset_preserves_order(self, service):
+        _, client = service
+        result = client.compare(
+            design_payload(), backends=["lca", "act"]
+        )["result"]
+        assert [row["backend"] for row in result["backends"]] == ["lca", "act"]
+
+    def test_compare_with_draws_bands_per_backend(self, service):
+        _, client = service
+        result = client.compare(
+            design_payload(), backends=["repro3d", "act"], draws=16, seed=5
+        )["result"]
+        bands = {
+            row["backend"]: row["uncertainty"] for row in result["backends"]
+        }
+        assert bands["repro3d"]["samples"] == 16
+        # Each backend drew from its own factor set: distinct bands.
+        assert bands["repro3d"]["p50_kg"] != bands["act"]["p50_kg"]
+        reference = client.montecarlo(
+            design_payload(), workload="none", samples=16, seed=5,
+            backend="act",
+        )["result"]
+        assert bands["act"]["p50_kg"] == reference["p50_kg"]
+
+    def test_compare_bands_served_from_store_on_repeat(self, service):
+        _, client = service
+        first = client.compare(
+            design_payload(), backends=["lca"], draws=12
+        )["result"]
+        again = client.compare(
+            design_payload(), backends=["lca"], draws=12
+        )["result"]
+        assert first["backends"][0]["uncertainty_cache"] == "computed"
+        assert again["backends"][0]["uncertainty_cache"] == "store"
+        assert (
+            first["backends"][0]["uncertainty"]
+            == again["backends"][0]["uncertainty"]
+        )
+
+    def test_compare_shares_store_with_montecarlo_route(self, service):
+        _, client = service
+        client.montecarlo(
+            design_payload(), workload="none", samples=12, seed=7,
+            backend="lca",
+        )
+        result = client.compare(
+            design_payload(), backends=["lca"], draws=12, seed=7
+        )["result"]
+        assert result["backends"][0]["uncertainty_cache"] == "store"
+
+    def test_compare_unknown_backend_is_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.compare(design_payload(), backends=["gabi2024"])
+        assert excinfo.value.status == 400
+
+    def test_compare_rejects_single_draw(self, service):
+        _, client = service
+        with pytest.raises(ServiceError, match="draws"):
+            client.compare(design_payload(), draws=1)

@@ -94,6 +94,35 @@ class TestFingerprints:
         )
         assert content_key(a) != content_key(b)
 
+    def test_montecarlo_key_distinct_per_backend(
+        self, hybrid_stack, av_workload
+    ):
+        """Each backend's MC key carries its own factor-set fingerprint."""
+        from repro.pipeline.registry import backend_names
+
+        keys = {
+            content_key(montecarlo_fingerprint(
+                hybrid_stack, DEFAULT_PARAMETERS, "taiwan", av_workload,
+                100, 1, backend=name,
+            ))
+            for name in backend_names()
+        }
+        assert len(keys) == len(list(backend_names()))
+
+    def test_montecarlo_key_embeds_the_factor_set(
+        self, hybrid_stack, av_workload
+    ):
+        fingerprint = montecarlo_fingerprint(
+            hybrid_stack, DEFAULT_PARAMETERS, "taiwan", av_workload,
+            100, 1, backend="act",
+        )
+        from repro.pipeline.registry import get_backend
+
+        expected = get_backend("act").factor_set(
+            hybrid_stack, DEFAULT_PARAMETERS
+        ).fingerprint()
+        assert expected in fingerprint
+
 
 class TestResultStore:
     def test_roundtrip_and_counters(self):
@@ -168,3 +197,41 @@ class TestResultStore:
             store.clear()
             assert len(store) == 0
             assert store.hits == 0
+
+
+class TestFormatMigration:
+    """A store written under an older key format is rebuilt, not trusted."""
+
+    def test_v2_store_is_detected_and_rebuilt(self, tmp_path):
+        import sqlite3
+
+        from repro.service.store import STORE_FORMAT_VERSION
+
+        path = tmp_path / "store.sqlite3"
+        with ResultStore(path) as store:
+            store.put("stale-backend-key", json.dumps({"total_kg": 1.0}))
+        # Rewrite the metadata the way a pre-factor-set release left it:
+        # v2 keys never included the per-backend factor-set fingerprint,
+        # so their entries could serve stale per-backend MC results.
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = '2' WHERE key = 'format_version'"
+        )
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as reopened:
+            assert reopened.get("stale-backend-key") is None
+            assert len(reopened) == 0
+        conn = sqlite3.connect(path)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'format_version'"
+        ).fetchone()
+        conn.close()
+        assert row[0] == str(STORE_FORMAT_VERSION)
+
+    def test_current_version_store_is_preserved(self, tmp_path):
+        path = tmp_path / "store.sqlite3"
+        with ResultStore(path) as store:
+            store.put("k", "payload")
+        with ResultStore(path) as reopened:
+            assert reopened.get("k") == "payload"
