@@ -53,6 +53,19 @@ def main() -> None:
     print("(one resolve for the whole table — the backends share the "
           "resolution stage)")
 
+    # 4. The same comparison through the Session front door: the exact
+    #    /compare payload a carbon3d server would return for this study.
+    from repro.api import Session
+
+    with Session() as session:
+        payload = session.compare(
+            stacked, backends=["repro3d", "act_plus", "lca"]
+        ).to_payload()
+    print()
+    print("via Session.compare (wire payload totals):")
+    for row in payload["backends"]:
+        print(f"  {row['label']:<12} {row['report']['total_kg']:8.2f} kg CO2e")
+
 
 if __name__ == "__main__":
     main()

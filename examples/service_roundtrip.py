@@ -1,9 +1,10 @@
 """Carbon-as-a-service round trip: serve, submit, restart, hit the store.
 
 Starts an in-process evaluation server with a persistent result store,
-submits a design over HTTP, then *restarts* the server (fresh engine,
-same store file) and submits the same design again — the second answer
-comes back bit-identical from the store without a single resolve.
+submits a design through a service :class:`repro.api.Session`, then
+*restarts* the server (fresh engine, same store file) and submits the
+same design again — the second answer comes back bit-identical from the
+store without a single resolve.
 
 Run:  python examples/service_roundtrip.py
 """
@@ -13,16 +14,16 @@ import threading
 from pathlib import Path
 
 from repro import ChipDesign
-from repro.io.designs import design_to_dict
-from repro.service import ServiceClient, make_server
+from repro.api import Session, StudySpec
+from repro.service import make_server
 
 # 1. The design to price — the quickstart's hybrid-bonded 3D ORIN split,
-#    as the same JSON payload `carbon3d submit` would read from a file.
+#    exactly what `carbon3d submit` would read from a JSON file.
 reference = ChipDesign.planar_2d(
     "my_soc_2d", node="7nm", gate_count=17e9, throughput_tops=254.0,
     efficiency_tops_per_w=2.74,
 )
-design = design_to_dict(ChipDesign.homogeneous_split(reference, "hybrid_3d"))
+design = ChipDesign.homogeneous_split(reference, "hybrid_3d")
 
 store_path = Path(tempfile.mkdtemp(prefix="carbon3d_")) / "store.sqlite3"
 
@@ -36,35 +37,33 @@ def start_server():
 
 # 2. First server lifetime: the request is computed through the engine.
 server = start_server()
-client = ServiceClient(server.url)
+session = Session(executor="service", url=server.url)
 print(f"server listening on {server.url}, store at {store_path}")
 
-first = client.evaluate(design)                       # workload: the AV case
-print(f"first submit  : {first['result']['total_kg']:.3f} kg CO2e "
-      f"(cache={first['cache']})")
+first = session.evaluate(design)                      # workload: the AV case
+print(f"first submit  : {first.total_kg:.3f} kg CO2e (cache={first.cache})")
 
-# A sweep and a Monte-Carlo summary ride through the same store.
-sweep = client.sweep(design_to_dict(reference),
-                     integrations=["2d", "hybrid_3d", "m3d"])
-for row in sweep["result"]:
-    print(f"  sweep {row['label']:<18}: "
-          f"{row['report']['total_kg']:8.3f} kg CO2e ({row['cache']})")
-mc = client.montecarlo(design, samples=200)
-print(f"uncertainty   : mean {mc['result']['mean_kg']:.2f} "
-      f"± {mc['result']['std_kg']:.2f} kg "
-      f"[p5 {mc['result']['p05_kg']:.2f}, p95 {mc['result']['p95_kg']:.2f}]")
+# A streamed sweep and a Monte-Carlo summary ride through the same store.
+handle = session.submit(
+    StudySpec.sweep(reference, integrations=["2d", "hybrid_3d", "m3d"])
+)
+for point in handle.partial():
+    print(f"  sweep {point.label:<18}: "
+          f"{point.total_kg:8.3f} kg CO2e ({point.cache})")
+mc = session.monte_carlo(design, samples=200)
+print(f"uncertainty   : mean {mc['mean_kg']:.2f} ± {mc['std_kg']:.2f} kg "
+      f"[p5 {mc['p05_kg']:.2f}, p95 {mc['p95_kg']:.2f}]")
 
 server.close()
 print("server stopped.")
 
 # 3. Second lifetime: cold engine, warm store — nothing recomputes.
 server = start_server()
-client = ServiceClient(server.url)
-second = client.evaluate(design)
-stats = client.stats()
-print(f"after restart : {second['result']['total_kg']:.3f} kg CO2e "
-      f"(cache={second['cache']})")
-print(f"bit-identical : {second['result'] == first['result']}")
+session = Session(executor="service", url=server.url)
+second = session.evaluate(design)
+stats = session.client.stats()
+print(f"after restart : {second.total_kg:.3f} kg CO2e (cache={second.cache})")
+print(f"bit-identical : {second.to_payload() == first.to_payload()}")
 print(f"store hits    : {stats['store']['hits']}, "
       f"engine resolves since restart: {stats['engine']['resolve_misses']}")
 server.close()

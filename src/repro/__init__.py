@@ -109,12 +109,20 @@ __version__ = "1.0.0"
 #: inspection commands, embodied-only scripts) shouldn't pay that import.
 _ENGINE_EXPORTS = ("BatchEvaluator", "EngineStats", "EvalPoint")
 
+#: Facade exports resolve lazily too — :mod:`repro.api` pulls in the
+#: service stack (and, through it, the engine).
+_API_EXPORTS = ("Session", "StudySpec", "StudyHandle", "Result", "ResultSet")
+
 
 def __getattr__(name: str):
     if name in _ENGINE_EXPORTS:
         from . import engine
 
         return getattr(engine, name)
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -146,7 +154,12 @@ __all__ = [
     "ParameterError",
     "ParameterSet",
     "ProcessNode",
+    "Result",
+    "ResultSet",
+    "Session",
     "StackingStyle",
+    "StudyHandle",
+    "StudySpec",
     "SubstrateKind",
     "SuiteOperationalReport",
     "UnknownTechnologyError",

@@ -1,0 +1,108 @@
+"""Study executors: the same wire payload, run locally or over HTTP.
+
+Both executors consume the payload of ``StudySpec.to_payload()`` and
+answer ``(result, cache_tag)``:
+
+* :class:`LocalExecutor` parses the payload through
+  :func:`repro.service.schema.parse_request` — the *server's own*
+  validator — and runs it on an in-process
+  :class:`~repro.service.dispatcher.Dispatcher` (one shared
+  :class:`~repro.engine.BatchEvaluator`, optional persistent store).
+  Results are normalized through one JSON round-trip, so a local payload
+  is byte-for-byte what the HTTP route would have returned.
+* :class:`ServiceExecutor` POSTs the payload to ``/<type>`` on a running
+  server via :class:`~repro.service.client.ServiceClient`.
+
+Because validation, evaluation and payload shaping are the very same
+code on both paths, ``Session(executor="local")`` and
+``Session(executor="service")`` are interchangeable — the facade's
+location-transparency guarantee (parity-tested for every study kind).
+
+``stream(payload)`` is the point-stream twin for batch/sweep studies:
+locally it drives the dispatcher's incremental iterator, remotely the
+NDJSON response — either way one ``{"index", "label", "cache",
+"report"}`` entry per point, as each finishes.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ParameterError
+from ..service import schema
+from ..service.client import ServiceClient
+from ..service.dispatcher import Dispatcher
+
+
+def _jsonify(value):
+    """One JSON round-trip: exactly the normalization HTTP transport does."""
+    return json.loads(json.dumps(value))
+
+
+class LocalExecutor:
+    """Run wire payloads on an in-process dispatcher."""
+
+    name = "local"
+
+    def __init__(self, dispatcher: Dispatcher) -> None:
+        self.dispatcher = dispatcher
+
+    def run(self, payload: dict) -> "tuple[object, str | None]":
+        """(JSON-ready result, cache tag or None) for any study payload."""
+        request = schema.parse_request(payload)
+        kind = payload["type"]
+        if kind == "evaluate":
+            result, source = self.dispatcher.evaluate(request)
+        elif kind == "batch":
+            result, source = self.dispatcher.batch(request), None
+        elif kind == "sweep":
+            result, source = self.dispatcher.sweep(request), None
+        elif kind == "montecarlo":
+            result, source = self.dispatcher.montecarlo(request)
+        elif kind == "compare":
+            result, source = self.dispatcher.compare(request), None
+        else:  # tornado — parse_request rejects anything else upstream
+            result, source = self.dispatcher.tornado(request)
+        return _jsonify(result), source
+
+    def stream(self, payload: dict):
+        """Per-point entry iterator for a batch/sweep payload."""
+        request = schema.parse_request(payload)
+        kind = payload["type"]
+        if kind == "batch":
+            _, entries = self.dispatcher.stream_batch(request)
+        elif kind == "sweep":
+            _, entries = self.dispatcher.stream_sweep(request)
+        else:
+            raise ParameterError(
+                f"only batch/sweep studies stream, got {kind!r}"
+            )
+        return (_jsonify(entry) for entry in entries)
+
+    def close(self) -> None:
+        if self.dispatcher.store is not None:
+            self.dispatcher.store.close()
+
+
+class ServiceExecutor:
+    """Run wire payloads against a remote carbon3d server."""
+
+    name = "service"
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def run(self, payload: dict) -> "tuple[object, str | None]":
+        envelope = self.client.submit_payload(payload)
+        return envelope["result"], envelope.get("cache")
+
+    def stream(self, payload: dict):
+        kind = payload.get("type")
+        if kind not in ("batch", "sweep"):
+            raise ParameterError(
+                f"only batch/sweep studies stream, got {kind!r}"
+            )
+        return self.client.stream_payload(payload)
+
+    def close(self) -> None:
+        pass

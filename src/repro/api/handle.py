@@ -1,0 +1,120 @@
+"""Future-based study submission: :class:`StudyHandle`.
+
+``Session.submit(study)`` returns a handle immediately; a worker thread
+runs the study through the session's executor. The handle is:
+
+* a **future** — ``done()`` / ``result(timeout=...)`` with the usual
+  semantics (``result`` re-raises the study's failure);
+* an **iterable of partial results** — ``partial()`` (or iterating the
+  handle) yields each point of a batch/sweep **as it finishes**, local
+  engine and HTTP stream alike. Single-result kinds yield their one
+  result on completion.
+
+``partial()`` can be called any number of times, concurrently with
+``result()``: finished points are buffered, so every iterator sees the
+complete, ordered stream regardless of when it starts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CarbonModelError
+from .results import Result, ResultSet
+
+
+class StudyError(CarbonModelError):
+    """A submitted study failed; the original error is the ``__cause__``."""
+
+
+class StudyHandle:
+    """A running (or finished) study: future + partial-result stream."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self._cond = threading.Condition()
+        self._partials: "list[Result]" = []
+        self._result = None
+        self._error: "BaseException | None" = None
+        self._finished = False
+
+    # -- producer side (the executor's worker thread) ------------------------
+
+    def _push(self, result: Result) -> None:
+        with self._cond:
+            self._partials.append(result)
+            self._cond.notify_all()
+
+    def _finish(self, result) -> None:
+        with self._cond:
+            self._result = result
+            self._finished = True
+            self._cond.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cond:
+            self._error = error
+            self._finished = True
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the study has finished (successfully or not)."""
+        with self._cond:
+            return self._finished
+
+    def result(self, timeout: "float | None" = None):
+        """Block until the study finishes; return its Result/ResultSet.
+
+        Raises :class:`StudyError` (chaining the original failure) if the
+        study failed, or ``TimeoutError`` if ``timeout`` elapses first.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._finished, timeout):
+                raise TimeoutError(
+                    f"study {self.spec.kind!r} still running after "
+                    f"{timeout}s"
+                )
+            if self._error is not None:
+                raise StudyError(
+                    f"{self.spec.kind} study failed: {self._error}"
+                ) from self._error
+            return self._result
+
+    def partial(self):
+        """Yield results as they finish (every call sees the full stream).
+
+        For batch/sweep studies each yielded :class:`Result` is one
+        point, in input order; for single-result kinds the final result
+        is yielded once. A failed study raises :class:`StudyError` after
+        the points that did finish.
+        """
+        position = 0
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: len(self._partials) > position or self._finished
+                )
+                available = list(self._partials[position:])
+                finished = self._finished
+                error = self._error
+            for result in available:
+                yield result
+            position += len(available)
+            if finished and position >= len(self._partials):
+                break
+        if error is not None:
+            raise StudyError(
+                f"{self.spec.kind} study failed: {error}"
+            ) from error
+        # Single-result kinds stream nothing point-wise; hand the final
+        # result over so `for r in handle.partial()` always yields.
+        if position == 0 and self._result is not None:
+            if isinstance(self._result, ResultSet):
+                yield from self._result
+            else:
+                yield self._result
+
+    def __iter__(self):
+        return self.partial()

@@ -1,0 +1,168 @@
+"""Uniform result objects for every study kind.
+
+A :class:`Result` wraps one JSON-ready payload — a lifecycle/backend
+report, a Monte-Carlo summary, a compare table, a tornado swing list —
+plus its provenance (``cache`` tag, label, index). A :class:`ResultSet`
+is the ordered point collection a batch or sweep returns.
+
+``to_payload()`` round-trips **exactly** to the service schema: a
+``Result`` returns the ``result`` object of the route's envelope, a
+``ResultSet`` the ``[{"label", "cache", "report"}, ...]`` array of
+``/batch``/``/sweep`` — whichever executor produced it. The parity tests
+pin ``Session(executor="local")`` and ``Session(executor="service")`` to
+bit-identical payloads on every study kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Result:
+    """One study result: the wire payload plus provenance.
+
+    ``payload`` is the JSON-ready dict the service route would return
+    (and the local executor does return, normalized through one JSON
+    round-trip so the two are bit-identical). Convenience accessors
+    (:attr:`total_kg`, ...) read the common report keys; kinds without a
+    given key return ``None``. Mapping-style access (``result["p50_kg"]``)
+    reaches everything else.
+    """
+
+    kind: str
+    payload: dict
+    cache: "str | None" = None
+    label: "str | None" = None
+    index: "int | None" = None
+
+    def __getitem__(self, key: str):
+        return self.payload[key]
+
+    def get(self, key: str, default=None):
+        return self.payload.get(key, default)
+
+    def keys(self):
+        return self.payload.keys()
+
+    # -- common report accessors ---------------------------------------------
+
+    @property
+    def total_kg(self) -> "float | None":
+        return self.payload.get("total_kg")
+
+    @property
+    def embodied_kg(self) -> "float | None":
+        return self.payload.get("embodied_kg")
+
+    @property
+    def operational_kg(self) -> "float | None":
+        return self.payload.get("operational_kg")
+
+    @property
+    def valid(self) -> "bool | None":
+        return self.payload.get("valid")
+
+    @property
+    def design(self) -> "str | None":
+        return self.payload.get("design")
+
+    def to_payload(self) -> dict:
+        """The service-schema ``result`` object, exactly."""
+        return self.payload
+
+    def summary(self) -> str:
+        """One human line (kind-aware, for quick printing)."""
+        if self.kind == "monte_carlo":
+            return (
+                f"{self.payload.get('design')}: mean "
+                f"{self.payload.get('mean_kg', 0.0):.2f} kg  "
+                f"[p05 {self.payload.get('p05_kg', 0.0):.2f}, "
+                f"p95 {self.payload.get('p95_kg', 0.0):.2f}]  "
+                f"n={self.payload.get('samples')}"
+            )
+        if self.kind == "compare":
+            rows = self.payload.get("backends", [])
+            parts = ", ".join(
+                f"{row['backend']}={row['report']['total_kg']:.2f}"
+                for row in rows
+            )
+            return f"{self.payload.get('design')}: {parts} kg"
+        if self.kind == "tornado":
+            factors = self.payload.get("factors", [])
+            top = factors[0]["factor"] if factors else "-"
+            return (
+                f"{self.payload.get('design')}: {len(factors)} factors, "
+                f"top swing {top}"
+            )
+        total = self.total_kg
+        label = self.label or self.payload.get("design", "?")
+        if total is None:
+            return f"{label}: (no total)"
+        return f"{label}: {total:.2f} kg CO2e [{self.cache or 'computed'}]"
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The ordered points of a batch or sweep study."""
+
+    kind: str
+    results: "tuple[Result, ...]" = field(default_factory=tuple)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, key):
+        """Index by position, or by point label (first match)."""
+        if isinstance(key, str):
+            for result in self.results:
+                if result.label == key:
+                    return result
+            raise KeyError(key)
+        return self.results[key]
+
+    @property
+    def labels(self) -> "list[str | None]":
+        return [result.label for result in self.results]
+
+    @property
+    def totals_kg(self) -> "list[float | None]":
+        return [result.total_kg for result in self.results]
+
+    def to_payload(self) -> "list[dict]":
+        """Exactly the ``/batch``/``/sweep`` route's ``result`` array."""
+        return [
+            {
+                "label": result.label,
+                "cache": result.cache,
+                "report": result.payload,
+            }
+            for result in self.results
+        ]
+
+    def summary(self) -> str:
+        lines = [f"{self.kind}: {len(self.results)} points"]
+        lines.extend(f"  {result.summary()}" for result in self.results)
+        return "\n".join(lines)
+
+    @classmethod
+    def from_entries(cls, kind: str, entries: "list[dict]") -> "ResultSet":
+        """Build from wire entries (``{"label", "cache", "report"}``).
+
+        Streamed entries additionally carry ``index``; enveloped ones
+        are already in input order.
+        """
+        results = tuple(
+            Result(
+                kind="point",
+                payload=entry["report"],
+                cache=entry.get("cache"),
+                label=entry.get("label"),
+                index=entry.get("index", position),
+            )
+            for position, entry in enumerate(entries)
+        )
+        return cls(kind=kind, results=results)

@@ -1,0 +1,410 @@
+"""The one front door: :class:`Session`.
+
+A session binds the declarative :class:`~repro.api.spec.StudySpec`
+vocabulary to an executor — an in-process engine or a remote carbon3d
+server — behind one API::
+
+    from repro.api import Session
+
+    with Session() as session:                     # local engine
+        report = session.evaluate(design)
+        band = session.monte_carlo(design, samples=500, backend="act")
+        handle = session.submit(StudySpec.sweep(reference))
+        for point in handle.partial():             # as each finishes
+            print(point.summary())
+
+    remote = Session(executor="service",
+                     url="http://127.0.0.1:8787", token="...")
+    remote.evaluate(design)                        # same studies, same
+                                                   # payloads, over HTTP
+
+Location transparency is literal: both executors consume the same wire
+payload, validated by the same schema module, evaluated by the same
+dispatcher/engine code — so every study kind returns **bit-identical**
+payloads locally and through a server (parity-tested).
+
+Local sessions also expose the native-report path the in-process study
+modules build on (:meth:`report`, :meth:`native_reports`, the shared
+:attr:`evaluator`); these need live engine objects and therefore raise
+on a service session.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..config.parameters import ParameterSet
+from ..errors import ParameterError
+from ..service.client import ServiceClient
+from ..service.dispatcher import Dispatcher
+from .executors import LocalExecutor, ServiceExecutor
+from .handle import StudyHandle
+from .results import Result, ResultSet
+from .spec import DEFAULT_SEED, StudySpec
+
+#: The CLI/server default endpoint.
+DEFAULT_URL = "http://127.0.0.1:8787"
+
+
+class Session:
+    """Location-transparent front door for every carbon study.
+
+    ``executor="local"`` (default) owns a
+    :class:`~repro.engine.BatchEvaluator` behind a
+    :class:`~repro.service.dispatcher.Dispatcher` (pass ``workers=`` /
+    ``worker_mode=`` to parallelize batches, ``store_path=`` for a
+    persistent result store, or ``evaluator=`` to share an existing
+    engine's caches). ``executor="service"`` speaks to a running
+    ``carbon3d serve`` at ``url`` (``token=`` for authenticated
+    servers; ``timeout``/``retries`` tune the HTTP client).
+
+    ``backend=`` sets a session-wide default carbon backend applied to
+    any study that does not name its own.
+    """
+
+    def __init__(
+        self,
+        executor: str = "local",
+        url: "str | None" = None,
+        *,
+        token: "str | None" = None,
+        backend: "str | None" = None,
+        params: "ParameterSet | None" = None,
+        fab_location: "str | float" = "taiwan",
+        workers: "int | str | None" = None,
+        worker_mode: "str | None" = None,
+        store_path: "str | None" = None,
+        max_entries: int = 100_000,
+        timeout: float = 60.0,
+        retries: int = 2,
+        evaluator=None,
+        client: "ServiceClient | None" = None,
+    ) -> None:
+        self.backend = backend
+        self.executor_name = executor
+        self._executor: "LocalExecutor | ServiceExecutor | None" = None
+        self._executor_lock = threading.Lock()
+        if executor == "local":
+            if client is not None or url is not None or token is not None:
+                raise ParameterError(
+                    "url/token/client configure a service session; pass "
+                    "executor=\"service\" to use them"
+                )
+            if evaluator is None:
+                from ..engine import BatchEvaluator
+
+                evaluator = BatchEvaluator(
+                    params=params,
+                    fab_location=fab_location,
+                    workers=workers,
+                    worker_mode=worker_mode,
+                )
+            elif params is None:
+                # A shared engine brings its own parameter set; the
+                # dispatcher must key/evaluate with the same one.
+                params = evaluator.params
+            self._evaluator = evaluator
+            self._params = params
+            self._fab_location = fab_location
+            self._store_path = store_path
+            self._max_entries = max_entries
+        elif executor == "service":
+            if evaluator is not None or store_path is not None:
+                raise ParameterError(
+                    "evaluator/store_path configure a local session; pass "
+                    "executor=\"local\" to use them"
+                )
+            if client is not None and (url is not None or token is not None):
+                raise ParameterError(
+                    "pass either a ready client or url/token, not both — "
+                    "an explicit client keeps its own base_url and token"
+                )
+            if client is None:
+                client = ServiceClient(
+                    url if url is not None else DEFAULT_URL,
+                    timeout=timeout,
+                    token=token,
+                    retries=retries,
+                )
+            self._executor = ServiceExecutor(client)
+        else:
+            raise ParameterError(
+                f"executor must be \"local\" or \"service\", got "
+                f"{executor!r}"
+            )
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def is_local(self) -> bool:
+        return self.executor_name == "local"
+
+    def _exec(self) -> "LocalExecutor | ServiceExecutor":
+        """The executor, building the local dispatcher lazily.
+
+        Laziness matters: native-report callers (the Fig. 5 / Table 5
+        studies) may hand over evaluators the dispatcher would refuse
+        (e.g. with an efficiency plugin, which no session-stable content
+        key can capture) — they never pay for, or trip over, a wire-path
+        dispatcher they don't use.
+        """
+        if self._executor is None:
+            from ..service.store import ResultStore
+
+            # submit() worker threads race here; the lock keeps one
+            # dispatcher (and one store handle on the file) per session.
+            with self._executor_lock:
+                if self._executor is None:
+                    store = (
+                        ResultStore(
+                            self._store_path, max_entries=self._max_entries
+                        )
+                        if self._store_path is not None
+                        else None
+                    )
+                    self._executor = LocalExecutor(Dispatcher(
+                        params=self._params,
+                        fab_location=self._fab_location,
+                        store=store,
+                        evaluator=self._evaluator,
+                    ))
+        return self._executor
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        """The local dispatcher (raises on a service session)."""
+        self._require_local("dispatcher")
+        return self._exec().dispatcher
+
+    @property
+    def evaluator(self):
+        """The local engine (raises on a service session)."""
+        self._require_local("evaluator")
+        return self._evaluator
+
+    @property
+    def client(self) -> ServiceClient:
+        """The HTTP client (raises on a local session)."""
+        if self.is_local:
+            raise ParameterError(
+                "a local session has no HTTP client; pass "
+                "executor=\"service\""
+            )
+        return self._executor.client
+
+    def _require_local(self, what: str) -> None:
+        if not self.is_local:
+            raise ParameterError(
+                f"{what} needs live engine objects, which only a local "
+                f"session holds; evaluate through the study methods (or "
+                f"open Session(executor=\"local\"))"
+            )
+
+    def close(self) -> None:
+        """Release the executor's resources (the store handle, if any)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the study API -------------------------------------------------------
+
+    def run(self, study: "StudySpec | dict"):
+        """Run any study synchronously → :class:`Result`/:class:`ResultSet`.
+
+        Accepts a :class:`StudySpec` or a raw wire payload dict.
+        """
+        spec = self._normalize(study)
+        payload = spec.to_payload()
+        # `stream` only shapes the transport (NDJSON vs envelope); the
+        # synchronous path needs the envelope — submit() is the one that
+        # streams. Leaving it set would have a service session receive
+        # NDJSON it cannot parse as one JSON body.
+        payload.pop("stream", None)
+        result, cache = self._exec().run(payload)
+        if spec.kind in ("batch", "sweep"):
+            return ResultSet.from_entries(spec.kind, result)
+        return Result(kind=spec.kind, payload=result, cache=cache)
+
+    def submit(self, study: "StudySpec | dict") -> StudyHandle:
+        """Run any study asynchronously → :class:`StudyHandle`.
+
+        Batch/sweep studies stream: the handle's ``partial()`` yields
+        each point as the executor finishes it (HTTP sessions consume
+        the service's NDJSON stream; local sessions the dispatcher's
+        incremental iterator).
+        """
+        spec = self._normalize(study)
+        handle = StudyHandle(spec)
+        thread = threading.Thread(
+            target=self._run_study,
+            args=(spec, handle),
+            name=f"carbon3d-{spec.kind}",
+            daemon=True,
+        )
+        thread.start()
+        return handle
+
+    def _run_study(self, spec: StudySpec, handle: StudyHandle) -> None:
+        try:
+            if spec.kind in ("batch", "sweep"):
+                entries = []
+                for entry in self._exec().stream(spec.to_payload()):
+                    entries.append(entry)
+                    handle._push(Result(
+                        kind="point",
+                        payload=entry["report"],
+                        cache=entry.get("cache"),
+                        label=entry.get("label"),
+                        index=entry.get("index"),
+                    ))
+                handle._finish(ResultSet.from_entries(spec.kind, entries))
+            else:
+                handle._finish(self.run(spec))
+        except BaseException as error:  # noqa: BLE001 — relayed to .result()
+            handle._fail(error)
+
+    def _normalize(self, study) -> StudySpec:
+        if isinstance(study, dict):
+            study = StudySpec.from_payload(study)
+        if not isinstance(study, StudySpec):
+            raise ParameterError(
+                f"a study must be a StudySpec or a wire payload dict, got "
+                f"{type(study).__name__}"
+            )
+        return study.with_default_backend(self.backend)
+
+    # -- per-kind conveniences -----------------------------------------------
+
+    def evaluate(
+        self,
+        design,
+        workload="av",
+        fab_location=None,
+        label: "str | None" = None,
+        backend: "str | None" = None,
+    ) -> Result:
+        """One point → the full report :class:`Result`."""
+        return self.run(StudySpec.evaluate(
+            design, workload=workload, fab_location=fab_location,
+            label=label, backend=backend,
+        ))
+
+    def batch(self, points, backend: "str | None" = None) -> ResultSet:
+        """Many points (deduplicated) → ordered :class:`ResultSet`."""
+        return self.run(StudySpec.batch(points, backend=backend))
+
+    def sweep(
+        self,
+        design,
+        integrations: "list[str] | None" = None,
+        fab_locations: "list | None" = None,
+        workload="av",
+        backend: "str | None" = None,
+    ) -> ResultSet:
+        """Integration × fab-location grid → ordered :class:`ResultSet`."""
+        return self.run(StudySpec.sweep(
+            design, integrations=integrations, fab_locations=fab_locations,
+            workload=workload, backend=backend,
+        ))
+
+    def monte_carlo(
+        self,
+        design,
+        samples: int = 200,
+        seed: int = DEFAULT_SEED,
+        workload="av",
+        fab_location=None,
+        backend: "str | None" = None,
+        return_samples: bool = False,
+    ) -> Result:
+        """Monte-Carlo band from the backend's own factor set."""
+        return self.run(StudySpec.monte_carlo(
+            design, samples=samples, seed=seed, workload=workload,
+            fab_location=fab_location, backend=backend,
+            return_samples=return_samples,
+        ))
+
+    def compare(
+        self,
+        design,
+        backends: "list[str] | None" = None,
+        workload="none",
+        fab_location=None,
+        draws: int = 0,
+        seed: int = DEFAULT_SEED,
+    ) -> Result:
+        """One design across carbon backends (optional MC bands)."""
+        return self.run(StudySpec.compare(
+            design, backends=backends, workload=workload,
+            fab_location=fab_location, draws=draws, seed=seed,
+        ))
+
+    def tornado(
+        self,
+        design,
+        workload="av",
+        fab_location=None,
+        backend: "str | None" = None,
+    ) -> Result:
+        """One-at-a-time sensitivity over the backend's own factors."""
+        return self.run(StudySpec.tornado(
+            design, workload=workload, fab_location=fab_location,
+            backend=backend,
+        ))
+
+    # -- native-report path (local sessions; the studies' building block) ----
+
+    def report(
+        self,
+        design,
+        workload=None,
+        params: "ParameterSet | None" = None,
+        fab_location=None,
+    ):
+        """A native :class:`~repro.core.report.LifecycleReport` (local only).
+
+        The in-process twin of :meth:`evaluate` for callers that need
+        live report objects (the Fig. 5 / Table 5 studies); memoized
+        through the session's shared engine.
+        """
+        self._require_local("report()")
+        return self.evaluator.report(
+            design, workload=workload, params=params,
+            fab_location=fab_location,
+        )
+
+    def native_reports(self, points) -> list:
+        """Native reports for many :class:`~repro.engine.EvalPoint`\\ s.
+
+        Local only — one batched ``evaluate_many`` over the session's
+        engine, order-preserving.
+        """
+        self._require_local("native_reports()")
+        return self.evaluator.evaluate_many(list(points))
+
+
+def local_session_for(
+    evaluator=None,
+    params: "ParameterSet | None" = None,
+    fab_location: "str | float" = "taiwan",
+    session: "Session | None" = None,
+) -> Session:
+    """A local session for an in-process study (the shim helper).
+
+    The studies' legacy ``evaluator=`` arguments funnel through here:
+    an explicit session wins, a bare evaluator is wrapped (sharing its
+    caches), otherwise a fresh local session is built.
+    """
+    if session is not None:
+        session._require_local("in-process studies")
+        return session
+    if evaluator is None:
+        return Session(params=params, fab_location=fab_location)
+    return Session(
+        params=params, fab_location=fab_location, evaluator=evaluator
+    )

@@ -1,0 +1,410 @@
+"""The declarative study vocabulary: one :class:`StudySpec` per request.
+
+This module is the **single definition of the StudySpec JSON
+vocabulary** — the wire format every entry point (the :class:`~repro.api.
+session.Session` facade, the HTTP service, the CLI) speaks. A spec is a
+frozen, wire-shaped description of one study; ``to_payload()`` renders
+exactly the versioned request JSON of :mod:`repro.service.schema`, and
+``from_payload()`` round-trips it back. Because the local executor
+*parses the same payload through the same schema module* the server
+uses, a spec means the same study everywhere — location transparency by
+construction, not by convention.
+
+Study kinds (wire ``type`` in parentheses where it differs):
+
+``evaluate``
+    One (design, workload, fab location, backend) point → a full report.
+    Fields: ``design`` (required), ``workload`` (default ``"av"``),
+    ``fab_location``, ``label``, ``backend``.
+``batch``
+    Many evaluate points, deduplicated server-side. Fields: ``points``
+    (list of evaluate-shaped records), ``stream`` (service-side NDJSON).
+``sweep``
+    A single-die 2D reference fanned over ``integrations`` ×
+    ``fab_locations``, expanded server-side into a batch. Fields:
+    ``design``, ``integrations``, ``fab_locations``, ``workload``,
+    ``backend``, ``stream``.
+``monte_carlo`` (wire ``montecarlo``)
+    A Monte-Carlo summary over the backend's *own* factor set. Fields:
+    ``design``, ``workload``, ``fab_location``, ``samples``, ``seed``,
+    ``backend``, ``return_samples``.
+``compare``
+    One design across all (or listed) backends in one engine batch,
+    optionally with per-backend uncertainty bands. Fields: ``design``,
+    ``backends``, ``workload`` (default ``"none"``), ``fab_location``,
+    ``draws``, ``seed``.
+``tornado``
+    One-at-a-time sensitivity over the backend's own factor set.
+    Fields: ``design``, ``workload``, ``fab_location``, ``backend``.
+
+Designs are the CLI's documented JSON records (see
+:mod:`repro.io.designs`) or :class:`~repro.core.design.ChipDesign`
+instances; workloads are ``"av"``, ``"none"``/``None``, a
+:class:`~repro.core.operational.Workload`, or a workload record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.design import ChipDesign
+from ..errors import ParameterError
+from ..io.designs import design_to_dict
+from ..service.schema import SCHEMA_VERSION, workload_to_value
+
+#: The deterministic seed every draw-based entry point defaults to.
+DEFAULT_SEED = 20240623
+
+#: kind → (wire type, one-line description) — the vocabulary the CLI's
+#: ``carbon3d studies`` listing and the README document.
+STUDY_KINDS: "dict[str, dict]" = {
+    "evaluate": {
+        "wire": "evaluate",
+        "result": "report",
+        "summary": "one (design, workload, fab location) lifecycle report",
+    },
+    "batch": {
+        "wire": "batch",
+        "result": "points",
+        "summary": "many evaluate points, deduplicated; streamable",
+    },
+    "sweep": {
+        "wire": "sweep",
+        "result": "points",
+        "summary": "2D reference x integrations x fab locations; streamable",
+    },
+    "monte_carlo": {
+        "wire": "montecarlo",
+        "result": "summary",
+        "summary": "Monte-Carlo band from the backend's own factor set",
+    },
+    "compare": {
+        "wire": "compare",
+        "result": "table",
+        "summary": "one design across carbon backends, optional MC bands",
+    },
+    "tornado": {
+        "wire": "tornado",
+        "result": "swings",
+        "summary": "one-at-a-time sensitivity over the backend's factors",
+    },
+}
+
+_WIRE_TO_KIND = {info["wire"]: kind for kind, info in STUDY_KINDS.items()}
+
+
+def design_value(design) -> dict:
+    """A design as its wire record (:class:`ChipDesign` or dict accepted)."""
+    if isinstance(design, ChipDesign):
+        return design_to_dict(design)
+    if isinstance(design, dict):
+        return design
+    raise ParameterError(
+        f"design must be a ChipDesign or a design JSON record, got "
+        f"{type(design).__name__}"
+    )
+
+
+def workload_value(workload):
+    """A workload as its wire value (``"av"``/``"none"``/record)."""
+    if workload is None:
+        return "none"
+    if isinstance(workload, (str, dict)):
+        return workload
+    return workload_to_value(workload)
+
+
+def point_value(point) -> dict:
+    """One batch point as its wire record.
+
+    Accepts a :class:`ChipDesign`, a bare design record, an
+    evaluate-shaped :class:`StudySpec`, or an already-wire-shaped point
+    record (``{"design": ..., "workload": ..., ...}``).
+    """
+    if isinstance(point, StudySpec):
+        if point.kind != "evaluate":
+            raise ParameterError(
+                f"batch points must be evaluate specs, got {point.kind!r}"
+            )
+        record = dict(point.to_payload())
+        record.pop("schema", None)
+        record.pop("type", None)
+        return record
+    if isinstance(point, ChipDesign):
+        return {"design": design_to_dict(point)}
+    if isinstance(point, dict):
+        if "design" in point:
+            return point
+        return {"design": point}
+    raise ParameterError(
+        f"a batch point must be a design, a point record, or an evaluate "
+        f"spec, got {type(point).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """One declarative study, in wire shape (see the module docstring).
+
+    Build specs with the per-kind constructors (:meth:`evaluate`,
+    :meth:`batch`, :meth:`sweep`, :meth:`monte_carlo`, :meth:`compare`,
+    :meth:`tornado`) rather than the raw dataclass; they normalize
+    designs/workloads into their wire records so ``to_payload()`` is
+    pure assembly.
+    """
+
+    kind: str
+    design: "dict | None" = None
+    points: "tuple[dict, ...] | None" = None
+    workload: "str | dict | None" = "av"
+    fab_location: "str | float | None" = None
+    label: "str | None" = None
+    backend: "str | None" = None
+    integrations: "tuple[str, ...] | None" = None
+    fab_locations: "tuple | None" = None
+    samples: int = 200
+    draws: int = 0
+    seed: int = DEFAULT_SEED
+    backends: "tuple[str, ...] | None" = None
+    return_samples: bool = False
+    #: Ask the service for a point stream (batch/sweep only); the local
+    #: executor streams regardless, so this only shapes the HTTP reply.
+    stream: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in STUDY_KINDS:
+            known = ", ".join(STUDY_KINDS)
+            raise ParameterError(
+                f"unknown study kind {self.kind!r} (known: {known})"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def evaluate(
+        cls,
+        design,
+        workload="av",
+        fab_location=None,
+        label: "str | None" = None,
+        backend: "str | None" = None,
+    ) -> "StudySpec":
+        return cls(
+            kind="evaluate",
+            design=design_value(design),
+            workload=workload_value(workload),
+            fab_location=fab_location,
+            label=label,
+            backend=backend,
+        )
+
+    @classmethod
+    def batch(cls, points, backend: "str | None" = None) -> "StudySpec":
+        """``points``: designs, point records, or evaluate specs.
+
+        ``backend`` is a default applied to points that do not name
+        their own.
+        """
+        records = []
+        for point in points:
+            record = point_value(point)
+            if backend is not None and "backend" not in record:
+                record = {**record, "backend": backend}
+            records.append(record)
+        if not records:
+            raise ParameterError("a batch needs at least one point")
+        return cls(kind="batch", points=tuple(records))
+
+    @classmethod
+    def sweep(
+        cls,
+        design,
+        integrations: "list[str] | None" = None,
+        fab_locations: "list | None" = None,
+        workload="av",
+        backend: "str | None" = None,
+    ) -> "StudySpec":
+        return cls(
+            kind="sweep",
+            design=design_value(design),
+            integrations=None if integrations is None else tuple(integrations),
+            fab_locations=(
+                None if fab_locations is None else tuple(fab_locations)
+            ),
+            workload=workload_value(workload),
+            backend=backend,
+        )
+
+    @classmethod
+    def monte_carlo(
+        cls,
+        design,
+        samples: int = 200,
+        seed: int = DEFAULT_SEED,
+        workload="av",
+        fab_location=None,
+        backend: "str | None" = None,
+        return_samples: bool = False,
+    ) -> "StudySpec":
+        return cls(
+            kind="monte_carlo",
+            design=design_value(design),
+            workload=workload_value(workload),
+            fab_location=fab_location,
+            samples=samples,
+            seed=seed,
+            backend=backend,
+            return_samples=return_samples,
+        )
+
+    @classmethod
+    def compare(
+        cls,
+        design,
+        backends: "list[str] | None" = None,
+        workload="none",
+        fab_location=None,
+        draws: int = 0,
+        seed: int = DEFAULT_SEED,
+    ) -> "StudySpec":
+        return cls(
+            kind="compare",
+            design=design_value(design),
+            backends=None if backends is None else tuple(backends),
+            workload=workload_value(workload),
+            fab_location=fab_location,
+            draws=draws,
+            seed=seed,
+        )
+
+    @classmethod
+    def tornado(
+        cls,
+        design,
+        workload="av",
+        fab_location=None,
+        backend: "str | None" = None,
+    ) -> "StudySpec":
+        return cls(
+            kind="tornado",
+            design=design_value(design),
+            workload=workload_value(workload),
+            fab_location=fab_location,
+            backend=backend,
+        )
+
+    # -- defaults ------------------------------------------------------------
+
+    def with_default_backend(self, backend: "str | None") -> "StudySpec":
+        """This spec with a session-level default backend filled in.
+
+        Only fields the spec left unset change; an explicit per-spec
+        backend always wins. ``compare`` specs are untouched (they fan
+        over backends by design).
+        """
+        if backend is None or self.kind == "compare":
+            return self
+        if self.kind == "batch":
+            points = tuple(
+                point if "backend" in point else {**point, "backend": backend}
+                for point in self.points
+            )
+            return replace(self, points=points)
+        if self.backend is None:
+            return replace(self, backend=backend)
+        return self
+
+    # -- wire round-trip -----------------------------------------------------
+
+    @property
+    def wire_type(self) -> str:
+        return STUDY_KINDS[self.kind]["wire"]
+
+    def to_payload(self) -> dict:
+        """Exactly the versioned service request JSON for this study."""
+        payload: dict = {"schema": SCHEMA_VERSION, "type": self.wire_type}
+        if self.kind == "batch":
+            payload["points"] = [dict(point) for point in self.points]
+            if self.stream:
+                payload["stream"] = True
+            return payload
+        payload["design"] = self.design
+        payload["workload"] = self.workload
+        if self.fab_location is not None and self.kind != "sweep":
+            payload["fab_location"] = self.fab_location
+        if self.kind == "evaluate":
+            if self.label is not None:
+                payload["label"] = self.label
+        if self.kind == "sweep":
+            if self.integrations is not None:
+                payload["integrations"] = list(self.integrations)
+            if self.fab_locations is not None:
+                payload["fab_locations"] = list(self.fab_locations)
+            if self.stream:
+                payload["stream"] = True
+        if self.kind == "monte_carlo":
+            payload["samples"] = self.samples
+            payload["seed"] = self.seed
+            if self.return_samples:
+                payload["return_samples"] = True
+        if self.kind == "compare":
+            if self.backends is not None:
+                payload["backends"] = list(self.backends)
+            payload["draws"] = self.draws
+            payload["seed"] = self.seed
+        elif self.backend is not None:
+            payload["backend"] = self.backend
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StudySpec":
+        """The inverse of :meth:`to_payload` (wire request → spec)."""
+        if not isinstance(payload, dict):
+            raise ParameterError(
+                f"a study payload must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        kind = _WIRE_TO_KIND.get(payload.get("type"))
+        if kind is None:
+            known = ", ".join(info["wire"] for info in STUDY_KINDS.values())
+            raise ParameterError(
+                f"unknown study payload type {payload.get('type')!r} "
+                f"(known: {known})"
+            )
+        fields: dict = {"kind": kind}
+        if kind == "batch":
+            fields["points"] = tuple(
+                dict(point) for point in payload.get("points", ())
+            )
+            fields["stream"] = bool(payload.get("stream", False))
+            return cls(**fields)
+        fields["design"] = payload.get("design")
+        fields["workload"] = payload.get(
+            "workload", "none" if kind == "compare" else "av"
+        )
+        fields["fab_location"] = payload.get("fab_location")
+        if kind == "evaluate":
+            fields["label"] = payload.get("label")
+        if kind == "sweep":
+            integrations = payload.get("integrations")
+            if integrations is not None:
+                fields["integrations"] = tuple(integrations)
+            fab_locations = payload.get("fab_locations")
+            if fab_locations is not None:
+                fields["fab_locations"] = tuple(fab_locations)
+            fields["stream"] = bool(payload.get("stream", False))
+        if kind == "monte_carlo":
+            fields["samples"] = payload.get("samples", 200)
+            fields["seed"] = payload.get("seed", DEFAULT_SEED)
+            fields["return_samples"] = bool(
+                payload.get("return_samples", False)
+            )
+        if kind == "compare":
+            backends = payload.get("backends")
+            if backends is not None:
+                fields["backends"] = tuple(backends)
+            fields["draws"] = payload.get("draws", 0)
+            fields["seed"] = payload.get("seed", DEFAULT_SEED)
+        else:
+            fields["backend"] = payload.get("backend")
+        return cls(**fields)

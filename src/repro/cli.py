@@ -10,8 +10,13 @@ Sub-commands mirror the paper's artifacts:
   with ``--service``, the warm-vs-cold store throughput bench →
   ``BENCH_service.json``);
 * ``serve`` — run the carbon-as-a-service HTTP server (persistent
-  content-addressed result store; see :mod:`repro.service`);
-* ``submit`` — send a design JSON to a running server over HTTP;
+  content-addressed result store; ``--token`` for shared-secret auth;
+  see :mod:`repro.service`);
+* ``submit`` — send a design JSON to a running server over HTTP (via
+  the :class:`repro.api.Session` facade);
+* ``backends`` — list registered carbon backends with their factor-set
+  digests (``--json`` for machines);
+* ``studies`` — list the StudySpec study kinds every entry point speaks;
 * ``nodes`` / ``technologies`` — inspect the parameter databases.
 
 The JSON design schema matches :class:`repro.core.design.ChipDesign`::
@@ -97,8 +102,27 @@ def _cmd_validate_lakefield(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session_for_args(args: argparse.Namespace):
+    """The Session the command runs through: local, or --service URL."""
+    from .api import Session
+
+    service = getattr(args, "service", None)
+    if service is not None:
+        return Session(
+            executor="service",
+            url=service,
+            token=getattr(args, "token", None),
+        )
+    return Session(fab_location=args.fab_location)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    """Sec. 4-style cross-model table: one batched engine call."""
+    """Sec. 4-style cross-model table: one batched engine call.
+
+    ``--json`` routes through the :class:`repro.api.Session` facade —
+    the exact ``/compare`` payload whether computed locally or by
+    ``--service URL`` (the location-transparency the facade pins).
+    """
     if args.design == "epyc":
         design = epyc_7452_design()
     elif args.design == "lakefield":
@@ -109,8 +133,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     backends = None
     if args.backends is not None:
         backends = [name.strip() for name in args.backends.split(",") if name.strip()]
-    if args.service is not None:
-        return _compare_via_service(args, design, backends)
+
+    if args.json or args.service is not None:
+        session = _session_for_args(args)
+        result = session.compare(
+            design,
+            backends=backends,
+            workload=args.workload,
+            fab_location=args.fab_location if args.service else None,
+            draws=args.draws,
+            seed=args.seed,
+        )
+        if args.json:
+            print(json.dumps(result.to_payload(), indent=2))
+            return 0
+        payload = result.to_payload()
+        print(f"cross-model comparison — {payload['design']} "
+              f"(served by {args.service})")
+        for row in payload["backends"]:
+            report = row["report"]
+            line = (f"  {row['label']:<14.14} total {report['total_kg']:9.2f} "
+                    f"kg CO2e [{row['cache']}]")
+            uncertainty = row.get("uncertainty")
+            if uncertainty:
+                line += (f"  p05 {uncertainty['p05_kg']:9.2f}  "
+                         f"p50 {uncertainty['p50_kg']:9.2f}  "
+                         f"p95 {uncertainty['p95_kg']:9.2f}")
+            print(line)
+        return 0
+
     workload = (
         Workload.autonomous_vehicle() if args.workload == "av" else None
     )
@@ -118,67 +169,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         design, backends=backends, workload=workload,
         fab_location=args.fab_location, draws=args.draws, seed=args.seed,
     )
-    if args.json:
-        # Same envelope shape as the service's /compare result, so a
-        # script parsing `compare --json` keeps working when --service
-        # is added (service rows additionally carry cache tags).
-        from .pipeline.registry import get_backend
-
-        rows = []
-        for index, report in enumerate(result.reports):
-            row = {
-                "backend": report.backend,
-                "label": get_backend(report.backend).label,
-                "report": report.to_dict(),
-            }
-            if result.bands is not None:
-                row["uncertainty"] = {
-                    "seed": args.seed,
-                    **result.bands[index].to_payload(),
-                }
-            rows.append(row)
-        print(json.dumps({
-            "design": design.name,
-            "workload": args.workload,
-            "draws": args.draws,
-            "seed": args.seed,
-            "backends": rows,
-        }, indent=2))
-    else:
-        print(result.format_table())
-    return 0
-
-
-def _compare_via_service(args: argparse.Namespace, design,
-                         backends: "list[str] | None") -> int:
-    """``carbon3d compare --service URL``: the /compare route end."""
-    from .service.client import ServiceClient
-
-    client = ServiceClient(args.service)
-    envelope = client.compare(
-        design,
-        backends=backends,
-        workload=args.workload,
-        fab_location=args.fab_location,
-        draws=args.draws,
-        seed=args.seed,
-    )
-    result = envelope["result"]
-    if args.json:
-        print(json.dumps(result, indent=2))
-        return 0
-    print(f"cross-model comparison — {result['design']} "
-          f"(served by {args.service})")
-    for row in result["backends"]:
-        report = row["report"]
-        line = (f"  {row['label']:<14.14} total {report['total_kg']:9.2f} "
-                f"kg CO2e [{row['cache']}]")
-        uncertainty = row.get("uncertainty")
-        if uncertainty:
-            line += (f"  p05 {uncertainty['p05_kg']:9.2f}  "
-                     f"p50 {uncertainty['p50_kg']:9.2f}  "
-                     f"p95 {uncertainty['p95_kg']:9.2f}")
-        print(line)
+    print(result.format_table())
     return 0
 
 
@@ -292,25 +283,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_path=store_path,
         max_entries=args.max_entries,
         verbose=args.verbose,
+        token=args.token,
     )
     store_text = store_path if store_path else "(in-memory only)"
     print(f"carbon3d service listening on {server.url}")
     print(f"  store   : {store_text}")
+    print(f"  auth    : "
+          f"{'X-Carbon3D-Token required' if args.token else 'open'}")
     print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
-          "/healthz /stats")
+          "/tornado /healthz /stats")
     serve_forever(server)
     return 0
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient
+    """Send one design to a running server, through the Session facade."""
+    from .api import Session
 
     with open(args.design, encoding="utf-8") as handle:
         design = json.load(handle)
-    client = ServiceClient(args.url, timeout=args.timeout)
+    session = Session(
+        executor="service", url=args.url, timeout=args.timeout,
+        token=args.token,
+    )
     workload = "none" if args.workload == "none" else "av"
-    envelope = client.evaluate(design, workload=workload)
-    result = envelope["result"]
+    point = session.evaluate(design, workload=workload, backend=args.backend)
+    result = point.to_payload()
     if args.json:
         print(json.dumps(result, indent=2))
     else:
@@ -321,7 +319,86 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if "operational_kg" in result:
             print(f"operational   : {result['operational_kg']:9.3f} kg CO2e")
         print(f"total         : {result['total_kg']:9.3f} kg CO2e")
-        print(f"served from   : {envelope.get('cache', 'computed')}")
+        print(f"served from   : {point.cache or 'computed'}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List registered carbon backends (with factor-set digests).
+
+    Factor sets are design-dependent (per-node intensity tables, package
+    class); the digests here are pinned to the documented reference
+    design — a 7 nm planar 2D SoC — so two invocations (or two machines)
+    can compare them.
+    """
+    from .core.design import ChipDesign
+    from .pipeline.registry import backend_names, get_backend
+
+    reference = ChipDesign.planar_2d(
+        "reference", node="7nm", gate_count=17e9, throughput_tops=254.0
+    )
+    rows = []
+    for name in backend_names():
+        backend = get_backend(name)
+        factor_set = backend.factor_set(reference, DEFAULT_PARAMETERS)
+        rows.append({
+            "name": name,
+            "label": backend.label,
+            "operational": backend.models_operational,
+            "stages": [stage.name for stage in backend.stages],
+            "factors": len(factor_set),
+            "factor_set": factor_set.name,
+            "factor_set_digest": factor_set.digest(),
+        })
+    if args.json:
+        print(json.dumps({
+            "reference_design": reference.name,
+            "backends": rows,
+        }, indent=2))
+        return 0
+    header = (f"{'name':<12} {'label':<14} {'oper':>5} {'factors':>8} "
+              f"{'stages':<28} digest")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        stages = ",".join(row["stages"])
+        print(
+            f"{row['name']:<12} {row['label']:<14.14} "
+            f"{'yes' if row['operational'] else 'no':>5} "
+            f"{row['factors']:>8d} {stages:<28.28} "
+            f"{row['factor_set_digest'][:12]}"
+        )
+    return 0
+
+
+def _cmd_studies(args: argparse.Namespace) -> int:
+    """List the StudySpec vocabulary every entry point speaks."""
+    from .api import STUDY_KINDS
+    from .service.schema import SCHEMA_VERSION
+
+    if args.json:
+        print(json.dumps({
+            "schema": SCHEMA_VERSION,
+            "studies": [
+                {
+                    "kind": kind,
+                    "type": info["wire"],
+                    "route": f"/{info['wire']}",
+                    "result": info["result"],
+                    "summary": info["summary"],
+                }
+                for kind, info in STUDY_KINDS.items()
+            ],
+        }, indent=2))
+        return 0
+    header = f"{'kind':<12} {'wire type':<12} {'route':<13} {'result':<8} summary"
+    print(header)
+    print("-" * len(header))
+    for kind, info in STUDY_KINDS.items():
+        print(
+            f"{kind:<12} {info['wire']:<12} {'/' + info['wire']:<13} "
+            f"{info['result']:<8} {info['summary']}"
+        )
     return 0
 
 
@@ -413,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="send the comparison to a running carbon3d service "
              "(one server-side engine batch) instead of computing locally",
     )
+    p_compare.add_argument(
+        "--token", default=None,
+        help="shared-secret token for an authenticated --service server",
+    )
     p_compare.set_defaults(func=_cmd_compare)
 
     p_drive = sub.add_parser("drive", help="Fig. 5 NVIDIA DRIVE study")
@@ -489,6 +570,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request to stderr")
+    p_serve.add_argument(
+        "--token", default=None,
+        help="require this shared-secret X-Carbon3D-Token on every "
+             "route except GET /healthz (401 otherwise)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -501,9 +587,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument("--timeout", type=float, default=60.0)
     p_submit.add_argument(
+        "--backend", default=None,
+        help="carbon backend to evaluate under (default: repro3d)",
+    )
+    p_submit.add_argument(
+        "--token", default=None,
+        help="shared-secret token for an authenticated server",
+    )
+    p_submit.add_argument(
         "--json", action="store_true", help="emit the full JSON report"
     )
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_backends = sub.add_parser(
+        "backends",
+        help="list registered carbon backends with factor-set digests",
+    )
+    p_backends.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_backends.set_defaults(func=_cmd_backends)
+
+    p_studies = sub.add_parser(
+        "studies",
+        help="list the StudySpec study kinds (the facade/service/CLI "
+             "vocabulary)",
+    )
+    p_studies.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_studies.set_defaults(func=_cmd_studies)
     sub.add_parser("nodes", help="list process nodes").set_defaults(
         func=_cmd_nodes
     )

@@ -19,9 +19,12 @@ and drive in-process:
   ``evaluate_many``, and every computed payload feeds the store;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` — a
   stdlib-only threaded HTTP JSON API (``/evaluate``, ``/batch``,
-  ``/sweep``, ``/montecarlo``, ``/healthz``, ``/stats``) and a small
-  Python client, wired into the CLI as ``carbon3d serve`` and
-  ``carbon3d submit``;
+  ``/sweep``, ``/montecarlo``, ``/compare``, ``/tornado``, ``/healthz``,
+  ``/stats``; NDJSON point streams for ``"stream": true`` batch/sweep
+  requests, optional shared-secret ``--token`` auth) and a small Python
+  client with bounded-backoff retries, wired into the CLI as
+  ``carbon3d serve`` and ``carbon3d submit`` — and, one level up, into
+  the :class:`repro.api.Session` facade;
 * :mod:`~repro.service.bench` — the warm-vs-cold-store throughput bench
   behind ``carbon3d bench --service`` (writes ``BENCH_service.json``).
 
@@ -46,11 +49,12 @@ Quickstart (see ``examples/service_roundtrip.py`` for the full tour)::
 
 from .client import ServiceClient, ServiceError
 from .dispatcher import Dispatcher
-from .schema import SCHEMA_VERSION, SchemaError, parse_request
+from .schema import SCHEMA_VERSION, AuthError, SchemaError, parse_request
 from .server import CarbonService, make_server, serve_forever
 from .store import ResultStore, StoreError, content_key
 
 __all__ = [
+    "AuthError",
     "CarbonService",
     "Dispatcher",
     "ResultStore",

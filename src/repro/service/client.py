@@ -10,11 +10,24 @@ plus the ``cache`` provenance tag); service-side failures raise a typed
     envelope = client.evaluate(design)          # ChipDesign or JSON dict
     report = envelope["result"]                 # CarbonModel-identical
     print(envelope["cache"], report["total_kg"])
+
+Transient transport failures are retried with bounded backoff:
+idempotent ``GET`` requests (``/healthz``, ``/stats``) retry on any
+``URLError``, and ``POST`` requests retry only while the connection is
+*refused* — the server-warming-up case, where the request never left
+this process so a resend cannot double-evaluate. HTTP error *responses*
+(400/401/...) are never retried. ``token=...`` attaches the service's
+shared secret as the ``X-Carbon3D-Token`` header.
+
+:meth:`stream_batch` / :meth:`stream_sweep` consume the server's NDJSON
+point streams (``"stream": true``), yielding each point entry as the
+server finishes it.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -54,59 +67,105 @@ def _workload_value(workload):
     return workload_to_value(workload)
 
 
+def _error_from_envelope(envelope: dict,
+                         status: "int | None" = None) -> ServiceError:
+    detail = envelope.get("error", {})
+    return ServiceError(
+        f"{detail.get('type', 'ServiceError')}: "
+        f"{detail.get('message', 'service error')}",
+        payload=detail,
+        status=status,
+    )
+
+
 class ServiceClient:
-    """Synchronous HTTP client for one service endpoint."""
+    """Synchronous HTTP client for one service endpoint.
+
+    ``retries``/``backoff_s`` bound the transient-failure retry loop:
+    up to ``retries`` resends, sleeping ``backoff_s * 2**attempt``
+    (capped at :attr:`MAX_BACKOFF_S`) between attempts.
+    """
+
+    #: Ceiling on a single backoff sleep, whatever the retry count.
+    MAX_BACKOFF_S = 2.0
 
     def __init__(
-        self, base_url: str = "http://127.0.0.1:8787", timeout: float = 60.0
+        self,
+        base_url: str = "http://127.0.0.1:8787",
+        timeout: float = 60.0,
+        token: "str | None" = None,
+        retries: int = 2,
+        backoff_s: float = 0.1,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
 
     # -- transport -----------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: "dict | None" = None) -> dict:
+    def _build_request(self, method: str, path: str,
+                       payload: "dict | None",
+                       accept: str) -> urllib.request.Request:
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": accept}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
+        if self.token is not None:
+            headers["X-Carbon3D-Token"] = self.token
+        return urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                body = response.read()
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+
+    def _retryable(self, method: str, error: urllib.error.URLError) -> bool:
+        """GETs are idempotent; a refused POST never reached the server."""
+        if method == "GET":
+            return True
+        return isinstance(error.reason, ConnectionRefusedError)
+
+    def _open(self, method: str, path: str, payload: "dict | None" = None,
+              accept: str = "application/json"):
+        """Open the HTTP response, retrying transient transport failures.
+
+        Returns the live response object (the caller reads/closes it);
+        HTTP error responses raise a typed :class:`ServiceError` without
+        any retry.
+        """
+        request = self._build_request(method, path, payload, accept)
+        attempt = 0
+        while True:
             try:
-                envelope = json.loads(raw.decode("utf-8"))
-                detail = envelope.get("error", {})
-                raise ServiceError(
-                    f"{detail.get('type', 'ServiceError')}: "
-                    f"{detail.get('message', 'service error')}",
-                    payload=detail,
-                    status=error.code,
-                ) from None
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                raise ServiceError(
-                    f"HTTP {error.code}: {raw[:200]!r}", status=error.code
-                ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+                return urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                try:
+                    envelope = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise ServiceError(
+                        f"HTTP {error.code}: {raw[:200]!r}", status=error.code
+                    ) from None
+                raise _error_from_envelope(envelope, error.code) from None
+            except urllib.error.URLError as error:
+                if attempt >= self.retries or not self._retryable(
+                    method, error
+                ):
+                    raise ServiceError(
+                        f"cannot reach {self.base_url}: {error.reason}"
+                    ) from None
+                time.sleep(
+                    min(self.backoff_s * 2 ** attempt, self.MAX_BACKOFF_S)
+                )
+                attempt += 1
+
+    def _request(self, method: str, path: str,
+                 payload: "dict | None" = None) -> dict:
+        with self._open(method, path, payload) as response:
+            body = response.read()
         envelope = json.loads(body.decode("utf-8"))
         if not envelope.get("ok", False):
-            detail = envelope.get("error", {})
-            raise ServiceError(
-                f"{detail.get('type', 'ServiceError')}: "
-                f"{detail.get('message', 'service error')}",
-                payload=detail,
-            )
+            raise _error_from_envelope(envelope)
         return envelope
 
     def _post(self, path: str, payload: dict) -> dict:
@@ -224,3 +283,104 @@ class ServiceClient:
         if fab_location is not None:
             payload["fab_location"] = fab_location
         return self._post("/compare", payload)
+
+    def tornado(
+        self,
+        design,
+        workload="av",
+        fab_location=None,
+        backend: "str | None" = None,
+    ) -> dict:
+        """One-at-a-time sensitivity study over the backend's own factors."""
+        payload: dict = {
+            "type": "tornado",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+        }
+        if fab_location is not None:
+            payload["fab_location"] = fab_location
+        if backend is not None:
+            payload["backend"] = backend
+        return self._post("/tornado", payload)
+
+    # -- streaming -----------------------------------------------------------
+
+    def submit_payload(self, payload: dict) -> dict:
+        """POST any wire-format request to its route (``/<type>``).
+
+        The location-transparency primitive behind
+        :class:`repro.api.Session`: a request built once (e.g. by
+        ``StudySpec.to_payload()``) runs unchanged against any server.
+        """
+        kind = payload.get("type")
+        if not isinstance(kind, str) or not kind:
+            raise ServiceError("request payload needs a \"type\" field")
+        return self._post(f"/{kind}", dict(payload))
+
+    def stream_payload(self, payload: dict):
+        """POST a ``"stream": true`` batch/sweep request; yield its points.
+
+        A generator over the NDJSON entries (``{"index", "label",
+        "cache", "report"}``), raising :class:`ServiceError` on an
+        in-band error line or a stream that ends without its
+        ``{"done": ...}`` terminator (truncated response).
+        """
+        kind = payload.get("type")
+        if not isinstance(kind, str) or not kind:
+            raise ServiceError("request payload needs a \"type\" field")
+        payload = dict(payload)
+        payload.setdefault("schema", SCHEMA_VERSION)
+        payload["stream"] = True
+        response = self._open(
+            "POST", f"/{kind}", payload, accept="application/x-ndjson"
+        )
+        try:
+            header = json.loads(response.readline().decode("utf-8"))
+            if not header.get("ok", False):
+                raise _error_from_envelope(header)
+            expected = header.get("points", 0)
+            count = 0
+            for line in response:
+                entry = json.loads(line.decode("utf-8"))
+                if entry.get("done"):
+                    if count != expected:
+                        raise ServiceError(
+                            f"stream ended after {count} of {expected} points"
+                        )
+                    return
+                if entry.get("ok") is False:
+                    raise _error_from_envelope(entry)
+                count += 1
+                yield entry
+            raise ServiceError(
+                f"stream closed without completion marker "
+                f"({count}/{expected} points)"
+            )
+        finally:
+            response.close()
+
+    def stream_batch(self, points: "list[dict]"):
+        """Stream a batch point-by-point as the server finishes each."""
+        return self.stream_payload({"type": "batch", "points": points})
+
+    def stream_sweep(
+        self,
+        design,
+        integrations: "list[str] | None" = None,
+        fab_locations: "list | None" = None,
+        workload="av",
+        backend: "str | None" = None,
+    ):
+        """Stream an expanded sweep grid point-by-point."""
+        payload: dict = {
+            "type": "sweep",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+        }
+        if integrations is not None:
+            payload["integrations"] = integrations
+        if fab_locations is not None:
+            payload["fab_locations"] = fab_locations
+        if backend is not None:
+            payload["backend"] = backend
+        return self.stream_payload(payload)

@@ -43,6 +43,7 @@ from .schema import (
     EvaluateRequest,
     MonteCarloRequest,
     SweepRequest,
+    TornadoRequest,
     workload_to_value,
 )
 from .store import ResultStore, content_key
@@ -268,7 +269,11 @@ class Dispatcher:
         return self._batch_points(request.points)
 
     def _batch_points(self, points) -> "list[dict]":
-        """The batch body (store pass + dedup + one engine call), unmetered."""
+        """The batch body (store pass + dedup + one engine call), unmetered.
+
+        Keep semantics in lockstep with the streaming twin
+        :meth:`_iter_points` (see its comment; parity is test-pinned).
+        """
         keys = [self._point_key(point) for point in points]
 
         # Store pass + in-batch dedup: first occurrence of each missing
@@ -324,8 +329,69 @@ class Dispatcher:
             for key, point in zip(keys, points)
         ]
 
+    def stream_batch(
+        self, request: BatchRequest
+    ) -> "tuple[int, 'Iterator[dict]']":
+        """Streaming batch: (point count, per-point entry iterator).
+
+        Entries come back in input order, each yielded *as it finishes* —
+        a store hit immediately, a computed point right after its engine
+        call lands (and feeds the store, so a restarted server replays
+        the stream from disk). Dedup semantics match :meth:`batch`: a
+        repeated point reuses the first occurrence's result and cache
+        tag, so a streamed run and an enveloped run of the same request
+        produce identical entries.
+        """
+        self.stats.requests += 1
+        self.stats.points += len(request.points)
+        return len(request.points), self._iter_points(request.points)
+
+    def _iter_points(self, points) -> "Iterator[dict]":
+        # The incremental twin of _batch_points: same store pass, same
+        # in-request dedup (repeats reuse the first occurrence's result
+        # AND tag), same stats — but points evaluate one at a time so
+        # each can be yielded as it finishes, where _batch_points sends
+        # all misses through one (possibly worker-parallel)
+        # evaluate_many. Any change to dedup/tagging semantics must land
+        # in BOTH; the streamed-vs-enveloped parity tests pin them equal.
+        results: "dict[str, dict]" = {}
+        sources: "dict[str, str]" = {}
+        for index, point in enumerate(points):
+            key = self._point_key(point)
+            if key in results:
+                self.stats.deduplicated += 1
+            else:
+                cached = self._store_get(key)
+                if cached is not None:
+                    results[key] = cached
+                    sources[key] = SOURCE_STORE
+                else:
+                    result = self._point_report_dict(point)
+                    self._store_put(key, result)
+                    results[key] = result
+                    sources[key] = SOURCE_COMPUTED
+                    self.stats.computed += 1
+            yield {
+                "index": index,
+                "label": point.label,
+                "cache": sources[key],
+                "report": results[key],
+            }
+
+    def stream_sweep(
+        self, request: SweepRequest
+    ) -> "tuple[int, 'Iterator[dict]']":
+        """Streaming sweep: the expanded grid, streamed point by point."""
+        points = self._sweep_points(request)
+        self.stats.requests += 1
+        self.stats.points += len(points)
+        return len(points), self._iter_points(points)
+
     def sweep(self, request: SweepRequest) -> "list[dict]":
         """Expand the grid server-side and run it as a batch."""
+        return self.batch(BatchRequest(points=tuple(self._sweep_points(request))))
+
+    def _sweep_points(self, request: SweepRequest) -> "list[EvaluateRequest]":
         points = []
         for name in request.integrations:
             spec = self.params.integration_spec(name)
@@ -346,7 +412,7 @@ class Dispatcher:
                         backend=request.backend,
                     )
                 )
-        return self.batch(BatchRequest(points=tuple(points)))
+        return points
 
     def montecarlo(self, request: MonteCarloRequest) -> "tuple[dict, str]":
         """Monte-Carlo summary → (summary dict, cache tag)."""
@@ -399,6 +465,66 @@ class Dispatcher:
                 # payload serves the same bits a fresh run would.
                 payload["samples_kg"] = list(result.samples_kg)
             return payload
+
+        return self._compute_through(key, compute)
+
+    def tornado(self, request: TornadoRequest) -> "tuple[dict, str]":
+        """One-at-a-time sensitivity study → (payload, cache tag).
+
+        Swings every factor of the chosen backend's *own* declarative
+        factor set to its low/high extreme through the shared engine.
+        The store key embeds the factor-set fingerprint (a changed range
+        or distribution must never serve a stale swing table).
+        """
+        self.stats.requests += 1
+        fab_location = (
+            request.fab_location
+            if request.fab_location is not None
+            else self.fab_location
+        )
+        factor_set = resolve_backend(request.backend).factor_set(
+            request.design, self.params
+        )
+        self.stats.points += 2 * len(factor_set) + 1
+        key = content_key((
+            "tornado",
+            evaluate_fingerprint(
+                request.design, self.params, fab_location,
+                request.workload, request.backend,
+            ),
+            factor_set.fingerprint(),
+        ))
+
+        def compute() -> dict:
+            # Deferred: sensitivity pulls in the uncertainty layer, which
+            # evaluate-only deployments never need.
+            from ..analysis.sensitivity import tornado
+
+            results = tornado(
+                request.design,
+                workload=request.workload,
+                params=self.params,
+                fab_location=fab_location,
+                evaluator=self.evaluator,
+                backend=request.backend,
+            )
+            return {
+                "design": request.design.name,
+                "backend": request.backend,
+                "workload": workload_to_value(request.workload),
+                "base_kg": results[0].base_kg if results else None,
+                "factors": [
+                    {
+                        "factor": entry.factor,
+                        "low_multiplier": entry.low_multiplier,
+                        "high_multiplier": entry.high_multiplier,
+                        "low_kg": entry.low_kg,
+                        "high_kg": entry.high_kg,
+                        "swing_kg": entry.swing_kg,
+                    }
+                    for entry in results
+                ],
+            }
 
         return self._compute_through(key, compute)
 

@@ -22,7 +22,15 @@ Request kinds:
 * ``compare`` — one design across all (or listed) backends in a single
   server-side engine call; with ``"draws" > 0`` each backend's entry
   carries a Monte-Carlo uncertainty band drawn from that backend's own
-  factor set.
+  factor set;
+* ``tornado`` — the one-at-a-time sensitivity study: every factor of the
+  chosen backend's own set swung to its low/high extreme, results sorted
+  by swing.
+
+``batch`` and ``sweep`` additionally accept ``"stream": true`` — the
+server then answers newline-delimited JSON (one header line, one line
+per point *as it finishes*, one terminator line) instead of a single
+enveloped array; see :mod:`repro.service.server`.
 
 Every request kind accepts an optional ``"backend"`` — a registered
 :mod:`repro.pipeline` backend id (``repro3d`` by default, or one of the
@@ -56,7 +64,9 @@ SCHEMA_VERSION = 1
 MAX_BATCH_POINTS = 10_000
 MAX_MC_SAMPLES = 100_000
 
-REQUEST_TYPES = ("evaluate", "batch", "sweep", "montecarlo", "compare")
+REQUEST_TYPES = (
+    "evaluate", "batch", "sweep", "montecarlo", "compare", "tornado",
+)
 
 
 class SchemaError(CarbonModelError):
@@ -65,6 +75,14 @@ class SchemaError(CarbonModelError):
     def __init__(self, message: str, field: "str | None" = None) -> None:
         super().__init__(message)
         self.field = field
+
+
+class AuthError(CarbonModelError):
+    """The request lacks (or mismatches) the service's shared-secret token.
+
+    Served as a typed 401 payload; the client surfaces it as a
+    :class:`~repro.service.client.ServiceError` with ``status == 401``.
+    """
 
 
 def error_payload(error: Exception) -> dict:
@@ -276,6 +294,9 @@ class EvaluateRequest:
 @dataclass(frozen=True)
 class BatchRequest:
     points: tuple[EvaluateRequest, ...]
+    #: ``True`` asks the server for a newline-delimited point stream
+    #: (entries written as they finish) instead of one enveloped array.
+    stream: bool = False
 
 
 @dataclass(frozen=True)
@@ -287,6 +308,7 @@ class SweepRequest:
     fab_locations: tuple
     workload: "Workload | None"
     backend: str = DEFAULT_BACKEND
+    stream: bool = False
 
 
 @dataclass(frozen=True)
@@ -298,6 +320,16 @@ class MonteCarloRequest:
     seed: int
     backend: str = DEFAULT_BACKEND
     return_samples: bool = False
+
+
+@dataclass(frozen=True)
+class TornadoRequest:
+    """A one-at-a-time sensitivity study over the backend's own factors."""
+
+    design: ChipDesign
+    workload: "Workload | None"
+    fab_location: "str | float | None"
+    backend: str = DEFAULT_BACKEND
 
 
 @dataclass(frozen=True)
@@ -359,7 +391,7 @@ def parse_evaluate_request(data) -> EvaluateRequest:
 def parse_batch_request(data) -> BatchRequest:
     data = _require_mapping(data, "request")
     _check_envelope(data, "batch")
-    _reject_unknown(data, ("schema", "type", "points"), "request")
+    _reject_unknown(data, ("schema", "type", "points", "stream"), "request")
     points = data.get("points")
     if not isinstance(points, list) or not points:
         raise SchemaError(
@@ -382,7 +414,10 @@ def parse_batch_request(data) -> BatchRequest:
             where,
         )
         parsed.append(_parse_point(dict(point), where))
-    return BatchRequest(points=tuple(parsed))
+    return BatchRequest(
+        points=tuple(parsed),
+        stream=_boolean(data.get("stream", False), "stream"),
+    )
 
 
 def parse_sweep_request(data) -> SweepRequest:
@@ -391,7 +426,7 @@ def parse_sweep_request(data) -> SweepRequest:
     _reject_unknown(
         data,
         ("schema", "type", "design", "integrations", "fab_locations",
-         "workload", "backend"),
+         "workload", "backend", "stream"),
         "request",
     )
     if "design" not in data:
@@ -431,6 +466,7 @@ def parse_sweep_request(data) -> SweepRequest:
         fab_locations=tuple(fab_locations),
         workload=workload_from_value(data.get("workload", "av")),
         backend=backend_from_value(data.get("backend")),
+        stream=_boolean(data.get("stream", False), "stream"),
     )
 
 
@@ -465,6 +501,27 @@ def parse_montecarlo_request(data) -> MonteCarloRequest:
         return_samples=_boolean(
             data.get("return_samples", False), "return_samples"
         ),
+    )
+
+
+def parse_tornado_request(data) -> TornadoRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "tornado")
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "workload", "fab_location", "backend"),
+        "request",
+    )
+    if "design" not in data:
+        raise SchemaError("tornado request missing \"design\"", field="design")
+    fab_location = data.get("fab_location")
+    if fab_location is not None:
+        fab_location = _location(fab_location, "fab_location")
+    return TornadoRequest(
+        design=_parse_design(data["design"], "design"),
+        workload=workload_from_value(data.get("workload", "av")),
+        fab_location=fab_location,
+        backend=backend_from_value(data.get("backend")),
     )
 
 
@@ -515,6 +572,7 @@ _PARSERS = {
     "sweep": parse_sweep_request,
     "montecarlo": parse_montecarlo_request,
     "compare": parse_compare_request,
+    "tornado": parse_tornado_request,
 }
 
 

@@ -10,6 +10,8 @@ handler routes:
   the chosen backend's own factor set;
 * ``POST /compare``    — one design across all (or listed) backends in
   one engine batch, optionally with per-backend uncertainty bands;
+* ``POST /tornado``    — the one-at-a-time sensitivity study over the
+  backend's own factor set;
 * ``GET  /healthz``    — liveness + config echo;
 * ``GET  /stats``      — dispatcher / engine / store counters.
 
@@ -18,10 +20,25 @@ Validation errors answer 400 with the typed error envelope of
 failures answer 500 (the error type still in the payload). Worker
 threads share one :class:`~repro.service.dispatcher.Dispatcher`, whose
 store/in-flight coalescing makes concurrent identical requests cheap.
+
+**Streaming.** ``/batch`` and ``/sweep`` requests carrying
+``"stream": true`` answer ``application/x-ndjson``: one header line
+(``{"schema": 1, "ok": true, "stream": <kind>, "points": N}``), then one
+line per point **as it finishes** — store hits immediately, computed
+points right after their engine call lands (each feeding the store) —
+and a ``{"done": true, "points": N}`` terminator. Entries keep input
+order and carry an explicit ``index``. A mid-stream failure emits one
+final ``{"ok": false, "error": {...}}`` line (the status line already
+went out as 200, so the error rides in-band).
+
+**Auth.** With ``token=...`` (``carbon3d serve --token``) every route
+except ``GET /healthz`` requires a matching ``X-Carbon3D-Token`` header;
+mismatches answer 401 with a typed ``AuthError`` payload.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import sys
 import time
@@ -67,6 +84,45 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def _send_error(self, status: int, error: Exception) -> None:
         self._send_json(status, schema.error_envelope(error))
 
+    def _authorized(self) -> bool:
+        """Shared-secret check; ``GET /healthz`` stays open for probes."""
+        token = self.server.token
+        if token is None or self.path == "/healthz":
+            return True
+        provided = self.headers.get("X-Carbon3D-Token")
+        return provided is not None and hmac.compare_digest(provided, token)
+
+    def _send_stream(self, kind: str, total: int, entries) -> None:
+        """Write an NDJSON point stream (see the module docstring)."""
+        # The response has no Content-Length — the body ends when the
+        # connection closes, so keep-alive reuse is off the table.
+        self.close_connection = True
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        def write_line(payload: dict) -> None:
+            self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+        write_line({
+            "schema": schema.SCHEMA_VERSION,
+            "ok": True,
+            "stream": kind,
+            "points": total,
+        })
+        try:
+            for entry in entries:
+                write_line(entry)
+        except Exception as error:
+            # Too late for a non-200 status; the error rides in-band as
+            # the stream's final line.
+            self.server.dispatcher.stats.errors += 1
+            write_line(schema.error_envelope(error))
+            return
+        write_line({"done": True, "points": total})
+
     def _read_json_body(self) -> dict:
         # Until the body is fully read off the socket, answering on a
         # keep-alive connection would leave the unread bytes to be parsed
@@ -98,7 +154,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         try:
-            if self.path == "/healthz":
+            if not self._authorized():
+                self._send_error(
+                    401, schema.AuthError("missing or invalid service token")
+                )
+            elif self.path == "/healthz":
                 self._send_json(200, self.server.health_payload())
             elif self.path == "/stats":
                 self._send_json(
@@ -116,6 +176,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         dispatcher = self.server.dispatcher
         try:
+            if not self._authorized():
+                # The body stays unread, so the connection cannot be
+                # reused — close it rather than parse attacker bytes.
+                self.close_connection = True
+                self._send_error(
+                    401, schema.AuthError("missing or invalid service token")
+                )
+                return
             body = self._read_json_body()
             if self.path == "/evaluate":
                 request = schema.parse_evaluate_request(body)
@@ -125,14 +193,22 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/batch":
                 request = schema.parse_batch_request(body)
-                self._send_json(
-                    200, schema.ok_envelope(dispatcher.batch(request))
-                )
+                if request.stream:
+                    total, entries = dispatcher.stream_batch(request)
+                    self._send_stream("batch", total, entries)
+                else:
+                    self._send_json(
+                        200, schema.ok_envelope(dispatcher.batch(request))
+                    )
             elif self.path == "/sweep":
                 request = schema.parse_sweep_request(body)
-                self._send_json(
-                    200, schema.ok_envelope(dispatcher.sweep(request))
-                )
+                if request.stream:
+                    total, entries = dispatcher.stream_sweep(request)
+                    self._send_stream("sweep", total, entries)
+                else:
+                    self._send_json(
+                        200, schema.ok_envelope(dispatcher.sweep(request))
+                    )
             elif self.path == "/montecarlo":
                 request = schema.parse_montecarlo_request(body)
                 result, source = dispatcher.montecarlo(request)
@@ -143,6 +219,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 request = schema.parse_compare_request(body)
                 self._send_json(
                     200, schema.ok_envelope(dispatcher.compare(request))
+                )
+            elif self.path == "/tornado":
+                request = schema.parse_tornado_request(body)
+                result, source = dispatcher.tornado(request)
+                self._send_json(
+                    200, schema.ok_envelope(result, cache=source)
                 )
             else:
                 self._send_error(
@@ -170,11 +252,15 @@ class CarbonService(ThreadingHTTPServer):
         store: "ResultStore | None" = None,
         max_entries: int = 100_000,
         verbose: bool = False,
+        token: "str | None" = None,
     ) -> None:
         super().__init__(address, ServiceHandler)
         if store is None and store_path is not None:
             store = ResultStore(store_path, max_entries=max_entries)
         self.store = store
+        #: Optional shared secret; when set, requests (except
+        #: ``GET /healthz``) must carry it as ``X-Carbon3D-Token``.
+        self.token = token
         self.dispatcher = Dispatcher(
             params=params, fab_location=fab_location, store=store
         )
@@ -197,9 +283,10 @@ class CarbonService(ThreadingHTTPServer):
             "fab_location": self.dispatcher.fab_location,
             "store": None if self.store is None else self.store.path,
             "backends": list(backend_names()),
+            "auth": self.token is not None,
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
-                "/healthz", "/stats",
+                "/tornado", "/healthz", "/stats",
             ],
         })
 

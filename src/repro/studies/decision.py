@@ -63,29 +63,31 @@ def table5_study(
     params: ParameterSet | None = None,
     fab_location: "str | float" = "taiwan",
     evaluator=None,
+    session=None,
 ) -> Table5Result:
     """Reproduce Table 5 (defaults: ORIN, AV workload, 10-year lifetime).
 
-    Evaluation routes through a :class:`repro.engine.BatchEvaluator`
-    (pass ``evaluator=`` to share caches — e.g. with the Fig. 5 grid,
+    Evaluation routes through the :class:`repro.api.Session` front door
+    (pass ``session=`` to share one engine — e.g. with the Fig. 5 grid,
     which evaluates the same ORIN splits); results are bit-identical to
     the per-design ``CarbonModel`` path (equivalence-tested).
+    ``evaluator=`` survives as a thin shim wrapped into a local session.
     """
-    from .sweep import _evaluator_for
+    from ..api import local_session_for
 
     params = params if params is not None else DEFAULT_PARAMETERS
     workload = (
         workload if workload is not None else Workload.autonomous_vehicle()
     )
-    evaluator = _evaluator_for(evaluator, params, fab_location)
-    baseline = evaluator.report(
+    session = local_session_for(evaluator, params, fab_location, session)
+    baseline = session.report(
         drive_design(device, "2D"), workload=workload, params=params,
         fab_location=fab_location,
     )
     rows = []
     for option in TABLE5_OPTIONS:
         design = drive_design(device, option, approach="homogeneous")
-        report = evaluator.report(
+        report = session.report(
             design, workload=workload, params=params,
             fab_location=fab_location,
         )

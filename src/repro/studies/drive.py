@@ -180,23 +180,25 @@ def drive_study(
     fab_location: "str | float" = "taiwan",
     devices: "list[str] | None" = None,
     evaluator=None,
+    session=None,
 ) -> DriveStudyResult:
     """Evaluate the full Fig. 5 grid for one division approach.
 
-    Evaluation routes through a :class:`repro.engine.BatchEvaluator`
-    (pass ``evaluator=`` to share caches with other studies): the grid
+    Evaluation routes through the :class:`repro.api.Session` front door
+    (pass ``session=`` to share one engine across studies): the grid
     re-prices each device's split designs across nine integration
-    options, so the shared resolve/operational memos do most of the work
-    once. Results are bit-identical to the per-design ``CarbonModel``
-    path (equivalence-tested).
+    options, so the session's shared resolve/operational memos do most
+    of the work once. Results are bit-identical to the per-design
+    ``CarbonModel`` path (equivalence-tested). ``evaluator=`` survives
+    as a thin shim — it is wrapped into a local session.
     """
-    from .sweep import _evaluator_for
+    from ..api import local_session_for
 
     params = params if params is not None else DEFAULT_PARAMETERS
     workload = (
         workload if workload is not None else Workload.autonomous_vehicle()
     )
-    evaluator = _evaluator_for(evaluator, params, fab_location)
+    session = local_session_for(evaluator, params, fab_location, session)
     device_list = (
         [_lookup_device(name) for name in devices]
         if devices is not None
@@ -206,7 +208,7 @@ def drive_study(
     for device in device_list:
         for label, _, _ in FIG5_OPTIONS:
             design = drive_design(device, label, approach)
-            report = evaluator.report(
+            report = session.report(
                 design, workload=workload, params=params,
                 fab_location=fab_location,
             )

@@ -202,27 +202,31 @@ def compare_backends(
     evaluator=None,
     draws: int = 0,
     seed: int = 20240623,
+    session=None,
 ) -> BackendComparison:
     """Evaluate ``design`` under every (or selected) carbon backend.
 
-    One batched :meth:`~repro.engine.BatchEvaluator.evaluate_many` call:
-    the shared resolve stage runs once and each backend's own stages are
-    memoized per fingerprint, so adding a model to the comparison costs
-    only that model's pricing math. Results are bit-identical to each
-    backend's direct API (parity-tested).
+    Routed through the :class:`repro.api.Session` front door (pass
+    ``session=`` to share one engine across studies; the legacy
+    ``evaluator=`` is a thin shim wrapped into a local session). One
+    batched ``evaluate_many`` call: the shared resolve stage runs once
+    and each backend's own stages are memoized per fingerprint, so
+    adding a model to the comparison costs only that model's pricing
+    math. Results are bit-identical to each backend's direct API
+    (parity-tested).
 
     ``draws > 0`` additionally attaches a Monte-Carlo uncertainty band
     per backend, drawn from *that backend's own* factor set (Table 2 for
     3D-Carbon, the ACT intensity table, the GaBi CPA spread, ...) — the
     honest cross-model comparison the paper's Sec. 4 calls for. All
-    bands share the one evaluator, so the design's resolution and every
+    bands share the one engine, so the design's resolution and every
     stage a draw cannot touch are computed once across the whole study.
     """
-    from ..engine import BatchEvaluator, EvalPoint
+    from ..api import local_session_for
+    from ..engine import EvalPoint
 
     params = params if params is not None else DEFAULT_PARAMETERS
-    if evaluator is None:
-        evaluator = BatchEvaluator(params=params, fab_location=fab_location)
+    session = local_session_for(evaluator, params, fab_location, session)
     if backends is None:
         backends = list(backend_names())
     else:
@@ -239,7 +243,7 @@ def compare_backends(
         )
         for name in backends
     ]
-    reports = evaluator.evaluate_many(points)
+    reports = session.native_reports(points)
     bands = None
     if draws:
         from ..analysis.uncertainty import monte_carlo
@@ -252,7 +256,7 @@ def compare_backends(
                 fab_location=fab_location,
                 samples=draws,
                 seed=seed,
-                evaluator=evaluator,
+                evaluator=session.evaluator,
                 backend=name,
             )
             for name in backends

@@ -285,3 +285,82 @@ class TestCompareCommand:
             ["compare", str(design_json), "--service", "http://127.0.0.1:9"]
         ) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestListingCommands:
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("repro3d", "act", "act_plus", "lca", "first_order"):
+            assert name in out
+        assert "digest" in out
+
+    def test_backends_json_carries_factor_digests(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        rows = {row["name"]: row for row in data["backends"]}
+        assert rows["repro3d"]["operational"] is True
+        assert rows["act"]["operational"] is False
+        # Digests are full SHA-256 hex and shared exactly where the
+        # factor sets are shared (ACT+ reuses ACT's set).
+        assert len(rows["lca"]["factor_set_digest"]) == 64
+        assert rows["act"]["factor_set_digest"] == \
+            rows["act_plus"]["factor_set_digest"]
+        assert rows["act"]["factor_set_digest"] != \
+            rows["repro3d"]["factor_set_digest"]
+        assert rows["repro3d"]["stages"][0] == "resolve"
+
+    def test_studies_table_and_json(self, capsys):
+        assert main(["studies"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("evaluate", "batch", "sweep", "monte_carlo",
+                     "compare", "tornado"):
+            assert kind in out
+        assert main(["studies", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        kinds = {entry["kind"]: entry for entry in data["studies"]}
+        assert kinds["monte_carlo"]["type"] == "montecarlo"
+        assert kinds["sweep"]["route"] == "/sweep"
+        assert data["schema"] == 1
+
+
+class TestTokenFlow:
+    def test_submit_with_token_round_trip(self, design_json, capsys):
+        import threading
+
+        from repro.service.server import make_server
+
+        server = make_server(token="cli-secret")
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            # Wrong token: typed error, exit 1.
+            assert main(
+                ["submit", str(design_json), "--url", server.url,
+                 "--token", "wrong"]
+            ) == 1
+            assert "AuthError" in capsys.readouterr().err
+            # Right token: the full report comes back.
+            assert main(
+                ["submit", str(design_json), "--url", server.url,
+                 "--token", "cli-secret"]
+            ) == 0
+            assert "total" in capsys.readouterr().out
+            # compare --service threads the token through the facade.
+            assert main(
+                ["compare", str(design_json), "--service", server.url,
+                 "--token", "cli-secret", "--backends", "repro3d", "--json"]
+            ) == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["backends"][0]["backend"] == "repro3d"
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_serve_parser_accepts_token(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--token", "s3", "--no-store"]
+        )
+        assert args.token == "s3"

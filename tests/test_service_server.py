@@ -494,3 +494,94 @@ class TestCompareRoute:
         _, client = service
         with pytest.raises(ServiceError, match="draws"):
             client.compare(design_payload(), draws=1)
+
+
+def reference_payload() -> dict:
+    """A single-die 2D reference (sweeps need one to split)."""
+    return {
+        "name": "stream_soc",
+        "integration": "2d",
+        "package": {"class": "fcbga"},
+        "throughput_tops": 254.0,
+        "dies": [{"name": "die", "node": "7nm", "gate_count": 17e9,
+                  "workload_share": 1.0}],
+    }
+
+
+class TestStreaming:
+    def test_stream_sweep_order_and_store_parity(self, service):
+        _, client = service
+        entries = list(client.stream_sweep(
+            reference_payload(), integrations=["2d", "hybrid_3d", "mcm"],
+            workload="none",
+        ))
+        assert [entry["index"] for entry in entries] == [0, 1, 2]
+        assert [entry["cache"] for entry in entries] == ["computed"] * 3
+        # The enveloped route now serves the very same reports from the
+        # store the stream fed as each point finished.
+        enveloped = client.sweep(
+            reference_payload(), integrations=["2d", "hybrid_3d", "mcm"],
+            workload="none",
+        )["result"]
+        assert [row["cache"] for row in enveloped] == ["store"] * 3
+        assert [row["report"] for row in enveloped] == \
+            [entry["report"] for entry in entries]
+
+    def test_stream_batch_dedups_like_enveloped(self, service):
+        _, client = service
+        points = [{"design": design_payload()},
+                  {"design": design_payload()}]
+        entries = list(client.stream_batch(points))
+        assert [entry["cache"] for entry in entries] == \
+            ["computed", "computed"]
+        assert entries[0]["report"] == entries[1]["report"]
+
+    def test_stream_flag_false_keeps_envelope(self, service):
+        _, client = service
+        envelope = client.submit_payload({
+            "type": "batch", "stream": False,
+            "points": [{"design": design_payload()}],
+        })
+        assert envelope["ok"] is True
+        assert isinstance(envelope["result"], list)
+
+    def test_stream_invalid_request_is_typed_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.stream_payload({
+                "type": "batch", "stream": "yes", "points": [],
+            }))
+        assert excinfo.value.status == 400
+
+
+class TestTornadoRoute:
+    def test_tornado_sorted_and_stored(self, service):
+        _, client = service
+        first = client.tornado(design_payload(), workload="none")
+        swings = [abs(f["swing_kg"]) for f in first["result"]["factors"]]
+        assert swings == sorted(swings, reverse=True)
+        assert first["cache"] == "computed"
+        again = client.tornado(design_payload(), workload="none")
+        assert again["cache"] == "store"
+        assert again["result"] == first["result"]
+
+    def test_tornado_backend_factor_sets_differ(self, service):
+        _, client = service
+        ours = client.tornado(design_payload(), workload="none")["result"]
+        act = client.tornado(
+            design_payload(), workload="none", backend="act"
+        )["result"]
+        assert act["backend"] == "act"
+        assert {f["factor"] for f in act["factors"]} != \
+            {f["factor"] for f in ours["factors"]}
+
+    def test_tornado_matches_in_process_study(self, service):
+        _, client = service
+        from repro.analysis.sensitivity import tornado
+
+        served = client.tornado(design_payload(), workload="none")["result"]
+        local = tornado(design_from_dict(design_payload()), workload=None)
+        assert [f["factor"] for f in served["factors"]] == \
+            [r.factor for r in local]
+        assert served["factors"][0]["swing_kg"] == \
+            pytest.approx(local[0].swing_kg)
