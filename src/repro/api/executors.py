@@ -47,32 +47,52 @@ class LocalExecutor:
     def __init__(self, dispatcher: Dispatcher) -> None:
         self.dispatcher = dispatcher
 
-    def run(self, payload: dict) -> "tuple[object, str | None]":
-        """(JSON-ready result, cache tag or None) for any study payload."""
+    def run(
+        self, payload: dict, deadline=None
+    ) -> "tuple[object, str | None]":
+        """(JSON-ready result, cache tag or None) for any study payload.
+
+        ``deadline`` is an optional :class:`~repro.resilience.Deadline`
+        threaded through the dispatcher — the in-process twin of the
+        service's ``X-Carbon3D-Deadline-Ms`` header.
+        """
         request = schema.parse_request(payload)
         kind = payload["type"]
         if kind == "evaluate":
-            result, source = self.dispatcher.evaluate(request)
+            result, source = self.dispatcher.evaluate(
+                request, deadline=deadline
+            )
         elif kind == "batch":
-            result, source = self.dispatcher.batch(request), None
+            result = self.dispatcher.batch(request, deadline=deadline)
+            source = None
         elif kind == "sweep":
-            result, source = self.dispatcher.sweep(request), None
+            result = self.dispatcher.sweep(request, deadline=deadline)
+            source = None
         elif kind == "montecarlo":
-            result, source = self.dispatcher.montecarlo(request)
+            result, source = self.dispatcher.montecarlo(
+                request, deadline=deadline
+            )
         elif kind == "compare":
-            result, source = self.dispatcher.compare(request), None
+            result = self.dispatcher.compare(request, deadline=deadline)
+            source = None
         else:  # tornado — parse_request rejects anything else upstream
-            result, source = self.dispatcher.tornado(request)
+            result, source = self.dispatcher.tornado(
+                request, deadline=deadline
+            )
         return _jsonify(result), source
 
-    def stream(self, payload: dict):
+    def stream(self, payload: dict, deadline=None):
         """Per-point entry iterator for a batch/sweep payload."""
         request = schema.parse_request(payload)
         kind = payload["type"]
         if kind == "batch":
-            _, entries = self.dispatcher.stream_batch(request)
+            _, entries = self.dispatcher.stream_batch(
+                request, deadline=deadline
+            )
         elif kind == "sweep":
-            _, entries = self.dispatcher.stream_sweep(request)
+            _, entries = self.dispatcher.stream_sweep(
+                request, deadline=deadline
+            )
         else:
             raise ParameterError(
                 f"only batch/sweep studies stream, got {kind!r}"
@@ -92,11 +112,25 @@ class ServiceExecutor:
     def __init__(self, client: ServiceClient) -> None:
         self.client = client
 
-    def run(self, payload: dict) -> "tuple[object, str | None]":
+    def _check_deadline(self, deadline) -> None:
+        if deadline is not None:
+            # Remote deadlines ride the wire as a header; configure the
+            # client (Session(deadline_ms=...)) instead of passing a
+            # live Deadline whose clock the server cannot share.
+            raise ParameterError(
+                "a service executor takes deadlines via the client's "
+                "deadline_ms, not a Deadline object"
+            )
+
+    def run(
+        self, payload: dict, deadline=None
+    ) -> "tuple[object, str | None]":
+        self._check_deadline(deadline)
         envelope = self.client.submit_payload(payload)
         return envelope["result"], envelope.get("cache")
 
-    def stream(self, payload: dict):
+    def stream(self, payload: dict, deadline=None):
+        self._check_deadline(deadline)
         kind = payload.get("type")
         if kind not in ("batch", "sweep"):
             raise ParameterError(

@@ -82,6 +82,23 @@ class StudyHandle:
                 ) from self._error
             return self._result
 
+    def exception(self, timeout: "float | None" = None):
+        """Block until the study finishes; return its failure, or None.
+
+        The inspection twin of :meth:`result`: the *original* typed
+        error (e.g. :class:`~repro.errors.EvaluationTimeout`) rather
+        than the :class:`StudyError` wrapper — so callers can branch on
+        failure type without a try/except. Raises ``TimeoutError`` if
+        ``timeout`` elapses first.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._finished, timeout):
+                raise TimeoutError(
+                    f"study {self.spec.kind!r} still running after "
+                    f"{timeout}s"
+                )
+            return self._error
+
     def partial(self):
         """Yield results as they finish (every call sees the full stream).
 

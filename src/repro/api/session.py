@@ -60,6 +60,16 @@ class Session:
 
     ``backend=`` sets a session-wide default carbon backend applied to
     any study that does not name its own.
+
+    ``deadline_ms=`` gives every study a cooperative deadline budget —
+    locally a :class:`~repro.resilience.Deadline` threaded through the
+    dispatcher, remotely the ``X-Carbon3D-Deadline-Ms`` header — with
+    overruns raising the typed
+    :class:`~repro.errors.EvaluationTimeout` (HTTP answers carry it as
+    a 504 payload). ``faults=`` activates a deterministic
+    :class:`~repro.resilience.FaultPlan` on a *local* session's engine,
+    dispatcher and store (service sessions inject server-side via
+    ``carbon3d serve --fault-plan``).
     """
 
     def __init__(
@@ -79,17 +89,27 @@ class Session:
         retries: int = 2,
         evaluator=None,
         client: "ServiceClient | None" = None,
+        faults=None,
+        deadline_ms: "float | None" = None,
     ) -> None:
         self.backend = backend
         self.executor_name = executor
         self._executor: "LocalExecutor | ServiceExecutor | None" = None
         self._executor_lock = threading.Lock()
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ParameterError(
+                f"deadline_ms must be > 0 milliseconds, got {deadline_ms}"
+            )
+        self.deadline_ms = deadline_ms
         if executor == "local":
             if client is not None or url is not None or token is not None:
                 raise ParameterError(
                     "url/token/client configure a service session; pass "
                     "executor=\"service\" to use them"
                 )
+            from ..resilience.faults import resolve_injector
+
+            self._faults = resolve_injector(faults)
             if evaluator is None:
                 from ..engine import BatchEvaluator
 
@@ -98,6 +118,7 @@ class Session:
                     fab_location=fab_location,
                     workers=workers,
                     worker_mode=worker_mode,
+                    faults=self._faults,
                 )
             elif params is None:
                 # A shared engine brings its own parameter set; the
@@ -114,6 +135,12 @@ class Session:
                     "evaluator/store_path configure a local session; pass "
                     "executor=\"local\" to use them"
                 )
+            if faults is not None:
+                raise ParameterError(
+                    "faults configure a local session's engine; inject "
+                    "server-side with carbon3d serve --fault-plan (or the "
+                    "CARBON3D_FAULT_PLAN environment variable)"
+                )
             if client is not None and (url is not None or token is not None):
                 raise ParameterError(
                     "pass either a ready client or url/token, not both — "
@@ -125,6 +152,7 @@ class Session:
                     timeout=timeout,
                     token=token,
                     retries=retries,
+                    deadline_ms=deadline_ms,
                 )
             self._executor = ServiceExecutor(client)
         else:
@@ -157,7 +185,9 @@ class Session:
                 if self._executor is None:
                     store = (
                         ResultStore(
-                            self._store_path, max_entries=self._max_entries
+                            self._store_path,
+                            max_entries=self._max_entries,
+                            faults=self._faults,
                         )
                         if self._store_path is not None
                         else None
@@ -167,8 +197,17 @@ class Session:
                         fab_location=self._fab_location,
                         store=store,
                         evaluator=self._evaluator,
+                        faults=self._faults,
                     ))
         return self._executor
+
+    def _deadline(self):
+        """A fresh per-study Deadline, or None (service: client header)."""
+        if self.deadline_ms is None or not self.is_local:
+            return None
+        from ..resilience.deadline import Deadline
+
+        return Deadline.after_ms(self.deadline_ms)
 
     @property
     def dispatcher(self) -> Dispatcher:
@@ -225,7 +264,7 @@ class Session:
         # streams. Leaving it set would have a service session receive
         # NDJSON it cannot parse as one JSON body.
         payload.pop("stream", None)
-        result, cache = self._exec().run(payload)
+        result, cache = self._exec().run(payload, deadline=self._deadline())
         if spec.kind in ("batch", "sweep"):
             return ResultSet.from_entries(spec.kind, result)
         return Result(kind=spec.kind, payload=result, cache=cache)
@@ -253,7 +292,10 @@ class Session:
         try:
             if spec.kind in ("batch", "sweep"):
                 entries = []
-                for entry in self._exec().stream(spec.to_payload()):
+                stream = self._exec().stream(
+                    spec.to_payload(), deadline=self._deadline()
+                )
+                for entry in stream:
                     entries.append(entry)
                     handle._push(Result(
                         kind="point",

@@ -273,8 +273,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .resilience import FaultPlan, install_plan
     from .service.server import make_server, serve_forever
 
+    faults = None
+    if args.fault_plan is not None:
+        # The CLI plan goes into the process-global injector so every
+        # layer (engine, store, dispatcher, server) sees the same rules
+        # — exactly what CARBON3D_FAULT_PLAN does for subprocess tests.
+        faults = install_plan(FaultPlan.coerce(args.fault_plan))
     store_path = None if args.no_store else args.store
     server = make_server(
         host=args.host,
@@ -284,15 +294,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.max_entries,
         verbose=args.verbose,
         token=args.token,
+        max_inflight=args.max_inflight,
+        drain_timeout_s=args.drain_timeout,
+        faults=faults,
     )
+
+    def _drain(signum, frame):  # pragma: no cover - exercised via subprocess
+        # shutdown() blocks until the serve loop exits and must not run
+        # on the serving (main) thread — hand it to a helper; the
+        # serve_forever() finally then drains in-flight work via close().
+        threading.Thread(
+            target=server.shutdown, name="carbon3d-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     store_text = store_path if store_path else "(in-memory only)"
-    print(f"carbon3d service listening on {server.url}")
-    print(f"  store   : {store_text}")
+    print(f"carbon3d service listening on {server.url}", flush=True)
+    print(f"  store   : {store_text}", flush=True)
     print(f"  auth    : "
-          f"{'X-Carbon3D-Token required' if args.token else 'open'}")
+          f"{'X-Carbon3D-Token required' if args.token else 'open'}",
+          flush=True)
+    if server.faults.active:
+        print(f"  faults  : {server.faults.describe()}", flush=True)
     print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
-          "/tornado /healthz /stats")
+          "/tornado /healthz /healthz/live /healthz/ready /stats",
+          flush=True)
     serve_forever(server)
+    print("carbon3d service drained; exiting", flush=True)
     return 0
 
 
@@ -574,6 +602,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--token", default=None,
         help="require this shared-secret X-Carbon3D-Token on every "
              "route except GET /healthz (401 otherwise)",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="admission bound: concurrent requests beyond this are shed "
+             "with 503 + Retry-After (default: 32)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight requests on SIGTERM/close "
+             "before giving up (default: 30)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan: inline JSON or a path "
+             "to a JSON file (see repro.resilience.FaultPlan); armed "
+             "process-wide, like the CARBON3D_FAULT_PLAN env var",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -32,6 +32,7 @@ only changes *whether* a stage runs, never what it computes.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -47,6 +48,8 @@ from ..core.operational import (
 )
 from ..core.report import LifecycleReport
 from ..core.resolve import ResolveCache, ResolvedDesign, resolve_design
+from ..errors import EvaluationTimeout, ParameterError
+from ..resilience.faults import resolve_injector
 from ..pipeline import fingerprint as fp
 from ..pipeline.backends import BackendReport, Repro3DBackend
 from ..pipeline.registry import resolve_backend
@@ -92,6 +95,7 @@ class EngineStats:
     backend_stage_hits: int = 0
     backend_stage_misses: int = 0
     points_evaluated: int = 0
+    worker_shards_recovered: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -174,6 +178,9 @@ class BatchEvaluator:
         chunk_size: int = 16,
         cache_limit: int = 4096,
         worker_mode: str | None = None,
+        faults=None,
+        point_timeout_s: "float | None" = None,
+        shard_deadline_s: "float | None" = None,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
@@ -183,6 +190,24 @@ class BatchEvaluator:
             workers, worker_mode
         )
         self.chunk_size = chunk_size
+        #: Fault-injection hook set (the process-global injector unless a
+        #: plan/injector is passed). ``faults.active`` is False outside
+        #: fault tests, so the per-stage hooks cost one attribute read.
+        self.faults = resolve_injector(faults)
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise ParameterError(
+                f"point_timeout_s must be > 0, got {point_timeout_s}"
+            )
+        if shard_deadline_s is not None and shard_deadline_s <= 0:
+            raise ParameterError(
+                f"shard_deadline_s must be > 0, got {shard_deadline_s}"
+            )
+        #: Per-point budget for :meth:`evaluate` (cooperative: checked at
+        #: point completion, raising the typed ``EvaluationTimeout``).
+        self.point_timeout_s = point_timeout_s
+        #: Per-shard read deadline for process workers; an overrunning
+        #: child is killed and its shard recovered in the parent.
+        self.shard_deadline_s = shard_deadline_s
         #: Per-cache entry bound, enforced as LRU eviction — the same
         #: :class:`repro.caching.EvictionPolicy` the persistent service
         #: store applies. Point streams whose keys never repeat (e.g.
@@ -262,6 +287,10 @@ class BatchEvaluator:
         spec = params.integration_spec(design.integration)
         return fp.resolve_key(design, params, self._static(design, spec)[0])
 
+    def _on_shard_lost(self, shard: int, reason: str) -> None:
+        """fork_map recovery hook: count reassigned shards in stats."""
+        self._stats.worker_shards_recovered += 1
+
     # -- single-stage access (all memoized) ----------------------------------
 
     def resolved(
@@ -280,6 +309,8 @@ class BatchEvaluator:
     ) -> ResolvedDesign:
         cached = self._caches.resolved.get(rkey)
         if cached is None:
+            if self.faults.active:
+                self.faults.hit("stage.resolve")
             cached = resolve_design(design, params, cache=self.resolve_cache)
             if not transient:
                 self._caches.resolved[rkey] = cached
@@ -312,6 +343,8 @@ class BatchEvaluator:
         ekey = fp.embodied_key(rkey, design, params, ci)
         cached = self._caches.embodied.get(ekey)
         if cached is None:
+            if self.faults.active:
+                self.faults.hit("stage.embodied")
             if resolved is None:
                 resolved = self._resolved(design, params, rkey, transient)
             cached = embodied_carbon(resolved, params, ci)
@@ -340,6 +373,8 @@ class BatchEvaluator:
         bkey = fp.bandwidth_key(rkey, params)
         cached = self._caches.bandwidth.get(bkey)
         if cached is None:
+            if self.faults.active:
+                self.faults.hit("stage.bandwidth")
             if resolved is None:
                 resolved = self._resolved(design, params, rkey, transient)
             cached = evaluate_bandwidth(resolved, params)
@@ -381,6 +416,8 @@ class BatchEvaluator:
         )
         cached = self._caches.operational.get(okey)
         if cached is None:
+            if self.faults.active:
+                self.faults.hit("stage.operational")
             if resolved is None:
                 resolved = self._resolved(design, params, rkey, transient)
             cached = operational_carbon(
@@ -592,22 +629,43 @@ class BatchEvaluator:
 
         Returns a :class:`LifecycleReport` for the classic path
         (``point.backend is None``) or a :class:`BackendReport` when the
-        point names a backend explicitly.
+        point names a backend explicitly. With ``point_timeout_s`` set,
+        a point whose evaluation overruns the budget raises the typed
+        :class:`~repro.errors.EvaluationTimeout` (cooperative: the check
+        runs at point completion — a point never *returns* long after
+        its budget without a typed error).
         """
+        budget = self.point_timeout_s
+        t0 = time.monotonic() if budget is not None else 0.0
+        if self.faults.active:
+            # Fires after t0 so injected delays count against the budget.
+            self.faults.hit("engine.point")
         if point.backend is None:
-            return self.report(
+            result = self.report(
                 point.design,
                 workload=point.workload,
                 params=point.params,
                 fab_location=point.fab_location,
             )
-        return self.backend_report(
-            point.design,
-            point.backend,
-            params=point.params,
-            fab_location=point.fab_location,
-            workload=point.workload,
-        )
+        else:
+            result = self.backend_report(
+                point.design,
+                point.backend,
+                params=point.params,
+                fab_location=point.fab_location,
+                workload=point.workload,
+            )
+        if budget is not None:
+            elapsed = time.monotonic() - t0
+            if elapsed > budget:
+                raise EvaluationTimeout(
+                    f"point {point.label or point.design.name!r} exceeded "
+                    f"its {budget:.3f}s evaluation budget "
+                    f"({elapsed:.3f}s elapsed)",
+                    budget_s=budget,
+                    elapsed_s=elapsed,
+                )
+        return result
 
     def evaluate_many(
         self,
@@ -649,7 +707,14 @@ class BatchEvaluator:
             return [self.evaluate(point) for point in chunk]
 
         if mode == "process":
-            chunk_results = fork_map(evaluate_chunk, chunks, count)
+            chunk_results = fork_map(
+                evaluate_chunk,
+                chunks,
+                count,
+                faults=self.faults,
+                shard_deadline_s=self.shard_deadline_s,
+                on_shard_lost=self._on_shard_lost,
+            )
         else:
             with ThreadPoolExecutor(max_workers=count) as pool:
                 chunk_results = list(pool.map(evaluate_chunk, chunks))

@@ -117,7 +117,14 @@ def monte_carlo_totals(
     if count <= 1 or len(chunks) <= 1:
         return [total for chunk in chunks for total in evaluate_rows(chunk)]
     if mode == "process":
-        chunk_results = fork_map(evaluate_rows, chunks, count)
+        chunk_results = fork_map(
+            evaluate_rows,
+            chunks,
+            count,
+            faults=evaluator.faults,
+            shard_deadline_s=evaluator.shard_deadline_s,
+            on_shard_lost=evaluator._on_shard_lost,
+        )
     else:
         from concurrent.futures import ThreadPoolExecutor
 

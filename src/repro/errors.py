@@ -48,6 +48,28 @@ class BackendError(CarbonModelError):
         self.known = tuple(known)
 
 
+class EvaluationTimeout(CarbonModelError):
+    """An evaluation exceeded its deadline budget.
+
+    Raised cooperatively — the engine and dispatcher check their budget
+    at point/stage boundaries, so a request that overruns its
+    ``X-Carbon3D-Deadline-Ms`` (or an evaluator's ``point_timeout_s``)
+    surfaces as this typed error rather than a hung caller. ``budget_s``
+    carries the allowance and ``elapsed_s`` how long the work actually
+    took when the overrun was detected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_s: "float | None" = None,
+        elapsed_s: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
 class InvalidDesignError(CarbonModelError):
     """The design fails a deployment constraint (e.g. I/O bandwidth)."""
 

@@ -1,0 +1,124 @@
+"""A circuit breaker for the service client's transport path.
+
+The classic three-state machine over consecutive failures:
+
+* **closed** — requests flow; each transport-level failure (or a 503
+  load-shed answer) increments a consecutive-failure count, any success
+  resets it;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker opens for ``cooldown_s`` (or the server's ``Retry-After``,
+  whichever is longer) and requests fail fast with
+  :class:`CircuitOpenError` — no socket is touched, so a struggling
+  server stops receiving retry pile-on from this client;
+* **half-open** — once the cool-down elapses, exactly one probe request
+  is allowed through; success closes the breaker, failure re-opens it
+  for another cool-down.
+
+The clock is injectable so tests drive state transitions
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import CarbonModelError
+
+
+class CircuitOpenError(CarbonModelError):
+    """The breaker is open; the request was not sent.
+
+    ``retry_after_s`` says how long until the next probe is allowed.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with Retry-After awareness."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._open_until = 0.0
+        #: Lifetime counters for /stats-style introspection.
+        self.opened = 0
+        self.rejected = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        if self._state == self.OPEN and self._clock() >= self._open_until:
+            return self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may proceed (claims the half-open probe)."""
+        with self._lock:
+            state = self._peek_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._state != self.HALF_OPEN:
+                # Claim the single probe (OPEN past its cool-down);
+                # once _state is HALF_OPEN a probe is already in flight
+                # and concurrent callers stay rejected until it reports.
+                self._state = self.HALF_OPEN
+                return True
+            self.rejected += 1
+            return False
+
+    def check(self) -> None:
+        """``allow()`` or raise :class:`CircuitOpenError`."""
+        if not self.allow():
+            with self._lock:
+                remaining = max(0.0, self._open_until - self._clock())
+            raise CircuitOpenError(
+                f"circuit breaker open after {self._failures} consecutive "
+                f"failures; retry in {remaining:.2f}s",
+                retry_after_s=remaining,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self, retry_after_s: "float | None" = None) -> None:
+        """Count a failure; open when the threshold (or a probe) trips.
+
+        ``retry_after_s`` — a server's explicit back-off request —
+        extends the cool-down when it is longer.
+        """
+        with self._lock:
+            was_half_open = self._state == self.HALF_OPEN
+            self._failures += 1
+            if was_half_open or self._failures >= self.failure_threshold:
+                hold = max(self.cooldown_s, retry_after_s or 0.0)
+                self._state = self.OPEN
+                self._open_until = self._clock() + hold
+                self.opened += 1

@@ -15,9 +15,21 @@ Transient transport failures are retried with bounded backoff:
 idempotent ``GET`` requests (``/healthz``, ``/stats``) retry on any
 ``URLError``, and ``POST`` requests retry only while the connection is
 *refused* — the server-warming-up case, where the request never left
-this process so a resend cannot double-evaluate. HTTP error *responses*
-(400/401/...) are never retried. ``token=...`` attaches the service's
-shared secret as the ``X-Carbon3D-Token`` header.
+this process so a resend cannot double-evaluate — or when the server
+*shed* the request with 503 (load shedding is an explicit "not
+processed, come back later", so a resend after the advertised
+``Retry-After`` cannot double-evaluate either). Other HTTP error
+*responses* (400/401/...) are never retried. ``token=...`` attaches the
+service's shared secret as the ``X-Carbon3D-Token`` header.
+
+A :class:`~repro.resilience.CircuitBreaker` sits over the retry loop:
+consecutive transport failures (or 503 sheds) open it, after which
+requests fail fast with
+:class:`~repro.resilience.breaker.CircuitOpenError` — no socket touched,
+no retry pile-on against a struggling server — until the cool-down
+(extended by any server ``Retry-After``) admits a probe.
+``deadline_ms=...`` attaches the ``X-Carbon3D-Deadline-Ms`` budget
+header to every request; overruns come back as typed 504 payloads.
 
 :meth:`stream_batch` / :meth:`stream_sweep` consume the server's NDJSON
 point streams (``"stream": true``), yielding each point entry as the
@@ -34,7 +46,8 @@ import urllib.request
 from ..core.design import ChipDesign
 from ..errors import CarbonModelError
 from ..io.designs import design_to_dict
-from .schema import SCHEMA_VERSION, workload_to_value
+from ..resilience.breaker import CircuitBreaker
+from .schema import DEADLINE_HEADER, SCHEMA_VERSION, workload_to_value
 
 
 class ServiceError(CarbonModelError):
@@ -45,10 +58,13 @@ class ServiceError(CarbonModelError):
         message: str,
         payload: "dict | None" = None,
         status: "int | None" = None,
+        retry_after_s: "float | None" = None,
     ) -> None:
         super().__init__(message)
         self.payload = payload if payload is not None else {}
         self.status = status
+        #: The server's Retry-After request (503/429 answers), seconds.
+        self.retry_after_s = retry_after_s
 
     @property
     def error_type(self) -> "str | None":
@@ -67,15 +83,32 @@ def _workload_value(workload):
     return workload_to_value(workload)
 
 
-def _error_from_envelope(envelope: dict,
-                         status: "int | None" = None) -> ServiceError:
+def _error_from_envelope(
+    envelope: dict,
+    status: "int | None" = None,
+    retry_after_s: "float | None" = None,
+) -> ServiceError:
     detail = envelope.get("error", {})
+    if retry_after_s is None:
+        retry_after_s = detail.get("retry_after_s")
     return ServiceError(
         f"{detail.get('type', 'ServiceError')}: "
         f"{detail.get('message', 'service error')}",
         payload=detail,
         status=status,
+        retry_after_s=retry_after_s,
     )
+
+
+def _parse_retry_after(headers) -> "float | None":
+    """The ``Retry-After`` header in seconds (delta form only)."""
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return None
 
 
 class ServiceClient:
@@ -83,11 +116,18 @@ class ServiceClient:
 
     ``retries``/``backoff_s`` bound the transient-failure retry loop:
     up to ``retries`` resends, sleeping ``backoff_s * 2**attempt``
-    (capped at :attr:`MAX_BACKOFF_S`) between attempts.
+    (capped at :attr:`MAX_BACKOFF_S`) between attempts; ``backoff_s <= 0``
+    retries without sleeping (tests). A 503 shed waits at least the
+    server's ``Retry-After`` (capped at :attr:`MAX_RETRY_AFTER_S`).
+    ``breaker`` is the circuit breaker over the whole transport path —
+    pass your own to share one across clients or tune its thresholds.
     """
 
     #: Ceiling on a single backoff sleep, whatever the retry count.
     MAX_BACKOFF_S = 2.0
+    #: Ceiling on honoring a server's Retry-After inside the retry loop
+    #: (a longer back-off surfaces to the caller instead of blocking it).
+    MAX_RETRY_AFTER_S = 5.0
 
     def __init__(
         self,
@@ -96,12 +136,28 @@ class ServiceClient:
         token: "str | None" = None,
         retries: int = 2,
         backoff_s: float = 0.1,
+        deadline_ms: "float | None" = None,
+        breaker: "CircuitBreaker | None" = None,
     ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        if isinstance(retries, bool) or not isinstance(retries, int):
+            raise ValueError(f"retries must be an integer, got {retries!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be > 0 milliseconds, got {deadline_ms}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.token = token
-        self.retries = max(0, retries)
-        self.backoff_s = backoff_s
+        self.retries = retries
+        # <= 0 means "retry immediately, never sleep" — a deliberate
+        # clamp, not an error (fault-injection tests rely on it).
+        self.backoff_s = max(0.0, backoff_s)
+        self.deadline_ms = deadline_ms
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
 
     # -- transport -----------------------------------------------------------
 
@@ -115,6 +171,8 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.token is not None:
             headers["X-Carbon3D-Token"] = self.token
+        if self.deadline_ms is not None:
+            headers[DEADLINE_HEADER] = repr(self.deadline_ms)
         return urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -125,39 +183,77 @@ class ServiceClient:
             return True
         return isinstance(error.reason, ConnectionRefusedError)
 
+    def _sleep_before_retry(
+        self, attempt: int, retry_after_s: "float | None" = None
+    ) -> None:
+        delay = min(self.backoff_s * 2 ** attempt, self.MAX_BACKOFF_S)
+        if retry_after_s is not None:
+            delay = max(delay, min(retry_after_s, self.MAX_RETRY_AFTER_S))
+        if delay > 0:
+            time.sleep(delay)
+
     def _open(self, method: str, path: str, payload: "dict | None" = None,
               accept: str = "application/json"):
         """Open the HTTP response, retrying transient transport failures.
 
         Returns the live response object (the caller reads/closes it);
         HTTP error responses raise a typed :class:`ServiceError` without
-        any retry.
+        any retry — except 503/429 sheds, which were never processed and
+        retry after the server's ``Retry-After``. The circuit breaker is
+        consulted before every attempt and fed the outcome of each.
         """
+        self.breaker.check()
         request = self._build_request(method, path, payload, accept)
         attempt = 0
         while True:
             try:
-                return urllib.request.urlopen(request, timeout=self.timeout)
+                response = urllib.request.urlopen(
+                    request, timeout=self.timeout
+                )
             except urllib.error.HTTPError as error:
+                retry_after_s = _parse_retry_after(error.headers)
                 raw = error.read()
                 try:
                     envelope = json.loads(raw.decode("utf-8"))
                 except (UnicodeDecodeError, json.JSONDecodeError):
+                    envelope = None
+                if error.code in (503, 429):
+                    # A shed request was never processed: count it
+                    # against the breaker and retry after the back-off.
+                    self.breaker.record_failure(retry_after_s)
+                    if attempt < self.retries:
+                        self._sleep_before_retry(attempt, retry_after_s)
+                        attempt += 1
+                        self.breaker.check()
+                        continue
+                else:
+                    # Any other HTTP answer means the server is up and
+                    # processing — a 400 is the caller's problem, not a
+                    # service-health signal.
+                    self.breaker.record_success()
+                if envelope is None:
                     raise ServiceError(
-                        f"HTTP {error.code}: {raw[:200]!r}", status=error.code
+                        f"HTTP {error.code}: {raw[:200]!r}",
+                        status=error.code,
+                        retry_after_s=retry_after_s,
                     ) from None
-                raise _error_from_envelope(envelope, error.code) from None
+                raise _error_from_envelope(
+                    envelope, error.code, retry_after_s
+                ) from None
             except urllib.error.URLError as error:
+                self.breaker.record_failure()
                 if attempt >= self.retries or not self._retryable(
                     method, error
                 ):
                     raise ServiceError(
                         f"cannot reach {self.base_url}: {error.reason}"
                     ) from None
-                time.sleep(
-                    min(self.backoff_s * 2 ** attempt, self.MAX_BACKOFF_S)
-                )
+                self._sleep_before_retry(attempt)
                 attempt += 1
+                self.breaker.check()
+            else:
+                self.breaker.record_success()
+                return response
 
     def _request(self, method: str, path: str,
                  payload: "dict | None" = None) -> dict:

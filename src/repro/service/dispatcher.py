@@ -27,13 +27,15 @@ from __future__ import annotations
 
 import json
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
 from ..core.operational import Workload
-from ..errors import ParameterError
+from ..errors import EvaluationTimeout, ParameterError
 from ..engine import BatchEvaluator
+from ..resilience.deadline import Deadline
+from ..resilience.faults import resolve_injector
 from ..pipeline.registry import DEFAULT_BACKEND, backend_names, resolve_backend
 from ..pipeline.stage import EvalContext
 from .schema import (
@@ -141,14 +143,20 @@ class Dispatcher:
         fab_location: "str | float" = "taiwan",
         store: "ResultStore | None" = None,
         evaluator: "BatchEvaluator | None" = None,
+        faults=None,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
         self.store = store
+        self.faults = resolve_injector(faults)
         self.evaluator = (
             evaluator
             if evaluator is not None
-            else BatchEvaluator(params=self.params, fab_location=fab_location)
+            else BatchEvaluator(
+                params=self.params,
+                fab_location=fab_location,
+                faults=self.faults,
+            )
         )
         if self.evaluator.efficiency_plugin is not None:
             # A plugin may read anything off the resolved design, which no
@@ -177,11 +185,22 @@ class Dispatcher:
         if self.store is not None:
             self.store.put(key, json.dumps(result))
 
-    def _compute_through(self, key: str, compute) -> "tuple[dict, str]":
-        """Store lookup → in-flight coalescing → compute-and-publish."""
+    def _compute_through(
+        self, key: str, compute, deadline: "Deadline | None" = None
+    ) -> "tuple[dict, str]":
+        """Store lookup → in-flight coalescing → compute-and-publish.
+
+        ``deadline`` is checked at the boundaries this path controls:
+        before committing to a computation, while waiting on a coalesced
+        future (the wait itself is bounded), and after the computation
+        lands — so an overrunning request answers with the typed
+        :class:`~repro.errors.EvaluationTimeout` instead of hanging.
+        """
         cached = self._store_get(key)
         if cached is not None:
             return cached, SOURCE_STORE
+        if deadline is not None:
+            deadline.check("request")
         with self._lock:
             future = self._inflight.get(key)
             if future is None:
@@ -192,16 +211,36 @@ class Dispatcher:
                 owner = False
         if not owner:
             self.stats.coalesced += 1
-            return future.result(), SOURCE_COALESCED
+            if deadline is None:
+                return future.result(), SOURCE_COALESCED
+            try:
+                return (
+                    future.result(timeout=deadline.remaining_s()),
+                    SOURCE_COALESCED,
+                )
+            except FutureTimeoutError:
+                raise EvaluationTimeout(
+                    f"request exceeded its {deadline.budget_s:.3f}s deadline "
+                    f"waiting on a coalesced computation",
+                    budget_s=deadline.budget_s,
+                    elapsed_s=deadline.elapsed_s(),
+                ) from None
         try:
+            if self.faults.active:
+                self.faults.hit("dispatcher.compute")
             result = compute()
         except BaseException as error:
             future.set_exception(error)
             raise
         else:
+            # Publish before the final deadline check: the computed
+            # result is real — waiters and the store keep it even when
+            # *this* request must answer with a timeout.
             self._store_put(key, result)
             future.set_result(result)
             self.stats.computed += 1
+            if deadline is not None:
+                deadline.check("request")
             return result, SOURCE_COMPUTED
         finally:
             with self._lock:
@@ -253,22 +292,28 @@ class Dispatcher:
 
     # -- request handlers ----------------------------------------------------
 
-    def evaluate(self, request: EvaluateRequest) -> "tuple[dict, str]":
+    def evaluate(
+        self, request: EvaluateRequest, *, deadline: "Deadline | None" = None
+    ) -> "tuple[dict, str]":
         """One point → (report dict, cache tag)."""
         self.stats.requests += 1
         self.stats.points += 1
         key = self._point_key(request)
         return self._compute_through(
-            key, lambda: self._point_report_dict(request)
+            key, lambda: self._point_report_dict(request), deadline
         )
 
-    def batch(self, request: BatchRequest) -> "list[dict]":
+    def batch(
+        self, request: BatchRequest, *, deadline: "Deadline | None" = None
+    ) -> "list[dict]":
         """Deduplicated batch → one entry per input point, input order."""
         self.stats.requests += 1
         self.stats.points += len(request.points)
-        return self._batch_points(request.points)
+        return self._batch_points(request.points, deadline)
 
-    def _batch_points(self, points) -> "list[dict]":
+    def _batch_points(
+        self, points, deadline: "Deadline | None" = None
+    ) -> "list[dict]":
         """The batch body (store pass + dedup + one engine call), unmetered.
 
         Keep semantics in lockstep with the streaming twin
@@ -297,6 +342,8 @@ class Dispatcher:
         if to_compute:
             from ..engine import EvalPoint
 
+            if deadline is not None:
+                deadline.check("batch request")
             reports = self.evaluator.evaluate_many([
                 EvalPoint(
                     design=point.design,
@@ -319,6 +366,10 @@ class Dispatcher:
                 results[key] = result
                 sources[key] = SOURCE_COMPUTED
                 self.stats.computed += 1
+            if deadline is not None:
+                # After publishing: the batch landed in the store either
+                # way; only this response turns into a typed timeout.
+                deadline.check("batch request")
 
         return [
             {
@@ -330,7 +381,7 @@ class Dispatcher:
         ]
 
     def stream_batch(
-        self, request: BatchRequest
+        self, request: BatchRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[int, 'Iterator[dict]']":
         """Streaming batch: (point count, per-point entry iterator).
 
@@ -344,9 +395,11 @@ class Dispatcher:
         """
         self.stats.requests += 1
         self.stats.points += len(request.points)
-        return len(request.points), self._iter_points(request.points)
+        return len(request.points), self._iter_points(request.points, deadline)
 
-    def _iter_points(self, points) -> "Iterator[dict]":
+    def _iter_points(
+        self, points, deadline: "Deadline | None" = None
+    ) -> "Iterator[dict]":
         # The incremental twin of _batch_points: same store pass, same
         # in-request dedup (repeats reuse the first occurrence's result
         # AND tag), same stats — but points evaluate one at a time so
@@ -357,6 +410,11 @@ class Dispatcher:
         results: "dict[str, dict]" = {}
         sources: "dict[str, str]" = {}
         for index, point in enumerate(points):
+            if deadline is not None:
+                # Per-point: a streamed batch stops with a typed trailer
+                # as soon as the budget runs out, keeping every entry
+                # already written valid (and stored).
+                deadline.check("streamed request")
             key = self._point_key(point)
             if key in results:
                 self.stats.deduplicated += 1
@@ -379,17 +437,22 @@ class Dispatcher:
             }
 
     def stream_sweep(
-        self, request: SweepRequest
+        self, request: SweepRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[int, 'Iterator[dict]']":
         """Streaming sweep: the expanded grid, streamed point by point."""
         points = self._sweep_points(request)
         self.stats.requests += 1
         self.stats.points += len(points)
-        return len(points), self._iter_points(points)
+        return len(points), self._iter_points(points, deadline)
 
-    def sweep(self, request: SweepRequest) -> "list[dict]":
+    def sweep(
+        self, request: SweepRequest, *, deadline: "Deadline | None" = None
+    ) -> "list[dict]":
         """Expand the grid server-side and run it as a batch."""
-        return self.batch(BatchRequest(points=tuple(self._sweep_points(request))))
+        return self.batch(
+            BatchRequest(points=tuple(self._sweep_points(request))),
+            deadline=deadline,
+        )
 
     def _sweep_points(self, request: SweepRequest) -> "list[EvaluateRequest]":
         points = []
@@ -414,14 +477,16 @@ class Dispatcher:
                 )
         return points
 
-    def montecarlo(self, request: MonteCarloRequest) -> "tuple[dict, str]":
+    def montecarlo(
+        self, request: MonteCarloRequest, *, deadline: "Deadline | None" = None
+    ) -> "tuple[dict, str]":
         """Monte-Carlo summary → (summary dict, cache tag)."""
         self.stats.requests += 1
         self.stats.points += request.samples
-        return self._montecarlo_through(request)
+        return self._montecarlo_through(request, deadline)
 
     def _montecarlo_through(
-        self, request: MonteCarloRequest
+        self, request: MonteCarloRequest, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
         """The Monte-Carlo body (store → coalesce → compute), unmetered."""
         fab_location = (
@@ -466,9 +531,11 @@ class Dispatcher:
                 payload["samples_kg"] = list(result.samples_kg)
             return payload
 
-        return self._compute_through(key, compute)
+        return self._compute_through(key, compute, deadline)
 
-    def tornado(self, request: TornadoRequest) -> "tuple[dict, str]":
+    def tornado(
+        self, request: TornadoRequest, *, deadline: "Deadline | None" = None
+    ) -> "tuple[dict, str]":
         """One-at-a-time sensitivity study → (payload, cache tag).
 
         Swings every factor of the chosen backend's *own* declarative
@@ -526,9 +593,11 @@ class Dispatcher:
                 ],
             }
 
-        return self._compute_through(key, compute)
+        return self._compute_through(key, compute, deadline)
 
-    def compare(self, request: CompareRequest) -> dict:
+    def compare(
+        self, request: CompareRequest, *, deadline: "Deadline | None" = None
+    ) -> dict:
         """One design fanned across backends, server-side.
 
         The point reports come from one deduplicated engine batch (the
@@ -556,7 +625,7 @@ class Dispatcher:
                 backend=name,
             )
             for name in names
-        ])
+        ], deadline)
         rows = []
         for name, entry in zip(names, entries):
             row = {
@@ -574,7 +643,8 @@ class Dispatcher:
                         samples=request.draws,
                         seed=request.seed,
                         backend=name,
-                    )
+                    ),
+                    deadline,
                 )
                 row["uncertainty"] = summary
                 row["uncertainty_cache"] = source

@@ -64,6 +64,12 @@ SCHEMA_VERSION = 1
 MAX_BATCH_POINTS = 10_000
 MAX_MC_SAMPLES = 100_000
 
+#: Header carrying a per-request deadline budget in milliseconds; the
+#: server threads it through the dispatcher as a cooperative
+#: :class:`~repro.resilience.Deadline` and answers overruns with a typed
+#: 504 payload.
+DEADLINE_HEADER = "X-Carbon3D-Deadline-Ms"
+
 REQUEST_TYPES = (
     "evaluate", "batch", "sweep", "montecarlo", "compare", "tornado",
 )
@@ -85,15 +91,35 @@ class AuthError(CarbonModelError):
     """
 
 
+class OverloadedError(CarbonModelError):
+    """The service shed this request (admission queue full, or draining).
+
+    Served as a typed 503 payload with a ``Retry-After`` header;
+    ``retry_after_s`` repeats the header value in the body so typed
+    clients need not reach back into transport headers.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+#: Optional typed-error attributes lifted into the wire payload when the
+#: exception carries them (``OverloadedError.retry_after_s``,
+#: ``EvaluationTimeout.budget_s``/``elapsed_s``, ``SchemaError.field``).
+_ERROR_ATTRS = ("field", "retry_after_s", "budget_s", "elapsed_s")
+
+
 def error_payload(error: Exception) -> dict:
     """The typed, JSON-ready description of an error."""
     payload: dict = {
         "type": type(error).__name__,
         "message": str(error),
     }
-    field = getattr(error, "field", None)
-    if field is not None:
-        payload["field"] = field
+    for attr in _ERROR_ATTRS:
+        value = getattr(error, attr, None)
+        if value is not None:
+            payload[attr] = value
     return payload
 
 

@@ -12,14 +12,26 @@ handler routes:
   one engine batch, optionally with per-backend uncertainty bands;
 * ``POST /tornado``    — the one-at-a-time sensitivity study over the
   backend's own factor set;
-* ``GET  /healthz``    — liveness + config echo;
-* ``GET  /stats``      — dispatcher / engine / store counters.
+* ``GET  /healthz``    — liveness + config echo (``/healthz/live`` and
+  ``/healthz/ready`` split the probe for orchestrators);
+* ``GET  /stats``      — dispatcher / engine / store / service counters.
 
 Validation errors answer 400 with the typed error envelope of
 :mod:`repro.service.schema`; unknown routes answer 404; unexpected
 failures answer 500 (the error type still in the payload). Worker
 threads share one :class:`~repro.service.dispatcher.Dispatcher`, whose
 store/in-flight coalescing makes concurrent identical requests cheap.
+
+**Degradation.** Work-bearing POSTs pass an admission gate bounded at
+``max_inflight`` concurrent requests (after a short ``queue_wait_s``
+grace); past it the service *sheds* with a typed 503 +
+``Retry-After`` — bounded latency for admitted requests instead of
+unbounded queueing for all. A request carrying an
+``X-Carbon3D-Deadline-Ms`` header gets a cooperative deadline budget
+threaded through the dispatcher; overruns answer a typed 504. On
+``close()`` (the CLI wires SIGTERM to it) the service stops admitting,
+finishes in-flight requests (results land in the store), and only then
+releases the listener and store — a graceful drain.
 
 **Streaming.** ``/batch`` and ``/sweep`` requests carrying
 ``"stream": true`` answer ``application/x-ndjson``: one header line
@@ -32,8 +44,8 @@ final ``{"ok": false, "error": {...}}`` line (the status line already
 went out as 200, so the error rides in-band).
 
 **Auth.** With ``token=...`` (``carbon3d serve --token``) every route
-except ``GET /healthz`` requires a matching ``X-Carbon3D-Token`` header;
-mismatches answer 401 with a typed ``AuthError`` payload.
+except ``GET /healthz*`` requires a matching ``X-Carbon3D-Token``
+header; mismatches answer 401 with a typed ``AuthError`` payload.
 """
 
 from __future__ import annotations
@@ -41,11 +53,14 @@ from __future__ import annotations
 import hmac
 import json
 import sys
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..config.parameters import ParameterSet
-from ..errors import CarbonModelError
+from ..errors import CarbonModelError, EvaluationTimeout
+from ..resilience.deadline import Deadline
+from ..resilience.faults import resolve_injector
 from . import schema
 from .dispatcher import Dispatcher
 from .store import ResultStore
@@ -53,6 +68,65 @@ from .store import ResultStore
 #: Request bodies above this size are refused outright (16 MiB of JSON
 #: is far beyond any legitimate batch under the schema's point limits).
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Header carrying a per-request deadline budget in milliseconds
+#: (re-exported from the schema module, where the wire format lives).
+DEADLINE_HEADER = schema.DEADLINE_HEADER
+
+
+class AdmissionGate:
+    """A bounded in-flight counter: admit, briefly queue, or shed.
+
+    ``try_enter`` admits immediately while under ``limit``; at capacity
+    it waits up to ``queue_wait_s`` for a slot before reporting failure
+    (the caller sheds with 503). ``wait_idle`` is the drain barrier:
+    it returns once every admitted request has left.
+    """
+
+    def __init__(self, limit: int, queue_wait_s: float = 0.1) -> None:
+        if limit < 1:
+            raise ValueError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.queue_wait_s = max(0.0, queue_wait_s)
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def try_enter(self) -> bool:
+        deadline_at = time.monotonic() + self.queue_wait_s
+        with self._cond:
+            while self._inflight >= self.limit:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            self._inflight += 1
+            return True
+
+    def leave(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout_s: "float | None" = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline_at = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        with self._cond:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline_at is None
+                    else deadline_at - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -69,11 +143,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "[carbon3d] %s %s\n" % (self.address_string(), format % args)
             )
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         if self.close_connection:
             # Advertise what the server is about to do anyway (set when a
             # request body was never drained off a keep-alive socket).
@@ -81,16 +161,35 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, error: Exception) -> None:
-        self._send_json(status, schema.error_envelope(error))
+    def _send_error(
+        self, status: int, error: Exception,
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
+        self._send_json(status, schema.error_envelope(error), headers)
 
     def _authorized(self) -> bool:
-        """Shared-secret check; ``GET /healthz`` stays open for probes."""
+        """Shared-secret check; ``GET /healthz*`` stays open for probes."""
         token = self.server.token
-        if token is None or self.path == "/healthz":
+        if token is None or self.path.startswith("/healthz"):
             return True
         provided = self.headers.get("X-Carbon3D-Token")
         return provided is not None and hmac.compare_digest(provided, token)
+
+    def _deadline(self) -> "Deadline | None":
+        """The request's deadline budget from ``X-Carbon3D-Deadline-Ms``."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+            if budget_ms <= 0:
+                raise ValueError
+        except ValueError:
+            raise schema.SchemaError(
+                f"{DEADLINE_HEADER} must be a positive number of "
+                f"milliseconds, got {raw!r}"
+            ) from None
+        return Deadline.after_ms(budget_ms)
 
     def _send_stream(self, kind: str, total: int, entries) -> None:
         """Write an NDJSON point stream (see the module docstring)."""
@@ -160,10 +259,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/healthz":
                 self._send_json(200, self.server.health_payload())
+            elif self.path == "/healthz/live":
+                # Liveness: the process answers, full stop. Never 503s —
+                # a draining server is still *alive* and must not be
+                # restarted mid-drain.
+                self._send_json(
+                    200, schema.ok_envelope({"status": "alive"})
+                )
+            elif self.path == "/healthz/ready":
+                # Readiness: whether new work should be routed here.
+                if self.server.draining:
+                    self._send_error(
+                        503,
+                        schema.OverloadedError(
+                            "service is draining",
+                            retry_after_s=self.server.retry_after_s,
+                        ),
+                        headers=self.server.retry_after_headers(),
+                    )
+                else:
+                    self._send_json(
+                        200, schema.ok_envelope({"status": "ready"})
+                    )
             elif self.path == "/stats":
                 self._send_json(
                     200,
-                    schema.ok_envelope(self.server.dispatcher.stats_dict()),
+                    schema.ok_envelope(self.server.stats_dict()),
                 )
             else:
                 self._send_error(
@@ -174,7 +295,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._send_error(500, error)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        dispatcher = self.server.dispatcher
+        server = self.server
+        dispatcher = server.dispatcher
+        admitted = False
         try:
             if not self._authorized():
                 # The body stays unread, so the connection cannot be
@@ -184,45 +307,82 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     401, schema.AuthError("missing or invalid service token")
                 )
                 return
+            if server.faults.active:
+                server.faults.hit("server.request")
+            if server.draining:
+                self.close_connection = True
+                raise schema.OverloadedError(
+                    "service is draining; no new work is admitted",
+                    retry_after_s=server.retry_after_s,
+                )
+            if not server.gate.try_enter():
+                server.shed_requests += 1
+                self.close_connection = True
+                raise schema.OverloadedError(
+                    f"service at capacity ({server.gate.limit} requests in "
+                    f"flight); shedding load",
+                    retry_after_s=server.retry_after_s,
+                )
+            admitted = True
+            deadline = self._deadline()
             body = self._read_json_body()
             if self.path == "/evaluate":
                 request = schema.parse_evaluate_request(body)
-                result, source = dispatcher.evaluate(request)
+                result, source = dispatcher.evaluate(
+                    request, deadline=deadline
+                )
                 self._send_json(
                     200, schema.ok_envelope(result, cache=source)
                 )
             elif self.path == "/batch":
                 request = schema.parse_batch_request(body)
                 if request.stream:
-                    total, entries = dispatcher.stream_batch(request)
+                    total, entries = dispatcher.stream_batch(
+                        request, deadline=deadline
+                    )
                     self._send_stream("batch", total, entries)
                 else:
                     self._send_json(
-                        200, schema.ok_envelope(dispatcher.batch(request))
+                        200,
+                        schema.ok_envelope(
+                            dispatcher.batch(request, deadline=deadline)
+                        ),
                     )
             elif self.path == "/sweep":
                 request = schema.parse_sweep_request(body)
                 if request.stream:
-                    total, entries = dispatcher.stream_sweep(request)
+                    total, entries = dispatcher.stream_sweep(
+                        request, deadline=deadline
+                    )
                     self._send_stream("sweep", total, entries)
                 else:
                     self._send_json(
-                        200, schema.ok_envelope(dispatcher.sweep(request))
+                        200,
+                        schema.ok_envelope(
+                            dispatcher.sweep(request, deadline=deadline)
+                        ),
                     )
             elif self.path == "/montecarlo":
                 request = schema.parse_montecarlo_request(body)
-                result, source = dispatcher.montecarlo(request)
+                result, source = dispatcher.montecarlo(
+                    request, deadline=deadline
+                )
                 self._send_json(
                     200, schema.ok_envelope(result, cache=source)
                 )
             elif self.path == "/compare":
                 request = schema.parse_compare_request(body)
                 self._send_json(
-                    200, schema.ok_envelope(dispatcher.compare(request))
+                    200,
+                    schema.ok_envelope(
+                        dispatcher.compare(request, deadline=deadline)
+                    ),
                 )
             elif self.path == "/tornado":
                 request = schema.parse_tornado_request(body)
-                result, source = dispatcher.tornado(request)
+                result, source = dispatcher.tornado(
+                    request, deadline=deadline
+                )
                 self._send_json(
                     200, schema.ok_envelope(result, cache=source)
                 )
@@ -230,12 +390,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_error(
                     404, schema.SchemaError(f"no such route: {self.path}")
                 )
+        except EvaluationTimeout as error:
+            # Before CarbonModelError: the typed timeout is a 504, not a
+            # client mistake.
+            dispatcher.stats.errors += 1
+            self._send_error(504, error)
+        except schema.OverloadedError as error:
+            # Shed, not failed: the request was never processed, so the
+            # client may safely retry after the advertised back-off.
+            self._send_error(503, error, headers=server.retry_after_headers())
         except CarbonModelError as error:
             dispatcher.stats.errors += 1
             self._send_error(400, error)
         except Exception as error:
             dispatcher.stats.errors += 1
             self._send_error(500, error)
+        finally:
+            if admitted:
+                server.gate.leave()
 
 
 class CarbonService(ThreadingHTTPServer):
@@ -253,42 +425,81 @@ class CarbonService(ThreadingHTTPServer):
         max_entries: int = 100_000,
         verbose: bool = False,
         token: "str | None" = None,
+        max_inflight: int = 32,
+        queue_wait_s: float = 0.1,
+        retry_after_s: float = 1.0,
+        drain_timeout_s: float = 30.0,
+        faults=None,
     ) -> None:
         super().__init__(address, ServiceHandler)
+        self.faults = resolve_injector(faults)
         if store is None and store_path is not None:
-            store = ResultStore(store_path, max_entries=max_entries)
+            store = ResultStore(
+                store_path, max_entries=max_entries, faults=self.faults
+            )
         self.store = store
         #: Optional shared secret; when set, requests (except
-        #: ``GET /healthz``) must carry it as ``X-Carbon3D-Token``.
+        #: ``GET /healthz*``) must carry it as ``X-Carbon3D-Token``.
         self.token = token
         self.dispatcher = Dispatcher(
-            params=params, fab_location=fab_location, store=store
+            params=params, fab_location=fab_location, store=store,
+            faults=self.faults,
         )
         self.verbose = verbose
         self.started_s = time.time()
         self._serving = False
+        #: Load-shedding knobs: at most ``max_inflight`` POSTs run
+        #: concurrently (after a ``queue_wait_s`` grace); shed answers
+        #: advertise ``retry_after_s``.
+        self.gate = AdmissionGate(max_inflight, queue_wait_s)
+        self.retry_after_s = retry_after_s
+        self.drain_timeout_s = drain_timeout_s
+        self.shed_requests = 0
+        #: While True, new POSTs shed with 503 and ``/healthz/ready``
+        #: answers 503 — flipped by :meth:`close` during shutdown.
+        self.draining = False
 
     @property
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    def retry_after_headers(self) -> dict:
+        # Retry-After is an integer number of seconds; round up so a
+        # client honoring the header never retries early.
+        return {"Retry-After": str(max(1, int(-(-self.retry_after_s // 1))))}
+
     def health_payload(self) -> dict:
         from ..pipeline.registry import backend_names
 
         return schema.ok_envelope({
-            "status": "ok",
+            "status": "draining" if self.draining else "ok",
+            "live": True,
+            "ready": not self.draining,
             "schema": schema.SCHEMA_VERSION,
             "uptime_s": time.time() - self.started_s,
             "fab_location": self.dispatcher.fab_location,
             "store": None if self.store is None else self.store.path,
             "backends": list(backend_names()),
             "auth": self.token is not None,
+            "max_inflight": self.gate.limit,
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
-                "/tornado", "/healthz", "/stats",
+                "/tornado", "/healthz", "/healthz/live", "/healthz/ready",
+                "/stats",
             ],
         })
+
+    def stats_dict(self) -> dict:
+        """Dispatcher/engine/store counters plus the service's own."""
+        data = self.dispatcher.stats_dict()
+        data["service"] = {
+            "inflight": self.gate.inflight,
+            "max_inflight": self.gate.limit,
+            "shed_requests": self.shed_requests,
+            "draining": self.draining,
+        }
+        return data
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         self._serving = True
@@ -318,14 +529,25 @@ class CarbonService(ThreadingHTTPServer):
             )
 
     def close(self) -> None:
-        """Shut down the listener and release the store handle.
+        """Graceful drain: stop admitting, finish in-flight, then release.
 
-        Safe to call on a server that never entered ``serve_forever`` —
-        ``shutdown()`` would otherwise block forever waiting on the serve
-        loop's completion event.
+        The sequence is the SIGTERM contract the CLI wires up: flip
+        ``draining`` (new POSTs shed with 503, readiness goes 503), stop
+        the accept loop, wait — bounded by ``drain_timeout_s`` — for
+        admitted requests to finish (their results persist to the store
+        on the way out), and only then close the listener socket and the
+        store handle. Safe to call on a server that never entered
+        ``serve_forever`` — ``shutdown()`` would otherwise block forever
+        waiting on the serve loop's completion event.
         """
+        self.draining = True
         if self._serving:
             self.shutdown()
+        if not self.gate.wait_idle(self.drain_timeout_s):
+            sys.stderr.write(
+                f"[carbon3d] drain timed out after {self.drain_timeout_s}s "
+                f"with {self.gate.inflight} request(s) in flight\n"
+            )
         self.server_close()
         if self.store is not None:
             self.store.close()
@@ -341,7 +563,7 @@ def make_server(
 
 
 def serve_forever(service: CarbonService) -> None:
-    """Run until interrupted, then close cleanly."""
+    """Run until interrupted, then close cleanly (graceful drain)."""
     try:
         service.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -20,6 +20,15 @@ engine's in-memory caches use — LRU up to ``max_entries`` — implemented
 over a monotonically increasing ``last_used`` clock column (batched
 deletes amortize the SQL cost). Hit/miss/eviction statistics are kept
 per instance and, cumulatively, in the database itself.
+
+**Self-healing.** The store is a cache of recomputable results, which
+makes the aggressive recovery policy safe: a database that fails its
+open-time ``PRAGMA quick_check`` — or turns corrupt at runtime — is
+*quarantined* (renamed aside to ``<name>.corrupt``, WAL/SHM sidecars
+included, for post-mortem) and a fresh one is built in its place; every
+lost entry costs exactly one recomputation. Transient ``SQLITE_BUSY``
+contention is retried a bounded number of times with a small backoff
+before surfacing as a typed :class:`StoreError`.
 """
 
 from __future__ import annotations
@@ -28,7 +37,9 @@ import enum
 import hashlib
 import json
 import sqlite3
+import sys
 import threading
+import time
 from dataclasses import fields as dataclass_fields
 from dataclasses import is_dataclass
 from pathlib import Path
@@ -36,6 +47,7 @@ from pathlib import Path
 from ..caching import EvictionPolicy
 from ..errors import CarbonModelError
 from ..pipeline.fingerprint import CachedKey
+from ..resilience.faults import resolve_injector
 
 #: Bump when the canonical encoding or stored payload shape changes; a
 #: mismatched database is cleared rather than served.
@@ -112,6 +124,17 @@ CREATE TABLE IF NOT EXISTS meta (
 );
 """
 
+#: SQLite sidecar files that must travel with a quarantined database —
+#: a WAL left behind would replay stale (possibly corrupt) pages into
+#: the freshly rebuilt file.
+_SIDECAR_SUFFIXES = ("-wal", "-shm")
+
+
+def _is_busy(error: sqlite3.OperationalError) -> bool:
+    """Whether an OperationalError is SQLITE_BUSY/SQLITE_LOCKED contention."""
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
 
 class ResultStore:
     """SQLite-backed content-addressed cache of finished evaluations.
@@ -120,6 +143,12 @@ class ResultStore:
     connection is shared across the server's request threads behind one
     lock (evaluations dominate request cost by orders of magnitude, so a
     single writer is not a throughput concern).
+
+    ``faults`` accepts a :class:`~repro.resilience.FaultPlan` (or
+    injector) whose ``store.*`` rules fire inside the real error-handling
+    paths — the quarantine, busy-retry and close branches are exercised
+    by injection, not just by luck. ``busy_retries``/``busy_backoff_s``
+    bound the retry-on-contention loop.
     """
 
     def __init__(
@@ -127,44 +156,173 @@ class ResultStore:
         path: "str | Path" = ":memory:",
         max_entries: int = 100_000,
         policy: "EvictionPolicy | None" = None,
+        faults=None,
+        busy_retries: int = 5,
+        busy_backoff_s: float = 0.05,
     ) -> None:
         self.path = str(path)
         self.policy = (
             policy if policy is not None
             else EvictionPolicy.for_store(max_entries)
         )
+        self.faults = resolve_injector(faults)
+        self.busy_retries = max(0, busy_retries)
+        self.busy_backoff_s = max(0.0, busy_backoff_s)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Recovery counters: databases quarantined (open-time integrity
+        #: failure or runtime corruption) and busy retries taken.
+        self.quarantined = 0
+        self.busy_retried = 0
         #: Lifetime counters accumulate in memory and flush to the meta
         #: table lazily (stats/close) — a per-probe UPSERT would triple
         #: the SQL of every cache lookup for pure bookkeeping.
         self._pending = {"hits": 0, "misses": 0, "evictions": 0}
         self._lock = threading.Lock()
-        try:
-            self._conn = sqlite3.connect(
-                self.path, check_same_thread=False
-            )
-        except sqlite3.Error as error:  # pragma: no cover - bad path
-            raise StoreError(f"cannot open result store: {error}") from error
         with self._lock:
-            # A cache may trade durability-on-crash for lookup latency:
-            # losing an entry only costs a recomputation.
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=OFF")
-            self._conn.executescript(_SCHEMA_SQL)
-            version = self._meta_get("format_version")
-            if version is None:
-                self._meta_set("format_version", str(STORE_FORMAT_VERSION))
-            elif version != str(STORE_FORMAT_VERSION):
-                # A stale format cannot be trusted to share keys; start over.
-                self._conn.execute("DELETE FROM results")
-                self._meta_set("format_version", str(STORE_FORMAT_VERSION))
-            row = self._conn.execute(
-                "SELECT COALESCE(MAX(last_used), 0) FROM results"
-            ).fetchone()
-            self._clock = int(row[0])
-            self._conn.commit()
+            self._open_checked()
+
+    # -- connection lifecycle (caller holds the lock) ------------------------
+
+    def _open_raw(self) -> None:
+        try:
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"cannot open result store at {self.path!r}: {error}"
+            ) from error
+
+    def _verify_and_init(self) -> None:
+        """Pragmas, integrity check, schema, version — on a raw connection.
+
+        Raises :class:`sqlite3.DatabaseError` when the file is not a
+        healthy database (including a failed ``quick_check``) so the
+        caller can quarantine and rebuild.
+        """
+        if self.faults.active:
+            self.faults.hit("store.open")
+        conn = self._conn
+        # A cache may trade durability-on-crash for lookup latency:
+        # losing an entry only costs a recomputation.
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.execute(
+            f"PRAGMA busy_timeout={int(self.busy_backoff_s * 1000)}"
+        )
+        row = conn.execute("PRAGMA quick_check").fetchone()
+        verdict = "" if row is None else str(row[0])
+        if verdict.lower() != "ok":
+            raise sqlite3.DatabaseError(
+                f"integrity check failed: {verdict or 'no result'}"
+            )
+        conn.executescript(_SCHEMA_SQL)
+        version = self._meta_get("format_version")
+        if version is None:
+            self._meta_set("format_version", str(STORE_FORMAT_VERSION))
+        elif version != str(STORE_FORMAT_VERSION):
+            # A stale format cannot be trusted to share keys; start over.
+            conn.execute("DELETE FROM results")
+            self._meta_set("format_version", str(STORE_FORMAT_VERSION))
+        row = conn.execute(
+            "SELECT COALESCE(MAX(last_used), 0) FROM results"
+        ).fetchone()
+        self._clock = int(row[0])
+        conn.commit()
+
+    def _open_checked(self) -> None:
+        """Open + verify, quarantining a corrupt database once."""
+        self._open_raw()
+        try:
+            self._verify_and_init()
+        except sqlite3.DatabaseError as error:
+            self._quarantine(error)
+            self._verify_and_init()
+
+    def _quarantine(self, error: BaseException) -> None:
+        """Move the corrupt database aside and rebuild a fresh one.
+
+        The quarantined file keeps its bytes for post-mortem under
+        ``<name>.corrupt`` (numeric suffix when that exists already);
+        WAL/SHM sidecars travel with it so the rebuilt store cannot
+        replay their pages.
+        """
+        try:
+            self._conn.close()
+        except sqlite3.Error:
+            pass
+        if self.path != ":memory:":
+            base = Path(self.path)
+            target = base.with_name(base.name + ".corrupt")
+            ordinal = 0
+            while target.exists():
+                ordinal += 1
+                target = base.with_name(f"{base.name}.corrupt.{ordinal}")
+            try:
+                base.rename(target)
+            except OSError:
+                # Last resort: a file that cannot even be renamed must
+                # not stay in the store's path.
+                base.unlink(missing_ok=True)
+            for suffix in _SIDECAR_SUFFIXES:
+                sidecar = Path(self.path + suffix)
+                if sidecar.exists():
+                    try:
+                        sidecar.rename(Path(str(target) + suffix))
+                    except OSError:
+                        sidecar.unlink(missing_ok=True)
+            print(
+                f"[carbon3d] result store corrupt ({error}); quarantined "
+                f"to {target} and rebuilding",
+                file=sys.stderr,
+                flush=True,
+            )
+        self.quarantined += 1
+        self._open_raw()
+
+    def _run(self, site: str, op):
+        """Execute ``op`` with bounded busy retries and corruption healing.
+
+        Caller holds the lock. ``SQLITE_BUSY``-style contention retries
+        up to ``busy_retries`` times with linear backoff; any other
+        :class:`sqlite3.DatabaseError` quarantines the database and runs
+        ``op`` once against the rebuilt store (a cache may always start
+        cold). Persistent failures surface as typed :class:`StoreError`.
+        """
+        attempts = 0
+        healed = False
+        while True:
+            try:
+                if self.faults.active:
+                    self.faults.hit(site)
+                return op()
+            except sqlite3.OperationalError as error:
+                if _is_busy(error) and attempts < self.busy_retries:
+                    attempts += 1
+                    self.busy_retried += 1
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.Error:
+                        pass
+                    time.sleep(self.busy_backoff_s * attempts)
+                    continue
+                if not _is_busy(error) and not healed:
+                    healed = True
+                    self._quarantine(error)
+                    self._verify_and_init()
+                    continue
+                raise StoreError(
+                    f"result store failed on {site}: {error}"
+                ) from error
+            except sqlite3.DatabaseError as error:
+                if healed:
+                    raise StoreError(
+                        f"result store failed on {site} after rebuild: "
+                        f"{error}"
+                    ) from error
+                healed = True
+                self._quarantine(error)
+                self._verify_and_init()
 
     # -- meta helpers (caller holds the lock) -------------------------------
 
@@ -195,14 +353,18 @@ class ResultStore:
     # -- the cache interface -------------------------------------------------
 
     def get(self, key: str) -> "str | None":
-        """The stored payload for ``key``, marking it most-recently-used."""
-        with self._lock:
+        """The stored payload for ``key``, marking it most-recently-used.
+
+        A corruption mid-``get`` heals the store and reports a miss (the
+        rebuilt database is empty by construction) — callers recompute,
+        exactly as for any cold key.
+        """
+
+        def op() -> "str | None":
             row = self._conn.execute(
                 "SELECT payload FROM results WHERE key = ?", (key,)
             ).fetchone()
             if row is None:
-                self.misses += 1
-                self._pending["misses"] += 1
                 return None
             self._clock += 1
             self._conn.execute(
@@ -210,16 +372,23 @@ class ResultStore:
                 "WHERE key = ?",
                 (self._clock, key),
             )
-            self.hits += 1
-            self._pending["hits"] += 1
             self._conn.commit()
             return row[0]
 
+        with self._lock:
+            payload = self._run("store.get", op)
+            if payload is None:
+                self.misses += 1
+                self._pending["misses"] += 1
+            else:
+                self.hits += 1
+                self._pending["hits"] += 1
+            return payload
+
     def put(self, key: str, payload: str) -> None:
         """Insert (or refresh) a payload, evicting LRU entries past the bound."""
-        import time
 
-        with self._lock:
+        def op() -> None:
             self._clock += 1
             self._conn.execute(
                 "INSERT INTO results (key, payload, created, last_used, "
@@ -243,6 +412,9 @@ class ResultStore:
                 self.evictions += cursor.rowcount
                 self._pending["evictions"] += cursor.rowcount
             self._conn.commit()
+
+        with self._lock:
+            self._run("store.put", op)
 
     def __len__(self) -> int:
         with self._lock:
@@ -281,15 +453,26 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "busy_retried": self.busy_retried,
             "lifetime": lifetime,
         }
 
     def close(self) -> None:
         with self._lock:
             try:
+                if self.faults.active:
+                    self.faults.hit("store.close")
                 self._flush_lifetime()
-            except sqlite3.Error:  # pragma: no cover - already closed
-                pass
+            except sqlite3.Error as error:
+                # Losing the lifetime counter flush is acceptable at
+                # shutdown; failing to close the handle is not.
+                print(
+                    f"[carbon3d] result store close: dropping lifetime "
+                    f"counter flush ({error})",
+                    file=sys.stderr,
+                    flush=True,
+                )
             self._conn.close()
 
     def __enter__(self) -> "ResultStore":
