@@ -13,7 +13,10 @@ both call :func:`repro.cli.run_bench_cli`, so future PRs can track the
 wall-clock and speedup trajectory from one implementation. The default
 run times the batch engine against the naive scalar path; ``--service``
 times HTTP requests/second against a live server with a cold vs warm
-persistent result store. Each run *appends* a timestamped entry to the
+persistent result store, plus per-request p50/p99 latency from a
+client-side :class:`repro.obs.metrics.Histogram` (``cold_p50_ms`` /
+``cold_p99_ms`` / ``warm_p50_ms`` / ``warm_p99_ms`` in the report and
+its trajectory entries). Each run *appends* a timestamped entry to the
 BENCH file's ``trajectory`` (the latest result stays at the top level),
 so the perf history across PRs is preserved.
 

@@ -1,0 +1,111 @@
+"""Observability end to end: traces, metrics, JSON request logs.
+
+Walks the ``repro.obs`` surface in four steps:
+
+1. a **local study under a trace** — the span tree shows each pipeline
+   stage with total and self time, and ``StudyHandle.timing()`` gives
+   the same data as a dict;
+2. a **service round-trip** — the client injects its trace id as the
+   ``X-Carbon3D-Trace-Id`` header, the server echoes it in the response
+   envelope and in its one-line-per-request JSON log;
+3. ``GET /metrics`` — the Prometheus text a scraper would collect:
+   dispatcher counters, request/stage latency histograms, cache
+   hit-rate gauges, breaker/admission state;
+4. ``Session.stats()`` — the same registry as a JSON snapshot with
+   p50/p90/p99 summaries, uniform across executors.
+
+Run:  python examples/observability.py
+"""
+
+import io
+import json
+import threading
+import urllib.request
+
+from repro.api import Session, StudySpec
+from repro.obs import trace as obs_trace
+from repro.obs.logging import JsonRequestLog
+from repro.service import make_server
+
+design = {
+    "name": "obs_demo",
+    "integration": "hybrid_3d",
+    "stacking": "f2f",
+    "assembly": "d2w",
+    "package": {"class": "fcbga"},
+    "throughput_tops": 254.0,
+    "dies": [
+        {"name": "top", "node": "7nm", "gate_count": 8.5e9,
+         "workload_share": 0.5},
+        {"name": "bottom", "node": "7nm", "gate_count": 8.5e9,
+         "workload_share": 0.5},
+    ],
+}
+
+# 1. A local study under a trace: the span tree and timing() breakdown.
+print("1. local study under a trace")
+with Session() as session:
+    handle = session.submit(StudySpec.evaluate(design))
+    handle.result(timeout=60)
+    timing = handle.timing()
+    print(f"   trace_id   : {timing['trace_id']}")
+    print(f"   duration   : {timing['duration_s'] * 1e3:.2f} ms")
+    for name, entry in sorted(
+        timing["stages"].items(), key=lambda item: -item[1]["self_s"]
+    ):
+        print(f"   {name:<24} x{entry['count']} "
+              f"self {entry['self_s'] * 1e3:.3f} ms")
+    spans = obs_trace.collector.spans(timing["trace_id"])
+    print("   span tree:")
+    for line in obs_trace.render_tree(spans).splitlines():
+        print(f"     {line}")
+
+# 2. The same trace id correlates client, server log, and envelope.
+print("\n2. service round-trip correlation")
+log_stream = io.StringIO()
+server = make_server(request_log=JsonRequestLog(log_stream))
+thread = threading.Thread(target=server.serve_forever, daemon=True)
+thread.start()
+try:
+    with Session(executor="service", url=server.url) as remote:
+        with obs_trace.trace("obs-demo") as root:
+            remote.evaluate(design)
+        print(f"   client trace id : {root.trace_id}")
+    while not log_stream.getvalue():
+        pass  # the server logs just after the response is written
+    record = json.loads(log_stream.getvalue().splitlines()[0])
+    print(f"   server log line : route={record['route']} "
+          f"status={record['status']} trace_id={record['trace_id']}")
+    assert record["trace_id"] == root.trace_id
+
+    # 3. Prometheus text, as a scraper would see it (no token needed).
+    print("\n3. GET /metrics (excerpt)")
+    with urllib.request.urlopen(server.url + "/metrics", timeout=30) as resp:
+        metrics_text = resp.read().decode("utf-8")
+    for line in metrics_text.splitlines():
+        if line.startswith((
+            "carbon3d_dispatcher_requests_total",
+            "carbon3d_engine_cache_hit_ratio",
+            "carbon3d_store_entries",
+            "carbon3d_breakers_open",
+            "carbon3d_inflight_requests",
+        )) and "#" not in line:
+            print(f"   {line}")
+
+    # 4. The JSON twin, uniform across executors.
+    print("\n4. Session.stats() metrics snapshot (histogram summary)")
+    with Session(executor="service", url=server.url) as remote:
+        stats = remote.stats()
+    for name, series in stats["metrics"].items():
+        if name == "carbon3d_dispatch_duration_seconds":
+            for labels, summary in series.items():
+                if summary.get("count"):
+                    print(f"   {name}{labels}: count={summary['count']} "
+                          f"p50={summary['p50'] * 1e3:.2f}ms "
+                          f"p99={summary['p99'] * 1e3:.2f}ms")
+finally:
+    server.close()
+    thread.join(timeout=5.0)
+
+print("\ndone — try `carbon3d trace examples/my_design.json` and "
+      "`carbon3d serve --log-json` next")

@@ -32,6 +32,11 @@ class StudyHandle:
 
     def __init__(self, spec) -> None:
         self.spec = spec
+        #: Trace id of the study's root span (set by the worker thread
+        #: as soon as it starts; correlates with server logs/envelopes).
+        self.trace_id: "str | None" = None
+        #: Wall-clock seconds from submit to finish (set at completion).
+        self.duration_s: "float | None" = None
         self._cond = threading.Condition()
         self._partials: "list[Result]" = []
         self._result = None
@@ -98,6 +103,29 @@ class StudyHandle:
                     f"{timeout}s"
                 )
             return self._error
+
+    def timing(self) -> dict:
+        """Per-study timing breakdown: trace id, wall time, stage times.
+
+        ``stages`` maps span names (``stage.embodied``, ``store.get``,
+        ``dispatcher.compute``, ...) to ``{count, total_s, self_s}``
+        from the local trace collector. A service session's spans live
+        on the server, so ``stages`` may be empty there — the *shape*
+        is executor-uniform, and ``trace_id`` still correlates with the
+        server's JSON log and response envelopes.
+        """
+        from ..obs import trace as obs_trace
+
+        stages = {}
+        if self.trace_id is not None:
+            stages = obs_trace.stage_breakdown(
+                obs_trace.collector.spans(self.trace_id)
+            )
+        return {
+            "trace_id": self.trace_id,
+            "duration_s": self.duration_s,
+            "stages": stages,
+        }
 
     def partial(self):
         """Yield results as they finish (every call sees the full stream).

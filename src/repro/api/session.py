@@ -32,9 +32,11 @@ on a service session.
 from __future__ import annotations
 
 import threading
+import time
 
 from ..config.parameters import ParameterSet
 from ..errors import ParameterError
+from ..obs import trace as obs_trace
 from ..service.client import ServiceClient
 from ..service.dispatcher import Dispatcher
 from .executors import LocalExecutor, ServiceExecutor
@@ -239,6 +241,21 @@ class Session:
                 f"open Session(executor=\"local\"))"
             )
 
+    def stats(self) -> dict:
+        """Dispatcher/engine/store counters + metrics snapshot, any executor.
+
+        The location-transparent twin of ``GET /stats``: a local session
+        reads its dispatcher and metrics registry directly; a service
+        session asks the server. Both shapes share the ``dispatcher`` /
+        ``engine`` / ``metrics`` keys (plus ``store`` when one is
+        attached; servers add their own ``service`` block).
+        """
+        if self.is_local:
+            data = self._exec().dispatcher.stats_dict()
+            data["metrics"] = self._exec().dispatcher.metrics.snapshot()
+            return data
+        return self.client.stats()
+
     def close(self) -> None:
         """Release the executor's resources (the store handle, if any)."""
         if self._executor is not None:
@@ -264,7 +281,13 @@ class Session:
         # streams. Leaving it set would have a service session receive
         # NDJSON it cannot parse as one JSON body.
         payload.pop("stream", None)
-        result, cache = self._exec().run(payload, deadline=self._deadline())
+        # Under an active trace this degrades to a child span; otherwise
+        # it roots one, so service sessions send X-Carbon3D-Trace-Id and
+        # local spans land in the collector under one correlatable id.
+        with obs_trace.trace(f"session.{spec.kind}", kind=spec.kind):
+            result, cache = self._exec().run(
+                payload, deadline=self._deadline()
+            )
         if spec.kind in ("batch", "sweep"):
             return ResultSet.from_entries(spec.kind, result)
         return Result(kind=spec.kind, payload=result, cache=cache)
@@ -289,25 +312,34 @@ class Session:
         return handle
 
     def _run_study(self, spec: StudySpec, handle: StudyHandle) -> None:
+        # The worker thread roots the study's trace: the handle exposes
+        # its id immediately, so timing() can correlate spans (and a
+        # service session's X-Carbon3D-Trace-Id header) while running.
+        started = time.perf_counter()
         try:
-            if spec.kind in ("batch", "sweep"):
-                entries = []
-                stream = self._exec().stream(
-                    spec.to_payload(), deadline=self._deadline()
-                )
-                for entry in stream:
-                    entries.append(entry)
-                    handle._push(Result(
-                        kind="point",
-                        payload=entry["report"],
-                        cache=entry.get("cache"),
-                        label=entry.get("label"),
-                        index=entry.get("index"),
-                    ))
-                handle._finish(ResultSet.from_entries(spec.kind, entries))
-            else:
-                handle._finish(self.run(spec))
+            with obs_trace.trace(f"study.{spec.kind}", kind=spec.kind) as root:
+                handle.trace_id = root.trace_id
+                if spec.kind in ("batch", "sweep"):
+                    entries = []
+                    stream = self._exec().stream(
+                        spec.to_payload(), deadline=self._deadline()
+                    )
+                    for entry in stream:
+                        entries.append(entry)
+                        handle._push(Result(
+                            kind="point",
+                            payload=entry["report"],
+                            cache=entry.get("cache"),
+                            label=entry.get("label"),
+                            index=entry.get("index"),
+                        ))
+                    result = ResultSet.from_entries(spec.kind, entries)
+                else:
+                    result = self.run(spec)
+            handle.duration_s = time.perf_counter() - started
+            handle._finish(result)
         except BaseException as error:  # noqa: BLE001 — relayed to .result()
+            handle.duration_s = time.perf_counter() - started
             handle._fail(error)
 
     def _normalize(self, study) -> StudySpec:

@@ -14,6 +14,8 @@ Sub-commands mirror the paper's artifacts:
   see :mod:`repro.service`);
 * ``submit`` — send a design JSON to a running server over HTTP (via
   the :class:`repro.api.Session` facade);
+* ``trace`` — run a study locally under a trace and print its span tree
+  with per-stage self-times (see :mod:`repro.obs`);
 * ``backends`` — list registered carbon backends with their factor-set
   digests (``--json`` for machines);
 * ``studies`` — list the StudySpec study kinds every entry point speaks;
@@ -297,6 +299,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         drain_timeout_s=args.drain_timeout,
         faults=faults,
+        log_json=args.log_json,
     )
 
     def _drain(signum, frame):  # pragma: no cover - exercised via subprocess
@@ -317,7 +320,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if server.faults.active:
         print(f"  faults  : {server.faults.describe()}", flush=True)
     print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
-          "/tornado /healthz /healthz/live /healthz/ready /stats",
+          "/tornado /healthz /healthz/live /healthz/ready /stats /metrics",
           flush=True)
     serve_forever(server)
     print("carbon3d service drained; exiting", flush=True)
@@ -348,6 +351,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"operational   : {result['operational_kg']:9.3f} kg CO2e")
         print(f"total         : {result['total_kg']:9.3f} kg CO2e")
         print(f"served from   : {point.cache or 'computed'}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a study locally under a trace; print its span tree.
+
+    The study file is either a full wire payload (with ``"type"``) or a
+    bare design JSON, which is wrapped as an evaluate study. Every
+    pipeline stage, memo lookup, store access, and dispatcher call the
+    study touched shows up as a span with total and self time.
+    """
+    from .api import Session, StudySpec
+    from .obs import trace as obs_trace
+
+    with open(args.study, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "type" in payload:
+        study = StudySpec.from_payload(payload)
+    else:
+        study = StudySpec.evaluate(payload, workload=args.workload)
+    with Session(fab_location=args.fab_location) as session:
+        with obs_trace.trace(f"carbon3d trace {study.kind}") as root:
+            session.run(study)
+        spans = obs_trace.collector.spans(root.trace_id)
+    print(f"trace {root.trace_id} — {study.kind} study, "
+          f"{len(spans)} spans")
+    print(obs_trace.render_tree(spans))
+    breakdown = obs_trace.stage_breakdown(spans)
+    if breakdown:
+        print(f"{'span':<28} {'count':>5} {'total ms':>9} {'self ms':>9}")
+        for name, entry in sorted(
+            breakdown.items(), key=lambda item: -item[1]["self_s"]
+        ):
+            print(
+                f"{name:<28.28} {entry['count']:>5d} "
+                f"{entry['total_s'] * 1e3:>9.3f} "
+                f"{entry['self_s'] * 1e3:>9.3f}"
+            )
     return 0
 
 
@@ -614,6 +655,11 @@ def build_parser() -> argparse.ArgumentParser:
              "before giving up (default: 30)",
     )
     p_serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON log line per request to stderr (trace id, "
+             "route, status, duration, cache/shed flags)",
+    )
+    p_serve.add_argument(
         "--fault-plan", default=None, metavar="PLAN",
         help="deterministic fault-injection plan: inline JSON or a path "
              "to a JSON file (see repro.resilience.FaultPlan); armed "
@@ -642,6 +688,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full JSON report"
     )
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a study locally under a trace and print the span "
+             "tree with per-stage self-times",
+    )
+    p_trace.add_argument(
+        "study",
+        help="study JSON: a wire payload (with \"type\") or a bare design",
+    )
+    p_trace.add_argument(
+        "--workload", choices=("av", "none"), default="av",
+        help="workload when the file is a bare design (default: av)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_backends = sub.add_parser(
         "backends",

@@ -49,6 +49,7 @@ from ..core.operational import (
 from ..core.report import LifecycleReport
 from ..core.resolve import ResolveCache, ResolvedDesign, resolve_design
 from ..errors import EvaluationTimeout, ParameterError
+from ..obs import trace as obs_trace
 from ..resilience.faults import resolve_injector
 from ..pipeline import fingerprint as fp
 from ..pipeline.backends import BackendReport, Repro3DBackend
@@ -166,6 +167,43 @@ class _BackendStageMemo:
         cache[stage_key] = value
 
 
+class _StageObservation:
+    """Context manager: trace span + latency histogram for one stage."""
+
+    __slots__ = ("_hist", "_stage", "_span_cm", "_t0")
+
+    def __init__(self, hist, stage: str) -> None:
+        self._hist = hist
+        self._stage = stage
+        self._span_cm = obs_trace.span(f"stage.{stage}", backend="repro3d")
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._span_cm.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._hist is not None:
+            self._hist.labels(stage=self._stage, backend="repro3d").observe(
+                time.perf_counter() - self._t0
+            )
+        return self._span_cm.__exit__(exc_type, exc, tb)
+
+
+class _NullObservation:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_OBSERVATION = _NullObservation()
+
+
 class BatchEvaluator:
     """Memoized evaluation of many (design, params, location, workload) points."""
 
@@ -181,6 +219,7 @@ class BatchEvaluator:
         faults=None,
         point_timeout_s: "float | None" = None,
         shard_deadline_s: "float | None" = None,
+        metrics=None,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
@@ -227,6 +266,41 @@ class BatchEvaluator:
         # recycled while its entry is alive.
         self._ci_cache = LRUCache(self.eviction_policy)
         self._statics = LRUCache(self.eviction_policy)
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`. When
+        #: attached, stage computations (memo misses) record into a
+        #: per-stage latency histogram; with neither a registry nor an
+        #: active trace, the stage hot paths stay uninstrumented.
+        self.metrics = None
+        self._stage_hist = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry) -> None:
+        """Record per-stage miss latencies into ``registry`` (idempotent).
+
+        The dispatcher calls this with its own registry so an
+        externally-supplied evaluator feeds the same ``/metrics``
+        endpoint; a second attach of the same registry is a no-op and a
+        different registry takes over.
+        """
+        if registry is None or registry is self.metrics:
+            return
+        self.metrics = registry
+        self._stage_hist = registry.histogram(
+            "carbon3d_stage_duration_seconds",
+            "Engine stage compute time on memo misses, by stage/backend",
+        )
+
+    def _observe_stage(self, stage: str):
+        """Span + miss-latency observation around one stage computation.
+
+        Returns a no-op context when neither a metrics registry is
+        attached nor a trace is active, so plain library use pays a
+        single attribute test per miss.
+        """
+        if self._stage_hist is None and not obs_trace.active():
+            return _NULL_OBSERVATION
+        return _StageObservation(self._stage_hist, stage)
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -311,7 +385,10 @@ class BatchEvaluator:
         if cached is None:
             if self.faults.active:
                 self.faults.hit("stage.resolve")
-            cached = resolve_design(design, params, cache=self.resolve_cache)
+            with self._observe_stage("resolve"):
+                cached = resolve_design(
+                    design, params, cache=self.resolve_cache
+                )
             if not transient:
                 self._caches.resolved[rkey] = cached
             self._stats.resolve_misses += 1
@@ -345,9 +422,10 @@ class BatchEvaluator:
         if cached is None:
             if self.faults.active:
                 self.faults.hit("stage.embodied")
-            if resolved is None:
-                resolved = self._resolved(design, params, rkey, transient)
-            cached = embodied_carbon(resolved, params, ci)
+            with self._observe_stage("embodied"):
+                if resolved is None:
+                    resolved = self._resolved(design, params, rkey, transient)
+                cached = embodied_carbon(resolved, params, ci)
             if not transient:
                 self._caches.embodied[ekey] = cached
             self._stats.embodied_misses += 1
@@ -375,9 +453,10 @@ class BatchEvaluator:
         if cached is None:
             if self.faults.active:
                 self.faults.hit("stage.bandwidth")
-            if resolved is None:
-                resolved = self._resolved(design, params, rkey, transient)
-            cached = evaluate_bandwidth(resolved, params)
+            with self._observe_stage("bandwidth"):
+                if resolved is None:
+                    resolved = self._resolved(design, params, rkey, transient)
+                cached = evaluate_bandwidth(resolved, params)
             if not transient:
                 self._caches.bandwidth[bkey] = cached
             self._stats.bandwidth_misses += 1
@@ -418,11 +497,13 @@ class BatchEvaluator:
         if cached is None:
             if self.faults.active:
                 self.faults.hit("stage.operational")
-            if resolved is None:
-                resolved = self._resolved(design, params, rkey, transient)
-            cached = operational_carbon(
-                resolved, params, workload, bandwidth, self.efficiency_plugin,
-            )
+            with self._observe_stage("operational"):
+                if resolved is None:
+                    resolved = self._resolved(design, params, rkey, transient)
+                cached = operational_carbon(
+                    resolved, params, workload, bandwidth,
+                    self.efficiency_plugin,
+                )
             # Operational results are small and highly reusable (draws that
             # only perturb embodied-side parameters share one), so they are
             # stored (bounded) even for transient points.
@@ -716,6 +797,19 @@ class BatchEvaluator:
                 on_shard_lost=self._on_shard_lost,
             )
         else:
+            # One context copy per chunk: pool threads inherit the
+            # caller's trace (a single Context cannot be entered from
+            # two threads at once, so each chunk gets its own).
+            import contextvars
+
+            tasks = [
+                (contextvars.copy_context(), chunk) for chunk in chunks
+            ]
             with ThreadPoolExecutor(max_workers=count) as pool:
-                chunk_results = list(pool.map(evaluate_chunk, chunks))
+                chunk_results = list(
+                    pool.map(
+                        lambda task: task[0].run(evaluate_chunk, task[1]),
+                        tasks,
+                    )
+                )
         return [report for chunk in chunk_results for report in chunk]

@@ -43,6 +43,7 @@ import time
 from typing import Any, Callable, Sequence
 
 from ..errors import ParameterError
+from ..obs import trace as obs_trace
 from ..resilience.faults import FaultInjector, set_worker_index
 
 #: Upper bound on default process workers (forks are cheap, but past a
@@ -134,15 +135,22 @@ def _child_main(
     worker_index: int,
     faults: "FaultInjector | None",
 ) -> None:
-    """Worker body: evaluate the slice, pickle (ok, payload) back, exit.
+    """Worker body: evaluate the slice, pickle (ok, payload, spans), exit.
 
     ``os._exit`` (not ``sys.exit``) so the child never runs the parent's
     atexit hooks, test harness teardown or buffered-IO flushes twice.
     The per-item ``worker.item`` fault hook fires only here (never in
     the parent-as-worker-0 slice): a crash fault must cost a shard, not
     the whole process.
+
+    The child inherited the parent's trace context across the fork, so
+    spans it opens (engine stages) already carry the right trace id —
+    they are captured locally and shipped home in the third tuple slot,
+    where the parent reattaches them to its collector. With no trace
+    active the capture list stays empty and ships as ``[]``.
     """
     set_worker_index(worker_index)
+    capture = obs_trace.begin_worker_capture()
     try:
         try:
             results = []
@@ -150,20 +158,26 @@ def _child_main(
                 if faults is not None and faults.active:
                     faults.hit("worker.item")
                 results.append(fn(item))
+            span_dicts = obs_trace.end_worker_capture(capture)
+            for entry in span_dicts:
+                entry["attrs"]["worker"] = worker_index
             payload = pickle.dumps(
-                (True, results), protocol=pickle.HIGHEST_PROTOCOL
+                (True, results, span_dicts),
+                protocol=pickle.HIGHEST_PROTOCOL,
             )
         except BaseException as error:  # ship the failure, don't die silent
+            span_dicts = obs_trace.end_worker_capture(capture)
             try:
                 payload = pickle.dumps(
-                    (False, error), protocol=pickle.HIGHEST_PROTOCOL
+                    (False, error, span_dicts),
+                    protocol=pickle.HIGHEST_PROTOCOL,
                 )
             except Exception:
                 payload = pickle.dumps(
                     (False, ParameterError(
                         f"process worker failed with unpicklable "
                         f"{type(error).__name__}: {error}"
-                    )),
+                    ), []),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
         os.write(write_fd, len(payload).to_bytes(8, "little"))
@@ -256,7 +270,7 @@ def fork_map(
                 size = int.from_bytes(
                     _read_exact(read_fd, 8, deadline_at), "little"
                 )
-                ok, payload = pickle.loads(
+                ok, payload, span_dicts = pickle.loads(
                     _read_exact(read_fd, size, deadline_at)
                 )
             except _ShardLost as reason:
@@ -266,6 +280,9 @@ def fork_map(
                 continue
             os.close(read_fd)
             os.waitpid(pid, 0)
+            if span_dicts:
+                # Reattach the worker's spans to this process's trace.
+                obs_trace.adopt_spans(span_dicts)
             if ok:
                 shard_results[shard] = payload
             elif error is None:

@@ -1,0 +1,70 @@
+"""Structured JSON request logging for ``carbon3d serve --log-json``.
+
+One JSON object per line on the chosen stream (stderr by default — the
+"listening on" startup banner and subprocess smoke tests own stdout).
+The schema is stable and documented in the README's Observability
+section:
+
+.. code-block:: json
+
+    {"ts": 1699999999.123, "event": "request", "trace_id": "…",
+     "method": "POST", "route": "/batch", "status": 200,
+     "duration_ms": 4.21, "cache": "store", "shed": false,
+     "error": null}
+
+``cache`` is the envelope cache tag (``"store"``/``"inflight"``/
+``"computed"``) when the route has one, ``shed`` flags admission-gate
+rejections, and ``error`` carries the error code of a non-2xx response.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+
+class JsonRequestLog:
+    """Thread-safe one-line-per-request JSON logger."""
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        record.setdefault("ts", time.time())
+        record.setdefault("event", "request")
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (ValueError, OSError):  # pragma: no cover - closed stream
+                pass
+
+    def request(
+        self,
+        *,
+        method: str,
+        route: str,
+        status: int,
+        duration_s: float,
+        trace_id: "str | None" = None,
+        cache: "str | None" = None,
+        shed: bool = False,
+        error: "str | None" = None,
+        **extra,
+    ) -> None:
+        record = {
+            "method": method,
+            "route": route,
+            "status": status,
+            "duration_ms": round(duration_s * 1e3, 3),
+            "trace_id": trace_id,
+            "cache": cache,
+            "shed": shed,
+            "error": error,
+        }
+        record.update(extra)
+        self.emit(record)

@@ -25,6 +25,7 @@ from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
 from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import CarbonModelError
+from ..obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -119,9 +120,12 @@ class PipelineRun:
         if self._memo is not None:
             value = self._memo.get((stage.name, key))
         if value is None:
-            value = stage.fn(
-                *self.backend.stage_args(stage, self.ctx, self._outputs)
-            )
+            with obs_trace.span(
+                f"stage.{stage.name}", backend=self.backend.name
+            ):
+                value = stage.fn(
+                    *self.backend.stage_args(stage, self.ctx, self._outputs)
+                )
             if self._memo is not None and value is not None:
                 self._memo[(stage.name, key)] = value
         self._outputs[stage.name] = value

@@ -22,8 +22,26 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 
 from ..errors import CarbonModelError
+
+#: Every live breaker in this process, for observability rollups
+#: (``carbon3d_breakers_open`` on ``/metrics``). Weak: a breaker lives
+#: exactly as long as the client that owns it.
+_LIVE_BREAKERS: "weakref.WeakSet[CircuitBreaker]" = weakref.WeakSet()
+
+
+def live_breakers() -> "list[CircuitBreaker]":
+    """All breakers currently alive in this process."""
+    return list(_LIVE_BREAKERS)
+
+
+def open_breaker_count() -> int:
+    """How many live breakers are not fully closed (open or half-open)."""
+    return sum(
+        1 for b in live_breakers() if b.state != CircuitBreaker.CLOSED
+    )
 
 
 class CircuitOpenError(CarbonModelError):
@@ -66,6 +84,7 @@ class CircuitBreaker:
         #: Lifetime counters for /stats-style introspection.
         self.opened = 0
         self.rejected = 0
+        _LIVE_BREAKERS.add(self)
 
     @property
     def state(self) -> str:

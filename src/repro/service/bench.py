@@ -16,7 +16,10 @@ same store file — dispatcher and engine memos empty, exactly the
 cold-restart scenario — where every answer must come back from the
 persistent store. The bench asserts the two passes return bit-identical
 payloads and that the warm pass never touched the engine, so the
-speedup it reports compares equivalent, verified work.
+speedup it reports compares equivalent, verified work. Per-request
+latency is measured client-side into a
+:class:`repro.obs.metrics.Histogram`; the best repeat's p50/p99 land in
+the report next to the rps figures.
 
 Invoked by ``python -m repro.cli bench --service`` and
 ``benchmarks/perf_report.py --service``.
@@ -30,6 +33,7 @@ import threading
 import time
 
 from ..errors import ParameterError
+from ..obs.metrics import Histogram
 from .client import ServiceClient
 from .server import make_server
 
@@ -73,24 +77,33 @@ def _requests(evaluates: int, mc_requests: int, samples: int) -> list:
     return requests
 
 
-def _run_pass(store_path: str, requests: list) -> "tuple[float, list, dict]":
-    """One server lifetime: serve every request, return (s, results, stats)."""
+def _run_pass(
+    store_path: str, requests: list
+) -> "tuple[float, list, dict, dict]":
+    """One server lifetime: serve every request.
+
+    Returns ``(elapsed_s, results, stats, latency_summary)`` — the
+    latency summary is a per-request client-side histogram
+    (count/p50/p90/p99/...) from :class:`repro.obs.metrics.Histogram`.
+    """
     server = make_server(store_path=store_path)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     client = ServiceClient(server.url)
+    latency = Histogram("request_latency", "per-request wall time")
     try:
         results = []
         start = time.perf_counter()
         for kind, kwargs in requests:
-            envelope = getattr(client, kind)(**kwargs)
+            with latency.time():
+                envelope = getattr(client, kind)(**kwargs)
             results.append((envelope["cache"], envelope["result"]))
         elapsed = time.perf_counter() - start
         stats = client.stats()
     finally:
         server.close()
         thread.join(timeout=5.0)
-    return elapsed, results, stats
+    return elapsed, results, stats, latency.summary()
 
 
 def bench_service(
@@ -104,11 +117,14 @@ def bench_service(
         raise ParameterError(f"need >= 1 bench repeat, got {repeats}")
     requests = _requests(evaluates, mc_requests, samples)
     cold_s = warm_s = float("inf")
+    cold_latency = warm_latency = None
     with tempfile.TemporaryDirectory(prefix="carbon3d_bench_") as tmp:
         for repeat in range(repeats):
             store_path = os.path.join(tmp, f"store_{repeat}.sqlite3")
-            cold, cold_results, _ = _run_pass(store_path, requests)
-            warm, warm_results, warm_stats = _run_pass(store_path, requests)
+            cold, cold_results, _, cold_lat = _run_pass(store_path, requests)
+            warm, warm_results, warm_stats, warm_lat = _run_pass(
+                store_path, requests
+            )
             if [r for _, r in cold_results] != [r for _, r in warm_results]:
                 raise AssertionError(
                     "warm-store responses diverged from cold responses"
@@ -121,8 +137,12 @@ def bench_service(
                 raise AssertionError(
                     "the warm pass re-resolved a design — store bypassed"
                 )
-            cold_s = min(cold_s, cold)
-            warm_s = min(warm_s, warm)
+            # Keep the latency summary of each side's best repeat so
+            # the trajectory compares like-for-like with the rps floor.
+            if cold < cold_s:
+                cold_s, cold_latency = cold, cold_lat
+            if warm < warm_s:
+                warm_s, warm_latency = warm, warm_lat
     n = len(requests)
     return {
         "requests": n,
@@ -133,6 +153,10 @@ def bench_service(
         "warm_s": warm_s,
         "cold_rps": n / cold_s,
         "warm_rps": n / warm_s,
+        "cold_p50_ms": cold_latency["p50"] * 1e3,
+        "cold_p99_ms": cold_latency["p99"] * 1e3,
+        "warm_p50_ms": warm_latency["p50"] * 1e3,
+        "warm_p99_ms": warm_latency["p99"] * 1e3,
         "speedup": cold_s / warm_s,
         "identical": True,
     }
@@ -163,10 +187,17 @@ def run_service_bench(
 def format_service_bench(result: dict) -> str:
     """One-paragraph human rendering."""
     s = result["service"]
-    return (
+    text = (
         f"service      {s['requests']} requests ({s['evaluates']} evaluate + "
         f"{s['mc_requests']} montecarlo×{s['mc_samples']}): "
         f"cold {s['cold_s'] * 1e3:.1f}ms ({s['cold_rps']:.0f} req/s) → "
         f"warm store {s['warm_s'] * 1e3:.1f}ms ({s['warm_rps']:.0f} req/s) "
         f"({s['speedup']:.1f}×, identical={s['identical']})"
     )
+    if "cold_p50_ms" in s:
+        text += (
+            f"\n             latency: cold p50 {s['cold_p50_ms']:.2f}ms "
+            f"p99 {s['cold_p99_ms']:.2f}ms → warm p50 "
+            f"{s['warm_p50_ms']:.2f}ms p99 {s['warm_p99_ms']:.2f}ms"
+        )
+    return text

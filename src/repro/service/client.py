@@ -46,6 +46,7 @@ import urllib.request
 from ..core.design import ChipDesign
 from ..errors import CarbonModelError
 from ..io.designs import design_to_dict
+from ..obs import trace as obs_trace
 from ..resilience.breaker import CircuitBreaker
 from .schema import DEADLINE_HEADER, SCHEMA_VERSION, workload_to_value
 
@@ -173,6 +174,12 @@ class ServiceClient:
             headers["X-Carbon3D-Token"] = self.token
         if self.deadline_ms is not None:
             headers[DEADLINE_HEADER] = repr(self.deadline_ms)
+        trace_id = obs_trace.current_trace_id()
+        if trace_id is not None:
+            # Correlate this request with the caller's active trace; the
+            # server adopts the id for its own spans and echoes it in
+            # the response envelope.
+            headers[obs_trace.TRACE_HEADER] = trace_id
         return urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -207,9 +214,12 @@ class ServiceClient:
         attempt = 0
         while True:
             try:
-                response = urllib.request.urlopen(
-                    request, timeout=self.timeout
-                )
+                with obs_trace.span(
+                    f"http.request {path}", method=method, attempt=attempt
+                ):
+                    response = urllib.request.urlopen(
+                        request, timeout=self.timeout
+                    )
             except urllib.error.HTTPError as error:
                 retry_after_s = _parse_retry_after(error.headers)
                 raw = error.read()

@@ -25,11 +25,15 @@ floats exactly (``repr`` shortest-float round-tripping).
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
+from ..obs import trace as obs_trace
+from ..obs.metrics import Counter, MetricsRegistry
+from ..resilience.breaker import open_breaker_count
 from ..core.design import ChipDesign
 from ..core.operational import Workload
 from ..errors import EvaluationTimeout, ParameterError
@@ -116,22 +120,67 @@ def montecarlo_fingerprint(
 
 
 class DispatchStats:
-    """Where responses came from, over the dispatcher's lifetime."""
+    """Where responses came from, over the dispatcher's lifetime.
 
-    __slots__ = ("requests", "points", "computed", "store_hits", "coalesced",
-                 "deduplicated", "errors")
+    Each field is an atomic :class:`~repro.obs.metrics.Counter` — the
+    dispatcher serves many ``ThreadingHTTPServer`` threads at once, and
+    the previous plain ``int +=`` fields silently lost increments under
+    that contention. Mutate through :meth:`inc`; reads stay plain
+    attribute access (``stats.requests``), so callers and tests are
+    unchanged. When a registry is given the counters are registered as
+    ``carbon3d_dispatcher_<field>_total`` for ``/metrics``.
+    """
 
-    def __init__(self) -> None:
-        self.requests = 0
-        self.points = 0
-        self.computed = 0
-        self.store_hits = 0
-        self.coalesced = 0
-        self.deduplicated = 0
-        self.errors = 0
+    FIELDS = {
+        "requests": "Requests handled, by the dispatcher's lifetime",
+        "points": "Evaluation points requested (incl. dedup/store hits)",
+        "computed": "Points computed through the engine",
+        "store_hits": "Points served from the persistent result store",
+        "coalesced": "Requests that waited on an identical in-flight one",
+        "deduplicated": "In-request duplicate points reusing a twin",
+        "errors": "Requests answered with an error envelope",
+    }
+
+    __slots__ = ("_counters",)
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        counters = {}
+        for name, help_text in self.FIELDS.items():
+            metric_name = f"carbon3d_dispatcher_{name}_total"
+            if registry is not None:
+                counters[name] = registry.counter(metric_name, help_text)
+            else:
+                counters[name] = Counter(metric_name, help_text)
+        object.__setattr__(self, "_counters", counters)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomically add ``amount`` to the named counter."""
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str):
+        counters = object.__getattribute__(self, "_counters")
+        try:
+            return counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: self._counters[name].value for name in self.FIELDS}
+
+
+def _instrumented(kind: str):
+    """Time a request handler into the dispatch histogram, under a span."""
+
+    def wrap(fn):
+        @functools.wraps(fn)
+        def inner(self, request, *, deadline=None):
+            with self._dispatch_hist.labels(kind=kind).time():
+                with obs_trace.span(f"dispatcher.{kind}"):
+                    return fn(self, request, deadline=deadline)
+
+        return inner
+
+    return wrap
 
 
 class Dispatcher:
@@ -144,11 +193,13 @@ class Dispatcher:
         store: "ResultStore | None" = None,
         evaluator: "BatchEvaluator | None" = None,
         faults=None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
         self.store = store
         self.faults = resolve_injector(faults)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.evaluator = (
             evaluator
             if evaluator is not None
@@ -156,6 +207,7 @@ class Dispatcher:
                 params=self.params,
                 fab_location=fab_location,
                 faults=self.faults,
+                metrics=self.metrics,
             )
         )
         if self.evaluator.efficiency_plugin is not None:
@@ -166,24 +218,93 @@ class Dispatcher:
                 "the service dispatcher does not support evaluators with "
                 "an efficiency plugin"
             )
-        self.stats = DispatchStats()
+        self.evaluator.attach_metrics(self.metrics)
+        self.stats = DispatchStats(self.metrics)
+        self._dispatch_hist = self.metrics.histogram(
+            "carbon3d_dispatch_duration_seconds",
+            "Wall time spent in each dispatcher request handler",
+        )
+        self._register_collect_metrics()
         self._inflight: "dict[str, Future]" = {}
         self._lock = threading.Lock()
+
+    def _register_collect_metrics(self) -> None:
+        """Collect-time callbacks over state that lives elsewhere.
+
+        Engine memo hit ratios, store occupancy and worker-recovery
+        counts already have a source of truth (``EngineStats``, the
+        SQLite store); ``/metrics`` samples them through callbacks
+        instead of double-counting.
+        """
+        registry = self.metrics
+        hit_ratio = registry.gauge(
+            "carbon3d_engine_cache_hit_ratio",
+            "Lifetime hit ratio of each engine memo layer",
+        )
+        for layer in ("resolve", "structure", "embodied", "bandwidth",
+                      "operational", "backend_stage"):
+            hit_ratio.labels(layer=layer).set_function(
+                functools.partial(self._cache_hit_ratio, layer)
+            )
+        registry.counter(
+            "carbon3d_engine_points_evaluated_total",
+            "Points computed by the engine (cache misses at point level)",
+            fn=lambda: self.evaluator.stats.points_evaluated,
+        )
+        registry.counter(
+            "carbon3d_worker_shards_recovered_total",
+            "Worker shards recomputed inline after a process-worker crash",
+            fn=lambda: self.evaluator.stats.worker_shards_recovered,
+        )
+        registry.gauge(
+            "carbon3d_breakers_open",
+            "Live circuit breakers in this process not fully closed",
+            fn=open_breaker_count,
+        )
+        store_gauges = {
+            "entries": "Rows currently persisted in the result store",
+            "hits": "Lifetime store lookup hits",
+            "misses": "Lifetime store lookup misses",
+            "evictions": "Entries evicted to honour max_entries",
+            "quarantined": "Corrupt entries quarantined by self-healing",
+        }
+        for field, help_text in store_gauges.items():
+            registry.gauge(
+                f"carbon3d_store_{field}",
+                help_text,
+                fn=functools.partial(self._store_stat, field),
+            )
+
+    def _cache_hit_ratio(self, layer: str) -> float:
+        stats = self.evaluator.stats
+        hits = getattr(stats, f"{layer}_hits")
+        misses = getattr(stats, f"{layer}_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def _store_stat(self, field: str):
+        if self.store is None:
+            return 0
+        return self.store.stats().get(field, 0)
 
     # -- store/coalescing plumbing ------------------------------------------
 
     def _store_get(self, key: str) -> "dict | None":
         if self.store is None:
             return None
-        payload = self.store.get(key)
+        with obs_trace.span("store.get") as span:
+            payload = self.store.get(key)
+            if span is not None:
+                span.attrs["hit"] = payload is not None
         if payload is None:
             return None
-        self.stats.store_hits += 1
+        self.stats.inc("store_hits")
         return json.loads(payload)
 
     def _store_put(self, key: str, result: dict) -> None:
         if self.store is not None:
-            self.store.put(key, json.dumps(result))
+            with obs_trace.span("store.put"):
+                self.store.put(key, json.dumps(result))
 
     def _compute_through(
         self, key: str, compute, deadline: "Deadline | None" = None
@@ -210,7 +331,7 @@ class Dispatcher:
             else:
                 owner = False
         if not owner:
-            self.stats.coalesced += 1
+            self.stats.inc("coalesced")
             if deadline is None:
                 return future.result(), SOURCE_COALESCED
             try:
@@ -228,7 +349,8 @@ class Dispatcher:
         try:
             if self.faults.active:
                 self.faults.hit("dispatcher.compute")
-            result = compute()
+            with obs_trace.span("dispatcher.compute"):
+                result = compute()
         except BaseException as error:
             future.set_exception(error)
             raise
@@ -238,7 +360,7 @@ class Dispatcher:
             # *this* request must answer with a timeout.
             self._store_put(key, result)
             future.set_result(result)
-            self.stats.computed += 1
+            self.stats.inc("computed")
             if deadline is not None:
                 deadline.check("request")
             return result, SOURCE_COMPUTED
@@ -292,23 +414,25 @@ class Dispatcher:
 
     # -- request handlers ----------------------------------------------------
 
+    @_instrumented("evaluate")
     def evaluate(
         self, request: EvaluateRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
         """One point → (report dict, cache tag)."""
-        self.stats.requests += 1
-        self.stats.points += 1
+        self.stats.inc("requests")
+        self.stats.inc("points")
         key = self._point_key(request)
         return self._compute_through(
             key, lambda: self._point_report_dict(request), deadline
         )
 
+    @_instrumented("batch")
     def batch(
         self, request: BatchRequest, *, deadline: "Deadline | None" = None
     ) -> "list[dict]":
         """Deduplicated batch → one entry per input point, input order."""
-        self.stats.requests += 1
-        self.stats.points += len(request.points)
+        self.stats.inc("requests")
+        self.stats.inc("points", len(request.points))
         return self._batch_points(request.points, deadline)
 
     def _batch_points(
@@ -329,7 +453,7 @@ class Dispatcher:
         pending: set = set()
         for key, point in zip(keys, points):
             if key in results or key in pending:
-                self.stats.deduplicated += 1
+                self.stats.inc("deduplicated")
                 continue
             cached = self._store_get(key)
             if cached is not None:
@@ -365,7 +489,7 @@ class Dispatcher:
                 self._store_put(key, result)
                 results[key] = result
                 sources[key] = SOURCE_COMPUTED
-                self.stats.computed += 1
+                self.stats.inc("computed")
             if deadline is not None:
                 # After publishing: the batch landed in the store either
                 # way; only this response turns into a typed timeout.
@@ -393,8 +517,8 @@ class Dispatcher:
         tag, so a streamed run and an enveloped run of the same request
         produce identical entries.
         """
-        self.stats.requests += 1
-        self.stats.points += len(request.points)
+        self.stats.inc("requests")
+        self.stats.inc("points", len(request.points))
         return len(request.points), self._iter_points(request.points, deadline)
 
     def _iter_points(
@@ -417,7 +541,7 @@ class Dispatcher:
                 deadline.check("streamed request")
             key = self._point_key(point)
             if key in results:
-                self.stats.deduplicated += 1
+                self.stats.inc("deduplicated")
             else:
                 cached = self._store_get(key)
                 if cached is not None:
@@ -428,7 +552,7 @@ class Dispatcher:
                     self._store_put(key, result)
                     results[key] = result
                     sources[key] = SOURCE_COMPUTED
-                    self.stats.computed += 1
+                    self.stats.inc("computed")
             yield {
                 "index": index,
                 "label": point.label,
@@ -441,10 +565,11 @@ class Dispatcher:
     ) -> "tuple[int, 'Iterator[dict]']":
         """Streaming sweep: the expanded grid, streamed point by point."""
         points = self._sweep_points(request)
-        self.stats.requests += 1
-        self.stats.points += len(points)
+        self.stats.inc("requests")
+        self.stats.inc("points", len(points))
         return len(points), self._iter_points(points, deadline)
 
+    @_instrumented("sweep")
     def sweep(
         self, request: SweepRequest, *, deadline: "Deadline | None" = None
     ) -> "list[dict]":
@@ -477,12 +602,13 @@ class Dispatcher:
                 )
         return points
 
+    @_instrumented("montecarlo")
     def montecarlo(
         self, request: MonteCarloRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
         """Monte-Carlo summary → (summary dict, cache tag)."""
-        self.stats.requests += 1
-        self.stats.points += request.samples
+        self.stats.inc("requests")
+        self.stats.inc("points", request.samples)
         return self._montecarlo_through(request, deadline)
 
     def _montecarlo_through(
@@ -533,6 +659,7 @@ class Dispatcher:
 
         return self._compute_through(key, compute, deadline)
 
+    @_instrumented("tornado")
     def tornado(
         self, request: TornadoRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
@@ -543,7 +670,7 @@ class Dispatcher:
         The store key embeds the factor-set fingerprint (a changed range
         or distribution must never serve a stale swing table).
         """
-        self.stats.requests += 1
+        self.stats.inc("requests")
         fab_location = (
             request.fab_location
             if request.fab_location is not None
@@ -552,7 +679,7 @@ class Dispatcher:
         factor_set = resolve_backend(request.backend).factor_set(
             request.design, self.params
         )
-        self.stats.points += 2 * len(factor_set) + 1
+        self.stats.inc("points", 2 * len(factor_set) + 1)
         key = content_key((
             "tornado",
             evaluate_fingerprint(
@@ -595,6 +722,7 @@ class Dispatcher:
 
         return self._compute_through(key, compute, deadline)
 
+    @_instrumented("compare")
     def compare(
         self, request: CompareRequest, *, deadline: "Deadline | None" = None
     ) -> dict:
@@ -609,13 +737,13 @@ class Dispatcher:
         compare never recomputes what a previous request already paid
         for (and vice versa).
         """
-        self.stats.requests += 1
+        self.stats.inc("requests")
         names = (
             list(request.backends)
             if request.backends is not None
             else list(backend_names())
         )
-        self.stats.points += len(names) + len(names) * request.draws
+        self.stats.inc("points", len(names) + len(names) * request.draws)
         entries = self._batch_points([
             EvaluateRequest(
                 design=request.design,

@@ -59,6 +59,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..config.parameters import ParameterSet
 from ..errors import CarbonModelError, EvaluationTimeout
+from ..obs import trace as obs_trace
+from ..obs.logging import JsonRequestLog
 from ..resilience.deadline import Deadline
 from ..resilience.faults import resolve_injector
 from . import schema
@@ -147,6 +149,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self, status: int, payload: dict,
         headers: "dict[str, str] | None" = None,
     ) -> None:
+        if "ok" in payload:
+            # Envelope-level correlation: the request's trace id rides
+            # next to "ok", never inside "result" (whose bytes are
+            # parity-pinned against local execution).
+            trace_id = obs_trace.current_trace_id()
+            if trace_id is not None:
+                payload.setdefault("trace_id", trace_id)
+        self._log_status = status
+        self._log_cache = payload.get("cache")
+        if payload.get("ok") is False:
+            self._log_error = (payload.get("error") or {}).get("type")
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -167,10 +180,26 @@ class ServiceHandler(BaseHTTPRequestHandler):
     ) -> None:
         self._send_json(status, schema.error_envelope(error), headers)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        self._log_status = status
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
     def _authorized(self) -> bool:
-        """Shared-secret check; ``GET /healthz*`` stays open for probes."""
+        """Shared-secret check; ``GET /healthz*`` and ``GET /metrics``
+        stay open for probes and scrapers."""
         token = self.server.token
-        if token is None or self.path.startswith("/healthz"):
+        if (
+            token is None
+            or self.path.startswith("/healthz")
+            or self.path == "/metrics"
+        ):
             return True
         provided = self.headers.get("X-Carbon3D-Token")
         return provided is not None and hmac.compare_digest(provided, token)
@@ -201,26 +230,41 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_header("Connection", "close")
         self.end_headers()
 
+        self._log_status = 200
+        trace_id = obs_trace.current_trace_id()
+
         def write_line(payload: dict) -> None:
             self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
             self.wfile.flush()
 
-        write_line({
+        header = {
             "schema": schema.SCHEMA_VERSION,
             "ok": True,
             "stream": kind,
             "points": total,
-        })
+        }
+        if trace_id is not None:
+            # Correlate the stream's framing lines; per-point entries
+            # stay byte-identical to local execution (parity-pinned).
+            header["trace_id"] = trace_id
+        write_line(header)
         try:
             for entry in entries:
                 write_line(entry)
         except Exception as error:
             # Too late for a non-200 status; the error rides in-band as
             # the stream's final line.
-            self.server.dispatcher.stats.errors += 1
-            write_line(schema.error_envelope(error))
+            self.server.dispatcher.stats.inc("errors")
+            trailer = schema.error_envelope(error)
+            if trace_id is not None:
+                trailer["trace_id"] = trace_id
+            self._log_error = trailer.get("error", {}).get("type")
+            write_line(trailer)
             return
-        write_line({"done": True, "points": total})
+        done = {"done": True, "points": total}
+        if trace_id is not None:
+            done["trace_id"] = trace_id
+        write_line(done)
 
     def _read_json_body(self) -> dict:
         # Until the body is fully read off the socket, answering on a
@@ -251,7 +295,60 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------------
 
+    #: Routes that exist, for bounded-cardinality metric labels.
+    KNOWN_ROUTES = frozenset({
+        "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
+        "/tornado", "/healthz", "/healthz/live", "/healthz/ready",
+        "/stats", "/metrics",
+    })
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._observe_request("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._observe_request("POST", self._handle_post)
+
+    def _observe_request(self, method: str, handler) -> None:
+        """Per-request trace root, latency histogram, and JSON log line.
+
+        The root span adopts an incoming ``X-Carbon3D-Trace-Id`` header
+        (client-chosen correlation) or mints a fresh id; every span the
+        handler opens below — dispatcher, store, engine stages, even
+        forked workers — lands in the same trace, and the id is echoed
+        in the response envelope by :meth:`_send_json`.
+        """
+        server = self.server
+        self._log_status = 0
+        self._log_cache = None
+        self._log_error = None
+        self._log_shed = False
+        incoming = self.headers.get(obs_trace.TRACE_HEADER)
+        started = time.perf_counter()
+        with obs_trace.trace(
+            f"http.{method.lower()} {self.path}", trace_id=incoming
+        ) as root:
+            trace_id = root.trace_id
+            handler()
+        duration_s = time.perf_counter() - started
+        route = (
+            self.path if self.path in self.KNOWN_ROUTES else "(unknown)"
+        )
+        server.request_hist.labels(method=method, route=route).observe(
+            duration_s
+        )
+        if server.request_log is not None:
+            server.request_log.request(
+                method=method,
+                route=route,
+                status=self._log_status,
+                duration_s=duration_s,
+                trace_id=trace_id,
+                cache=self._log_cache,
+                shed=self._log_shed,
+                error=self._log_error,
+            )
+
+    def _handle_get(self) -> None:
         try:
             if not self._authorized():
                 self._send_error(
@@ -286,15 +383,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     200,
                     schema.ok_envelope(self.server.stats_dict()),
                 )
+            elif self.path == "/metrics":
+                # Prometheus text exposition; open (like /healthz*) so
+                # scrapers need no service token.
+                self._send_text(
+                    200,
+                    self.server.metrics.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             else:
                 self._send_error(
                     404, schema.SchemaError(f"no such route: {self.path}")
                 )
         except Exception as error:  # pragma: no cover - defensive
-            self.server.dispatcher.stats.errors += 1
+            self.server.dispatcher.stats.inc("errors")
             self._send_error(500, error)
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _handle_post(self) -> None:
         server = self.server
         dispatcher = server.dispatcher
         admitted = False
@@ -316,7 +421,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     retry_after_s=server.retry_after_s,
                 )
             if not server.gate.try_enter():
-                server.shed_requests += 1
+                server.shed_counter.inc()
                 self.close_connection = True
                 raise schema.OverloadedError(
                     f"service at capacity ({server.gate.limit} requests in "
@@ -393,17 +498,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except EvaluationTimeout as error:
             # Before CarbonModelError: the typed timeout is a 504, not a
             # client mistake.
-            dispatcher.stats.errors += 1
+            dispatcher.stats.inc("errors")
             self._send_error(504, error)
         except schema.OverloadedError as error:
             # Shed, not failed: the request was never processed, so the
             # client may safely retry after the advertised back-off.
+            self._log_shed = True
             self._send_error(503, error, headers=server.retry_after_headers())
         except CarbonModelError as error:
-            dispatcher.stats.errors += 1
+            dispatcher.stats.inc("errors")
             self._send_error(400, error)
         except Exception as error:
-            dispatcher.stats.errors += 1
+            dispatcher.stats.inc("errors")
             self._send_error(500, error)
         finally:
             if admitted:
@@ -430,6 +536,8 @@ class CarbonService(ThreadingHTTPServer):
         retry_after_s: float = 1.0,
         drain_timeout_s: float = 30.0,
         faults=None,
+        log_json: bool = False,
+        request_log: "JsonRequestLog | None" = None,
     ) -> None:
         super().__init__(address, ServiceHandler)
         self.faults = resolve_injector(faults)
@@ -454,10 +562,47 @@ class CarbonService(ThreadingHTTPServer):
         self.gate = AdmissionGate(max_inflight, queue_wait_s)
         self.retry_after_s = retry_after_s
         self.drain_timeout_s = drain_timeout_s
-        self.shed_requests = 0
         #: While True, new POSTs shed with 503 and ``/healthz/ready``
         #: answers 503 — flipped by :meth:`close` during shutdown.
         self.draining = False
+        #: Shared metrics registry (the dispatcher's); ``GET /metrics``
+        #: renders it, ``/stats`` snapshots it.
+        self.metrics = self.dispatcher.metrics
+        self.request_hist = self.metrics.histogram(
+            "carbon3d_request_duration_seconds",
+            "HTTP request wall time, by method and route",
+        )
+        self.shed_counter = self.metrics.counter(
+            "carbon3d_shed_requests_total",
+            "POSTs shed by the admission gate or during drain",
+        )
+        self.metrics.gauge(
+            "carbon3d_inflight_requests",
+            "Admitted POSTs currently being processed",
+            fn=lambda: self.gate.inflight,
+        )
+        self.metrics.gauge(
+            "carbon3d_admission_limit",
+            "Admission gate concurrency limit (max_inflight)",
+            fn=lambda: self.gate.limit,
+        )
+        self.metrics.gauge(
+            "carbon3d_draining",
+            "1 while the service drains (sheds new work), else 0",
+            fn=lambda: int(self.draining),
+        )
+        #: One JSON line per request on stderr when enabled
+        #: (``carbon3d serve --log-json``); any stream via request_log=.
+        self.request_log = (
+            request_log
+            if request_log is not None
+            else (JsonRequestLog() if log_json else None)
+        )
+
+    @property
+    def shed_requests(self) -> int:
+        """Lifetime shed count (counter-backed, atomic)."""
+        return self.shed_counter.value
 
     @property
     def url(self) -> str:
@@ -486,12 +631,17 @@ class CarbonService(ThreadingHTTPServer):
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
                 "/tornado", "/healthz", "/healthz/live", "/healthz/ready",
-                "/stats",
+                "/stats", "/metrics",
             ],
         })
 
     def stats_dict(self) -> dict:
-        """Dispatcher/engine/store counters plus the service's own."""
+        """Dispatcher/engine/store counters plus the service's own.
+
+        ``metrics`` carries the full registry snapshot — histogram
+        summaries (count/sum/p50/p90/p99) included — the JSON twin of
+        ``GET /metrics``.
+        """
         data = self.dispatcher.stats_dict()
         data["service"] = {
             "inflight": self.gate.inflight,
@@ -499,6 +649,7 @@ class CarbonService(ThreadingHTTPServer):
             "shed_requests": self.shed_requests,
             "draining": self.draining,
         }
+        data["metrics"] = self.metrics.snapshot()
         return data
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
