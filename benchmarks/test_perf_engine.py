@@ -7,7 +7,8 @@ mode at its own default worker count — threads are GIL-bound on the
 pure-Python pipeline while processes size themselves to the usable
 CPUs). All paths must be bit-identical (the bench itself raises if any
 diverges). The grid bench tracks the sweep-style workload; its ratio is
-informational.
+informational. The vectorized-grid bench must clear ≥ 20× over the
+naive per-point path on its ≥ 10⁵-point design-space grid.
 """
 
 import json
@@ -47,6 +48,17 @@ def test_engine_speedup_and_equivalence(report_sink, tmp_path):
     grid = result["grid"]
     assert grid["identical"] is True
     assert grid["speedup"] > 1.0
+
+    # The vectorized core's bar: ≥ 10⁵ points, bit-identical to both
+    # scalar tiers, and well clear of the naive path even on a loaded
+    # runner (the recorded trajectory carries the real ratios).
+    vec = result["grid_vectorized"]
+    assert vec["identical"] is True
+    assert vec["points"] >= 100_000
+    assert vec["speedup"] >= 20.0, (
+        f"vectorized grid speedup {vec['speedup']:.1f}x below the 20x bar"
+    )
+    assert vec["speedup_vs_scalar"] > 1.0
 
     # The BENCH file keeps the cross-PR history: this run must have
     # *appended* a timestamped trajectory entry, not overwritten it.

@@ -1,6 +1,13 @@
 """Analysis extensions: sensitivity, uncertainty, configuration search."""
 
-from .optimizer import Candidate, SearchResult, search_configurations
+from .optimizer import (
+    Candidate,
+    ParetoFront,
+    ParetoPoint,
+    ParetoSearch,
+    SearchResult,
+    search_configurations,
+)
 from .sensitivity import (
     FactorSet,
     FactorSpec,
@@ -20,6 +27,9 @@ from .uncertainty import (
 __all__ = [
     "Candidate",
     "FactorSet",
+    "ParetoFront",
+    "ParetoPoint",
+    "ParetoSearch",
     "FactorSpec",
     "FactorTarget",
     "SearchResult",

@@ -18,10 +18,11 @@ code on both paths, ``Session(executor="local")`` and
 ``Session(executor="service")`` are interchangeable — the facade's
 location-transparency guarantee (parity-tested for every study kind).
 
-``stream(payload)`` is the point-stream twin for batch/sweep studies:
-locally it drives the dispatcher's incremental iterator, remotely the
-NDJSON response — either way one ``{"index", "label", "cache",
-"report"}`` entry per point, as each finishes.
+``stream(payload)`` is the incremental twin for batch/sweep/optimize
+studies: locally it drives the dispatcher's incremental iterator,
+remotely the NDJSON response — either way one entry per unit of work
+(a point record for batch/sweep, a running front snapshot per chunk
+for optimize), as each finishes.
 """
 
 from __future__ import annotations
@@ -75,6 +76,10 @@ class LocalExecutor:
         elif kind == "compare":
             result = self.dispatcher.compare(request, deadline=deadline)
             source = None
+        elif kind == "optimize":
+            result, source = self.dispatcher.optimize(
+                request, deadline=deadline
+            )
         else:  # tornado — parse_request rejects anything else upstream
             result, source = self.dispatcher.tornado(
                 request, deadline=deadline
@@ -82,7 +87,8 @@ class LocalExecutor:
         return _jsonify(result), source
 
     def stream(self, payload: dict, deadline=None):
-        """Per-point entry iterator for a batch/sweep payload."""
+        """Entry iterator for a batch/sweep (per point) or optimize
+        (per chunk) payload."""
         request = schema.parse_request(payload)
         kind = payload["type"]
         if kind == "batch":
@@ -93,9 +99,13 @@ class LocalExecutor:
             _, entries = self.dispatcher.stream_sweep(
                 request, deadline=deadline
             )
+        elif kind == "optimize":
+            _, entries = self.dispatcher.stream_optimize(
+                request, deadline=deadline
+            )
         else:
             raise ParameterError(
-                f"only batch/sweep studies stream, got {kind!r}"
+                f"only batch/sweep/optimize studies stream, got {kind!r}"
             )
         return (_jsonify(entry) for entry in entries)
 
@@ -132,9 +142,9 @@ class ServiceExecutor:
     def stream(self, payload: dict, deadline=None):
         self._check_deadline(deadline)
         kind = payload.get("type")
-        if kind not in ("batch", "sweep"):
+        if kind not in ("batch", "sweep", "optimize"):
             raise ParameterError(
-                f"only batch/sweep studies stream, got {kind!r}"
+                f"only batch/sweep/optimize studies stream, got {kind!r}"
             )
         return self.client.stream_payload(payload)
 

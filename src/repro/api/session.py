@@ -298,7 +298,8 @@ class Session:
         Batch/sweep studies stream: the handle's ``partial()`` yields
         each point as the executor finishes it (HTTP sessions consume
         the service's NDJSON stream; local sessions the dispatcher's
-        incremental iterator).
+        incremental iterator). Optimize studies stream too: ``partial()``
+        yields one running Pareto-front snapshot per evaluated chunk.
         """
         spec = self._normalize(study)
         handle = StudyHandle(spec)
@@ -334,6 +335,22 @@ class Session:
                             index=entry.get("index"),
                         ))
                     result = ResultSet.from_entries(spec.kind, entries)
+                elif spec.kind == "optimize":
+                    last = None
+                    stream = self._exec().stream(
+                        spec.to_payload(), deadline=self._deadline()
+                    )
+                    for entry in stream:
+                        last = entry
+                        handle._push(Result(
+                            kind="front",
+                            payload=entry,
+                            index=entry.get("chunk"),
+                        ))
+                    result = Result(
+                        kind="optimize",
+                        payload=self._front_payload(spec, last),
+                    )
                 else:
                     result = self.run(spec)
             handle.duration_s = time.perf_counter() - started
@@ -341,6 +358,28 @@ class Session:
         except BaseException as error:  # noqa: BLE001 — relayed to .result()
             handle.duration_s = time.perf_counter() - started
             handle._fail(error)
+
+    def _front_payload(self, spec: StudySpec, last: "dict | None") -> dict:
+        """The final optimize payload, assembled from the stream's last
+        chunk snapshot (the streamed twin of the enveloped result — same
+        keys, same front bits; see ``Dispatcher._front_payload``)."""
+        # Deferred: the optimizer rides on numpy, which pure-service
+        # sessions otherwise never import.
+        from ..analysis.optimizer import PARETO_OBJECTIVES
+
+        wire = spec.to_payload()
+        return {
+            "design": wire["design"]["name"],
+            "workload": wire.get("workload"),
+            "max_configs": wire.get("max_configs"),
+            "seed": wire.get("seed"),
+            "objectives": {name: goal for name, goal in PARETO_OBJECTIVES},
+            "evaluated": 0 if last is None else last["evaluated"],
+            "errors": 0 if last is None else last["errors"],
+            "chunks": 0 if last is None else last["chunk"],
+            "front_size": 0 if last is None else last["front_size"],
+            "front": [] if last is None else last["front"],
+        }
 
     def _normalize(self, study) -> StudySpec:
         if isinstance(study, dict):
@@ -429,6 +468,32 @@ class Session:
         return self.run(StudySpec.tornado(
             design, workload=workload, fab_location=fab_location,
             backend=backend,
+        ))
+
+    def optimize(
+        self,
+        design,
+        workload="av",
+        integrations: "list[str] | None" = None,
+        die_counts: "list[int] | None" = None,
+        wafer_diameters_mm: "list[float] | None" = None,
+        fab_locations: "list | None" = None,
+        max_configs: "int | None" = None,
+        chunk: "int | None" = None,
+        seed: int = DEFAULT_SEED,
+    ) -> Result:
+        """Vectorized Pareto search over the case-study design grid.
+
+        The result payload carries the sorted non-dominated front over
+        (total carbon min, performance max, silicon cost min); use
+        ``submit(StudySpec.optimize(...))`` to stream running front
+        snapshots chunk by chunk instead.
+        """
+        return self.run(StudySpec.optimize(
+            design, workload=workload, integrations=integrations,
+            die_counts=die_counts, wafer_diameters_mm=wafer_diameters_mm,
+            fab_locations=fab_locations, max_configs=max_configs,
+            chunk=chunk, seed=seed,
         ))
 
     # -- native-report path (local sessions; the studies' building block) ----

@@ -36,6 +36,14 @@ Study kinds (wire ``type`` in parentheses where it differs):
 ``tornado``
     One-at-a-time sensitivity over the backend's own factor set.
     Fields: ``design``, ``workload``, ``fab_location``, ``backend``.
+``optimize``
+    Pareto-frontier search: a single-die 2D reference fanned over
+    integration × division × assembly × wafer size × fab location,
+    priced through the vectorized core in chunks, returning the
+    non-dominated front in (total carbon, performance, cost). Fields:
+    ``design``, ``workload``, ``integrations``, ``die_counts``,
+    ``wafer_diameters_mm``, ``fab_locations``, ``max_configs``,
+    ``chunk``, ``seed``, ``stream``.
 
 Designs are the CLI's documented JSON records (see
 :mod:`repro.io.designs`) or :class:`~repro.core.design.ChipDesign`
@@ -87,6 +95,12 @@ STUDY_KINDS: "dict[str, dict]" = {
         "wire": "tornado",
         "result": "swings",
         "summary": "one-at-a-time sensitivity over the backend's factors",
+    },
+    "optimize": {
+        "wire": "optimize",
+        "result": "front",
+        "summary": "vectorized Pareto search over the design grid; "
+                   "streamable",
     },
 }
 
@@ -167,9 +181,15 @@ class StudySpec:
     seed: int = DEFAULT_SEED
     backends: "tuple[str, ...] | None" = None
     return_samples: bool = False
-    #: Ask the service for a point stream (batch/sweep only); the local
-    #: executor streams regardless, so this only shapes the HTTP reply.
+    #: Ask the service for a point stream (batch/sweep/optimize only);
+    #: the local executor streams regardless, so this only shapes the
+    #: HTTP reply.
     stream: bool = False
+    #: optimize-only axes/knobs (None → the grid's documented defaults).
+    die_counts: "tuple[int, ...] | None" = None
+    wafer_diameters_mm: "tuple[float, ...] | None" = None
+    max_configs: "int | None" = None
+    chunk: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.kind not in STUDY_KINDS:
@@ -293,6 +313,42 @@ class StudySpec:
             backend=backend,
         )
 
+    @classmethod
+    def optimize(
+        cls,
+        design,
+        workload="av",
+        integrations: "list[str] | None" = None,
+        die_counts: "list[int] | None" = None,
+        wafer_diameters_mm: "list[float] | None" = None,
+        fab_locations: "list | None" = None,
+        max_configs: "int | None" = None,
+        chunk: "int | None" = None,
+        seed: int = DEFAULT_SEED,
+        stream: bool = False,
+    ) -> "StudySpec":
+        """Pareto-frontier search from a single-die 2D reference."""
+        return cls(
+            kind="optimize",
+            design=design_value(design),
+            workload=workload_value(workload),
+            integrations=(
+                None if integrations is None else tuple(integrations)
+            ),
+            die_counts=None if die_counts is None else tuple(die_counts),
+            wafer_diameters_mm=(
+                None if wafer_diameters_mm is None
+                else tuple(wafer_diameters_mm)
+            ),
+            fab_locations=(
+                None if fab_locations is None else tuple(fab_locations)
+            ),
+            max_configs=max_configs,
+            chunk=chunk,
+            seed=seed,
+            stream=stream,
+        )
+
     # -- defaults ------------------------------------------------------------
 
     def with_default_backend(self, backend: "str | None") -> "StudySpec":
@@ -300,9 +356,10 @@ class StudySpec:
 
         Only fields the spec left unset change; an explicit per-spec
         backend always wins. ``compare`` specs are untouched (they fan
-        over backends by design).
+        over backends by design), as are ``optimize`` specs (the
+        vectorized search is 3D-Carbon-native).
         """
-        if backend is None or self.kind == "compare":
+        if backend is None or self.kind in ("compare", "optimize"):
             return self
         if self.kind == "batch":
             points = tuple(
@@ -330,6 +387,23 @@ class StudySpec:
             return payload
         payload["design"] = self.design
         payload["workload"] = self.workload
+        if self.kind == "optimize":
+            if self.integrations is not None:
+                payload["integrations"] = list(self.integrations)
+            if self.die_counts is not None:
+                payload["die_counts"] = list(self.die_counts)
+            if self.wafer_diameters_mm is not None:
+                payload["wafer_diameters_mm"] = list(self.wafer_diameters_mm)
+            if self.fab_locations is not None:
+                payload["fab_locations"] = list(self.fab_locations)
+            if self.max_configs is not None:
+                payload["max_configs"] = self.max_configs
+            if self.chunk is not None:
+                payload["chunk"] = self.chunk
+            payload["seed"] = self.seed
+            if self.stream:
+                payload["stream"] = True
+            return payload
         if self.fab_location is not None and self.kind != "sweep":
             payload["fab_location"] = self.fab_location
         if self.kind == "evaluate":
@@ -382,6 +456,19 @@ class StudySpec:
         fields["workload"] = payload.get(
             "workload", "none" if kind == "compare" else "av"
         )
+        if kind == "optimize":
+            for key in ("integrations", "die_counts", "fab_locations"):
+                value = payload.get(key)
+                if value is not None:
+                    fields[key] = tuple(value)
+            wafers = payload.get("wafer_diameters_mm")
+            if wafers is not None:
+                fields["wafer_diameters_mm"] = tuple(wafers)
+            fields["max_configs"] = payload.get("max_configs")
+            fields["chunk"] = payload.get("chunk")
+            fields["seed"] = payload.get("seed", DEFAULT_SEED)
+            fields["stream"] = bool(payload.get("stream", False))
+            return cls(**fields)
         fields["fab_location"] = payload.get("fab_location")
         if kind == "evaluate":
             fields["label"] = payload.get("label")

@@ -6,6 +6,9 @@ Sub-commands mirror the paper's artifacts:
 * ``validate-epyc`` / ``validate-lakefield`` — the Fig. 4 comparisons;
 * ``drive --approach homogeneous|heterogeneous`` — the Fig. 5 grid;
 * ``table5`` — the Sec. 5.2 decision table;
+* ``optimize`` — vectorized Pareto search over the integration ×
+  die-count × wafer × grid design space (the ``/optimize`` study;
+  ``--stream`` prints a running front snapshot per evaluated chunk);
 * ``bench`` — naive-vs-engine perf benches (writes ``BENCH_engine.json``;
   with ``--service``, the warm-vs-cold store throughput bench →
   ``BENCH_service.json``);
@@ -202,6 +205,105 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _optimize_reference(name: str):
+    """The optimize reference design: a DRIVE device name or a JSON path.
+
+    The grid needs a single-die 2D reference with a gate count (splits
+    re-partition the gates), so the built-ins are the Table 4 DRIVE
+    rows rather than the multi-die validation designs.
+    """
+    from .studies.drive import NVIDIA_DRIVE_SERIES, drive_2d_design
+
+    if name.lower() in (d.name.lower() for d in NVIDIA_DRIVE_SERIES):
+        return drive_2d_design(name)
+    with open(name, encoding="utf-8") as handle:
+        return design_from_dict(json.load(handle))
+
+
+def _axis_list(text: "str | None", coerce=None) -> "list | None":
+    """Comma-separated axis override → list (None passes the default)."""
+    if text is None:
+        return None
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if coerce is not None:
+        items = [coerce(item) for item in items]
+    return items
+
+
+def _location_value(text: str) -> "str | float":
+    """A fab location axis entry: grid name, or raw g CO2/kWh number."""
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """Vectorized Pareto search through the Session facade.
+
+    Local by default; ``--service URL`` sends the same wire payload to
+    ``POST /optimize`` — the returned front is bit-identical either way.
+    """
+    from .api import StudySpec
+
+    reference = _optimize_reference(args.design)
+    spec = StudySpec.optimize(
+        reference,
+        workload=args.workload,
+        integrations=_axis_list(args.integrations),
+        die_counts=_axis_list(args.die_counts, int),
+        wafer_diameters_mm=_axis_list(args.wafers, float),
+        fab_locations=_axis_list(args.locations, _location_value),
+        max_configs=args.max_configs,
+        chunk=args.chunk,
+        seed=args.seed,
+    )
+    with _session_for_args(args) as session:
+        if args.stream:
+            handle = session.submit(spec)
+            for snapshot in handle.partial():
+                if snapshot.kind != "front":
+                    continue
+                entry = snapshot.payload
+                print(
+                    f"  chunk {entry['chunk']:>4d}  evaluated "
+                    f"{entry['evaluated']:>9,d}  errors "
+                    f"{entry['errors']:>6,d}  front {entry['front_size']:>4d}",
+                    file=sys.stderr, flush=True,
+                )
+            result = handle.result()
+        else:
+            result = session.run(spec)
+    payload = result.to_payload()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"Pareto front — {payload['design']} "
+        f"({payload['evaluated']:,} configurations, "
+        f"{payload['errors']:,} invalid, {payload['chunks']} chunks)"
+    )
+    objectives = ", ".join(
+        f"{name} {goal}" for name, goal in payload["objectives"].items()
+    )
+    print(f"objectives: {objectives}")
+    header = (f"{'label':<34} {'wafer':>6} {'location':<10} "
+              f"{'total kg':>9} {'perf TOPS':>9} {'cost mm2':>9}")
+    print(header)
+    print("-" * len(header))
+    for point in payload["front"]:
+        location = point["fab_location"]
+        if isinstance(location, float):
+            location = f"{location:g}g"
+        print(
+            f"{point['label']:<34.34} {point['wafer_diameter_mm']:>6.0f} "
+            f"{location:<10.10} {point['total_kg']:>9.2f} "
+            f"{point['performance_tops']:>9.1f} {point['cost_mm2']:>9.1f}"
+        )
+    print(f"{payload['front_size']} non-dominated configurations")
+    return 0
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     with open(args.design, encoding="utf-8") as handle:
         design = design_from_dict(json.load(handle))
@@ -320,7 +422,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if server.faults.active:
         print(f"  faults  : {server.faults.describe()}", flush=True)
     print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
-          "/tornado /healthz /healthz/live /healthz/ready /stats /metrics",
+          "/tornado /optimize /healthz /healthz/live /healthz/ready "
+          "/stats /metrics",
           flush=True)
     serve_forever(server)
     print("carbon3d service drained; exiting", flush=True)
@@ -582,6 +685,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_search.add_argument("design", help="path to a 2D reference JSON design")
     p_search.set_defaults(func=_cmd_search)
+
+    p_opt = sub.add_parser(
+        "optimize",
+        help="vectorized Pareto search over integration × die-count × "
+             "wafer × grid axes (local, or --service /optimize)",
+    )
+    p_opt.add_argument(
+        "design",
+        help="2D reference: a design JSON path, or a built-in DRIVE "
+             "device name (px2, xavier, orin, thor)",
+    )
+    p_opt.add_argument(
+        "--workload", choices=("av", "none"), default="av",
+        help="operational workload priced into total_kg (default: av)",
+    )
+    p_opt.add_argument(
+        "--integrations", default=None, metavar="LIST",
+        help="comma-separated integration axis (default: the case-study "
+             "seven; see `carbon3d technologies`)",
+    )
+    p_opt.add_argument(
+        "--die-counts", default=None, metavar="LIST",
+        help="comma-separated die-count axis for split variants "
+             "(default: 2,3,4)",
+    )
+    p_opt.add_argument(
+        "--wafers", default=None, metavar="LIST",
+        help="comma-separated wafer diameters in mm (default: 200,300,450)",
+    )
+    p_opt.add_argument(
+        "--locations", default=None, metavar="LIST",
+        help="comma-separated fab grids (names or g CO2/kWh numbers; "
+             "default: the session's --fab-location)",
+    )
+    p_opt.add_argument(
+        "--max-configs", type=int, default=None,
+        help="evaluate only the first N sampled configurations",
+    )
+    p_opt.add_argument(
+        "--chunk", type=int, default=None,
+        help="evaluation chunk size (default: 25000)",
+    )
+    p_opt.add_argument("--seed", type=int, default=20240623)
+    p_opt.add_argument(
+        "--stream", action="store_true",
+        help="print a running front snapshot per chunk (stderr) while "
+             "the search runs",
+    )
+    p_opt.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_opt.add_argument(
+        "--service", default=None, metavar="URL",
+        help="run the search on a running carbon3d service "
+             "(POST /optimize) instead of computing locally",
+    )
+    p_opt.add_argument(
+        "--token", default=None,
+        help="shared-secret token for an authenticated --service server",
+    )
+    p_opt.set_defaults(func=_cmd_optimize)
 
     p_sens = sub.add_parser(
         "sensitivity", help="one-at-a-time tornado study for a design"

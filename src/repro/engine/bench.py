@@ -1,12 +1,17 @@
 """Engine performance benches: naive-vs-engine timings → ``BENCH_engine.json``.
 
-Two workloads, sized like the studies an architect would actually run:
+Three workloads, sized like the studies an architect would actually run:
 
 * **monte_carlo** — a 500-draw Monte-Carlo over the default factor set of
   a hybrid-bonded 3D split of an ORIN-class 2D reference, with the AV
   workload attached;
 * **grid** — an 8-integration × 5-fab-location lifecycle grid of the
-  same reference.
+  same reference;
+* **grid_vectorized** — a ≥10⁵-point design-space grid (the full
+  case-study integration × die-count span crossed with a dense wafer
+  axis and a named + raw-CI location mix) through the structure-of-
+  arrays core (:mod:`repro.vec`), against the scalar engine loop and
+  the naive per-point path (see :func:`bench_grid_vectorized`).
 
 The *naive* timings reproduce the pre-engine behaviour exactly: one
 fresh :class:`CarbonModel` per point with every module-level cache
@@ -43,6 +48,17 @@ GRID_INTEGRATIONS = (
 )
 #: Fab locations of the grid bench (Table 2's 30–700 g/kWh span).
 GRID_LOCATIONS = ("iceland", "france", "usa", "taiwan", "india")
+
+#: Fab-location axis of the vectorized-grid bench: the named Table 2
+#: grids plus raw g CO2/kWh intensities (both spellings the grid API
+#: accepts, so the bench exercises the interned-CI path for each).
+VEC_GRID_LOCATIONS = (
+    "iceland", "france", "usa", "taiwan", "india",
+    30.0, 120.0, 480.0, 650.0, 700.0,
+)
+#: Wafer axis of the vectorized-grid bench spans [250, 500] mm; at the
+#: default 251 steps the full grid crosses ≥10⁵ points.
+VEC_GRID_WAFER_SPAN_MM = (250.0, 500.0)
 
 
 def clear_model_caches() -> None:
@@ -237,16 +253,186 @@ def bench_grid(repeats: int = 3) -> dict:
     }
 
 
+def bench_grid_vectorized(
+    repeats: int = 3,
+    wafer_steps: int = 251,
+    naive_points: int = 400,
+    seed: int = 20240623,
+) -> dict:
+    """Time the vectorized core on a ~10⁵-point design-space grid.
+
+    Three tiers over the same grid (the full case-study integration ×
+    die-count span crossed with a dense wafer axis and
+    :data:`VEC_GRID_LOCATIONS`):
+
+    * **vectorized** — one :meth:`BatchEvaluator.evaluate_grid` call
+      (shape-group planning + columnar math), best of ``repeats``;
+    * **scalar** — the per-point engine loop the vectorized core
+      replaces (``report()`` with a per-wafer parameter override),
+      timed once over the full grid — at seconds per pass its relative
+      timer noise is negligible;
+    * **naive** — the pre-engine path (fresh :class:`CarbonModel`, every
+      cache cleared per point), timed on a deterministic ``naive_points``
+      subsample and extrapolated to the full grid
+      (``naive_extrapolated`` marks the estimate).
+
+    Equivalence is asserted, not assumed: scalar totals must be
+    bit-identical to the vectorized ``total_kg`` column on every valid
+    point (and the error sets must align point-for-point); the naive
+    subsample must match the same column at its indices.
+    """
+    if repeats < 1:
+        raise ParameterError(f"need >= 1 bench repeat, got {repeats}")
+    if wafer_steps < 2:
+        raise ParameterError(f"need >= 2 wafer steps, got {wafer_steps}")
+    import random
+
+    import numpy as np
+
+    from ..errors import DesignError
+    from ..vec import DesignGrid
+
+    low, high = VEC_GRID_WAFER_SPAN_MM
+    wafers = tuple(
+        low + i * (high - low) / (wafer_steps - 1)
+        for i in range(wafer_steps)
+    )
+    grid = DesignGrid.from_axes(
+        reference_design(),
+        wafer_diameters_mm=wafers,
+        fab_locations=VEC_GRID_LOCATIONS,
+        workload="av",
+    )
+    n = len(grid.points)
+
+    vectorized_s = float("inf")
+    result = None
+    for _ in range(repeats):
+        clear_model_caches()
+        evaluator = BatchEvaluator()
+        start = time.perf_counter()
+        result = evaluator.evaluate_grid(grid)
+        vectorized_s = min(vectorized_s, time.perf_counter() - start)
+    vec_totals = result.column("total_kg")
+
+    # Scalar engine loop: same memoized engine, one point at a time.
+    clear_model_caches()
+    evaluator = BatchEvaluator()
+    wafer_params: dict = {}
+    scalar_totals = np.full(n, np.nan)
+    scalar_errors: "list[str | None]" = [None] * n
+    start = time.perf_counter()
+    for index, point in enumerate(grid.points):
+        params = wafer_params.get(point.wafer_diameter_mm)
+        if params is None:
+            params = evaluator.params.with_wafer_diameter(
+                point.wafer_diameter_mm
+            )
+            wafer_params[point.wafer_diameter_mm] = params
+        try:
+            report = evaluator.report(
+                point.design, workload=grid.workload, params=params,
+                fab_location=point.fab_location,
+            )
+        except (DesignError, ParameterError) as error:
+            scalar_errors[index] = str(error)
+            continue
+        scalar_totals[index] = report.total_kg
+    scalar_s = time.perf_counter() - start
+
+    valid = result.valid_mask
+    identical = (
+        all(
+            (a is None) == (b is None)
+            for a, b in zip(scalar_errors, result.errors)
+        )
+        and np.array_equal(scalar_totals[valid], vec_totals[valid])
+    )
+    if not identical:
+        raise AssertionError(
+            "vectorized grid diverged from the scalar engine"
+        )
+
+    # Naive tier: deterministic subsample, extrapolated to the grid.
+    sample = sorted(
+        random.Random(seed).sample(range(n), min(naive_points, n))
+    )
+    naive_sampled_s = float("inf")
+    for _ in range(repeats):
+        naive_totals = []
+        naive_errors = []
+        clear_model_caches()
+        start = time.perf_counter()
+        for index in sample:
+            point = grid.points[index]
+            clear_model_caches()
+            params = DEFAULT_PARAMETERS.with_wafer_diameter(
+                point.wafer_diameter_mm
+            )
+            try:
+                report = CarbonModel(
+                    point.design, params, point.fab_location
+                ).evaluate(grid.workload)
+            except (DesignError, ParameterError) as error:
+                naive_totals.append(None)
+                naive_errors.append(str(error))
+                continue
+            naive_totals.append(report.total_kg)
+            naive_errors.append(None)
+        naive_sampled_s = min(naive_sampled_s, time.perf_counter() - start)
+    for position, index in enumerate(sample):
+        vec_value = float(vec_totals[index])
+        naive_value = naive_totals[position]
+        if (naive_errors[position] is None) != (result.errors[index] is None):
+            raise AssertionError(
+                "vectorized grid errors diverged from the naive path"
+            )
+        if naive_value is not None and naive_value != vec_value:
+            raise AssertionError(
+                "vectorized grid diverged from the naive per-point path"
+            )
+    naive_s = naive_sampled_s * (n / len(sample))
+
+    return {
+        "points": n,
+        "designs": len(grid.designs),
+        "wafer_steps": wafer_steps,
+        "locations": len(VEC_GRID_LOCATIONS),
+        "shape_groups": result.group_count,
+        "design_blocks": result.block_count,
+        "grid_errors": result.error_count,
+        "vectorized_s": vectorized_s,
+        "scalar_s": scalar_s,
+        "naive_sampled_points": len(sample),
+        "naive_sampled_s": naive_sampled_s,
+        "naive_s": naive_s,
+        "naive_extrapolated": True,
+        "speedup_vs_scalar": scalar_s / vectorized_s,
+        "speedup": naive_s / vectorized_s,
+        "identical": True,
+    }
+
+
 def run_benches(
     output_path: "str | None" = "BENCH_engine.json",
     samples: int = 500,
     repeats: int = 3,
 ) -> dict:
-    """Run both benches and (optionally) write the JSON report."""
+    """Run the benches and (optionally) write the JSON report.
+
+    The vectorized-grid bench scales its wafer axis with the draw
+    count: the full ≥10⁵-point grid at the default 500 draws, a
+    21-step (~8.6k-point) smoke grid under CI's ``--quick`` — the
+    equivalence assertions run either way.
+    """
+    wafer_steps = 251 if samples >= 500 else 21
     result = {
         "bench": "engine",
         "monte_carlo": bench_monte_carlo(samples=samples, repeats=repeats),
         "grid": bench_grid(repeats=repeats),
+        "grid_vectorized": bench_grid_vectorized(
+            repeats=repeats, wafer_steps=wafer_steps
+        ),
     }
     if output_path:
         from ..io.results import write_bench_report
@@ -279,4 +465,16 @@ def format_benches(result: dict) -> str:
         f"{grid['engine_s'] * 1e3:.1f}ms ({grid['speedup']:.1f}×, "
         f"identical={grid['identical']})"
     )
+    vec = result.get("grid_vectorized")
+    if vec is not None:
+        lines.append(
+            f"grid_vec     {vec['points']:,} points ({vec['designs']} "
+            f"designs × {vec['wafer_steps']} wafers × {vec['locations']} "
+            f"locations, {vec['shape_groups']} shape-groups): naive "
+            f"~{vec['naive_s']:.2f}s (est) → scalar {vec['scalar_s']:.2f}s "
+            f"→ vectorized {vec['vectorized_s'] * 1e3:.1f}ms "
+            f"({vec['speedup']:.0f}× vs naive, "
+            f"{vec['speedup_vs_scalar']:.0f}× vs scalar, "
+            f"identical={vec['identical']})"
+        )
     return "\n".join(lines)

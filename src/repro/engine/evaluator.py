@@ -48,7 +48,7 @@ from ..core.operational import (
 )
 from ..core.report import LifecycleReport
 from ..core.resolve import ResolveCache, ResolvedDesign, resolve_design
-from ..errors import EvaluationTimeout, ParameterError
+from ..errors import DesignError, EvaluationTimeout, ParameterError
 from ..obs import trace as obs_trace
 from ..resilience.faults import resolve_injector
 from ..pipeline import fingerprint as fp
@@ -704,6 +704,86 @@ class BatchEvaluator:
             design, backend, params=params, fab_location=fab_location,
             workload=workload, transient=transient,
         ).total_kg
+
+    def evaluate_grid(self, grid, backend=None):
+        """Price a :class:`~repro.vec.DesignGrid` → columnar
+        :class:`~repro.vec.GridResult`.
+
+        The default 3D-Carbon backend (``backend=None``, or a
+        :class:`Repro3DBackend` whose efficiency plugin matches this
+        engine's) takes the vectorized fast path: shape-group planning
+        plus columnar math over the wafer-diameter and fab-CI axes,
+        bit-identical to the scalar pipeline (see :mod:`repro.vec`).
+        Every other backend falls back to a per-point loop through
+        :meth:`backend_report`, producing the same result shape — the
+        backend-agnostic columns (``total_kg``/``embodied_kg``/
+        ``operational_kg``) are filled, the 3D-Carbon-specific ones
+        (component breakdown, performance, cost) stay NaN.
+        """
+        from ..vec.evaluate import (
+            COLUMN_NAMES,
+            GridResult,
+            evaluate_grid as _vec_evaluate_grid,
+        )
+        from ..vec.plan import VectorizedBatch
+
+        if backend is not None:
+            backend = resolve_backend(backend)
+        if backend is None or (
+            isinstance(backend, Repro3DBackend)
+            and backend.efficiency_plugin is self.efficiency_plugin
+        ):
+            return _vec_evaluate_grid(grid, evaluator=self)
+
+        batch = VectorizedBatch.plan(grid)
+        points = grid.points
+        n = len(points)
+        import numpy as np
+
+        with obs_trace.span(
+            "vec.eval", points=n, groups=batch.group_count,
+            backend=backend.name,
+        ) as span:
+            columns = {
+                name: np.full(n, np.nan) for name in COLUMN_NAMES
+            }
+            errors: "list[str | None]" = [None] * n
+            wafer_params: dict = {}
+            for index, point in enumerate(points):
+                params = wafer_params.get(point.wafer_diameter_mm)
+                if params is None:
+                    params = self.params.with_wafer_diameter(
+                        point.wafer_diameter_mm
+                    )
+                    wafer_params[point.wafer_diameter_mm] = params
+                try:
+                    report = self.backend_report(
+                        point.design, backend, params=params,
+                        fab_location=point.fab_location,
+                        workload=grid.workload,
+                    )
+                except (DesignError, ParameterError) as err:
+                    errors[index] = str(err)
+                    continue
+                columns["total_kg"][index] = report.total_kg
+                columns["embodied_kg"][index] = report.embodied_kg
+                if report.operational_kg is not None:
+                    columns["operational_kg"][index] = report.operational_kg
+            error_count = sum(1 for e in errors if e is not None)
+            if span is not None:
+                span.attrs["errors"] = error_count
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "carbon3d_vec_points_total",
+                    "Grid points evaluated through the vectorized core",
+                ).inc(n)
+        return GridResult(
+            grid=grid,
+            columns=columns,
+            errors=tuple(errors),
+            group_count=batch.group_count,
+            block_count=batch.block_count,
+        )
 
     def evaluate(self, point: EvalPoint):
         """Evaluate one :class:`EvalPoint`.

@@ -33,7 +33,8 @@ header to every request; overruns come back as typed 504 payloads.
 
 :meth:`stream_batch` / :meth:`stream_sweep` consume the server's NDJSON
 point streams (``"stream": true``), yielding each point entry as the
-server finishes it.
+server finishes it; :meth:`stream_optimize` consumes the Pareto
+search's per-chunk front snapshots the same way.
 """
 
 from __future__ import annotations
@@ -409,6 +410,61 @@ class ServiceClient:
             payload["backend"] = backend
         return self._post("/tornado", payload)
 
+    def _optimize_payload(
+        self,
+        design,
+        workload,
+        integrations,
+        die_counts,
+        wafer_diameters_mm,
+        fab_locations,
+        max_configs,
+        chunk,
+        seed,
+    ) -> dict:
+        payload: dict = {
+            "type": "optimize",
+            "design": _design_value(design),
+            "workload": _workload_value(workload),
+            "seed": seed,
+        }
+        if integrations is not None:
+            payload["integrations"] = integrations
+        if die_counts is not None:
+            payload["die_counts"] = die_counts
+        if wafer_diameters_mm is not None:
+            payload["wafer_diameters_mm"] = wafer_diameters_mm
+        if fab_locations is not None:
+            payload["fab_locations"] = fab_locations
+        if max_configs is not None:
+            payload["max_configs"] = max_configs
+        if chunk is not None:
+            payload["chunk"] = chunk
+        return payload
+
+    def optimize(
+        self,
+        design,
+        workload="av",
+        integrations: "list[str] | None" = None,
+        die_counts: "list[int] | None" = None,
+        wafer_diameters_mm: "list[float] | None" = None,
+        fab_locations: "list | None" = None,
+        max_configs: "int | None" = None,
+        chunk: "int | None" = None,
+        seed: int = 20240623,
+    ) -> dict:
+        """Server-side Pareto search over the case-study design grid.
+
+        ``None`` axes take the grid defaults; the result envelope's
+        ``result.front`` is the sorted non-dominated set over (carbon,
+        performance, cost).
+        """
+        return self._post("/optimize", self._optimize_payload(
+            design, workload, integrations, die_counts, wafer_diameters_mm,
+            fab_locations, max_configs, chunk, seed,
+        ))
+
     # -- streaming -----------------------------------------------------------
 
     def submit_payload(self, payload: dict) -> dict:
@@ -424,12 +480,14 @@ class ServiceClient:
         return self._post(f"/{kind}", dict(payload))
 
     def stream_payload(self, payload: dict):
-        """POST a ``"stream": true`` batch/sweep request; yield its points.
+        """POST a ``"stream": true`` request; yield its NDJSON entries.
 
-        A generator over the NDJSON entries (``{"index", "label",
-        "cache", "report"}``), raising :class:`ServiceError` on an
-        in-band error line or a stream that ends without its
-        ``{"done": ...}`` terminator (truncated response).
+        A generator over the stream's entries — per-point records
+        (``{"index", "label", "cache", "report"}``) for batch/sweep,
+        per-chunk front snapshots for optimize — raising
+        :class:`ServiceError` on an in-band error line or a stream that
+        ends without its ``{"done": ...}`` terminator (truncated
+        response).
         """
         kind = payload.get("type")
         if not isinstance(kind, str) or not kind:
@@ -490,3 +548,21 @@ class ServiceClient:
         if backend is not None:
             payload["backend"] = backend
         return self.stream_payload(payload)
+
+    def stream_optimize(
+        self,
+        design,
+        workload="av",
+        integrations: "list[str] | None" = None,
+        die_counts: "list[int] | None" = None,
+        wafer_diameters_mm: "list[float] | None" = None,
+        fab_locations: "list | None" = None,
+        max_configs: "int | None" = None,
+        chunk: "int | None" = None,
+        seed: int = 20240623,
+    ):
+        """Stream a Pareto search chunk-by-chunk (running front snapshots)."""
+        return self.stream_payload(self._optimize_payload(
+            design, workload, integrations, die_counts, wafer_diameters_mm,
+            fab_locations, max_configs, chunk, seed,
+        ))

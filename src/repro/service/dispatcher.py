@@ -43,11 +43,14 @@ from ..resilience.faults import resolve_injector
 from ..pipeline.registry import DEFAULT_BACKEND, backend_names, resolve_backend
 from ..pipeline.stage import EvalContext
 from .schema import (
+    MAX_GRID_POINTS,
     SCHEMA_VERSION,
     BatchRequest,
     CompareRequest,
     EvaluateRequest,
     MonteCarloRequest,
+    OptimizeRequest,
+    SchemaError,
     SweepRequest,
     TornadoRequest,
     workload_to_value,
@@ -784,6 +787,169 @@ class Dispatcher:
             "seed": request.seed,
             "backends": rows,
         }
+
+    # -- optimize ------------------------------------------------------------
+
+    def _optimize_axes(self, request: OptimizeRequest) -> tuple:
+        """Resolve the request's grid axes against the grid defaults (and
+        the server's default fab location), guarding the expansion bound."""
+        # Deferred: the vec package pulls in numpy, which evaluate-only
+        # deployments never need.
+        from ..units import WAFER_DIAMETERS_MM
+        from ..vec.grid import GRID_DIE_COUNTS, GRID_INTEGRATIONS
+
+        integrations = tuple(
+            request.integrations
+            if request.integrations is not None
+            else GRID_INTEGRATIONS
+        )
+        die_counts = tuple(
+            request.die_counts
+            if request.die_counts is not None
+            else GRID_DIE_COUNTS
+        )
+        wafers = tuple(
+            request.wafer_diameters_mm
+            if request.wafer_diameters_mm is not None
+            else WAFER_DIAMETERS_MM
+        )
+        locations = tuple(
+            request.fab_locations
+            if request.fab_locations is not None
+            else (self.fab_location,)
+        )
+        # Upper bound on the expanded grid: one 2D point plus, per
+        # integration, at most two assembly flows × (every homogeneous
+        # die count + one heterogeneous split) — crossed with the
+        # physical axes. Checked before expansion so an oversized
+        # request never materialises millions of points.
+        variants = 1 + len(integrations) * 2 * (len(die_counts) + 1)
+        bound = variants * len(wafers) * len(locations)
+        if bound > MAX_GRID_POINTS:
+            raise SchemaError(
+                f"optimize grid may expand to {bound} points, past the "
+                f"{MAX_GRID_POINTS}-point limit; narrow an axis"
+            )
+        return integrations, die_counts, wafers, locations
+
+    def _optimize_search(self, request: OptimizeRequest, axes: tuple):
+        from ..analysis.optimizer import DEFAULT_CHUNK, ParetoSearch
+
+        integrations, die_counts, wafers, locations = axes
+        return ParetoSearch.from_axes(
+            request.reference,
+            params=self.params,
+            workload=request.workload,
+            integrations=integrations,
+            die_counts=die_counts,
+            wafer_diameters_mm=wafers,
+            fab_locations=locations,
+            chunk=(
+                request.chunk if request.chunk is not None else DEFAULT_CHUNK
+            ),
+            evaluator=self.evaluator,
+        )
+
+    def _optimize_key(self, request: OptimizeRequest, axes: tuple) -> str:
+        """Content key over everything the search can observe: the full
+        parameter set, the reference design, the workload, the resolved
+        axes and the sampling/chunking knobs.
+
+        Unlike the point routes there is no per-stage fingerprint to
+        lean on — the grid prices *derived* designs across every
+        integration spec — so the key pins the whole parameter set.
+        """
+        from ..config.loader import parameters_to_dict
+        from ..io.designs import design_to_dict
+
+        integrations, die_counts, wafers, locations = axes
+        return content_key((
+            "optimize",
+            SCHEMA_VERSION,
+            parameters_to_dict(self.params),
+            design_to_dict(request.reference),
+            workload_to_value(request.workload),
+            integrations,
+            die_counts,
+            wafers,
+            locations,
+            request.max_configs,
+            request.chunk,
+            request.seed,
+        ))
+
+    def _front_payload(self, request: OptimizeRequest, front) -> dict:
+        return {
+            "design": request.reference.name,
+            "workload": workload_to_value(request.workload),
+            "max_configs": request.max_configs,
+            "seed": request.seed,
+            **front.to_dict(),
+        }
+
+    @_instrumented("optimize")
+    def optimize(
+        self, request: OptimizeRequest, *, deadline: "Deadline | None" = None
+    ) -> "tuple[dict, str]":
+        """Vectorized Pareto search → (front payload, cache tag).
+
+        The grid expands and evaluates inside ``compute`` (a store hit
+        pays nothing); ``points`` counts actually-evaluated grid points,
+        so it is incremented there too.
+        """
+        self.stats.inc("requests")
+        axes = self._optimize_axes(request)
+        key = self._optimize_key(request, axes)
+
+        def compute() -> dict:
+            search = self._optimize_search(request, axes)
+            front = search.run(
+                max_configs=request.max_configs, seed=request.seed
+            )
+            self.stats.inc("points", front.evaluated)
+            return self._front_payload(request, front)
+
+        return self._compute_through(key, compute, deadline)
+
+    def stream_optimize(
+        self, request: OptimizeRequest, *, deadline: "Deadline | None" = None
+    ) -> "tuple[int, 'Iterator[dict]']":
+        """Streaming search: (chunk count, per-chunk snapshot iterator).
+
+        Each NDJSON entry is one evaluated chunk's running front
+        snapshot, so the stream's framing total counts *chunks* (each
+        snapshot carries its own cumulative ``evaluated`` point count);
+        the final entry's ``front`` is the full sorted front,
+        bit-identical to the enveloped :meth:`optimize` result's.
+        Streams always compute fresh (front snapshots are incremental
+        state, not per-point results the store could replay).
+        """
+        self.stats.inc("requests")
+        axes = self._optimize_axes(request)
+        search = self._optimize_search(request, axes)
+        points = len(search.grid.points)
+        if request.max_configs is not None:
+            points = min(points, request.max_configs)
+        self.stats.inc("points", points)
+        total = -(-points // search.chunk)
+
+        def entries() -> "Iterator[dict]":
+            snapshots = search.stream(
+                max_configs=request.max_configs, seed=request.seed
+            )
+            while True:
+                if deadline is not None:
+                    # Before each chunk's evaluation: a streamed search
+                    # stops with a typed trailer once the budget runs
+                    # out, keeping every snapshot already written valid.
+                    deadline.check("streamed request")
+                try:
+                    snapshot = next(snapshots)
+                except StopIteration:
+                    return
+                yield snapshot
+
+        return total, entries()
 
     def stats_dict(self) -> dict:
         """JSON-ready dispatcher + engine + store statistics."""

@@ -25,17 +25,24 @@ Request kinds:
   factor set;
 * ``tornado`` — the one-at-a-time sensitivity study: every factor of the
   chosen backend's own set swung to its low/high extreme, results sorted
-  by swing.
+  by swing;
+* ``optimize`` — a 2D reference expanded over the case-study axes
+  (integration × division × die count × assembly × wafer size × fab
+  location) and searched for the carbon/performance/cost Pareto front
+  through the vectorized core (:class:`repro.analysis.ParetoSearch`).
 
 ``batch`` and ``sweep`` additionally accept ``"stream": true`` — the
 server then answers newline-delimited JSON (one header line, one line
 per point *as it finishes*, one terminator line) instead of a single
-enveloped array; see :mod:`repro.service.server`.
+enveloped array; ``optimize`` streams one front snapshot per evaluated
+chunk the same way; see :mod:`repro.service.server`.
 
 Every request kind accepts an optional ``"backend"`` — a registered
 :mod:`repro.pipeline` backend id (``repro3d`` by default, or one of the
 Sec. 4 baselines ``act`` / ``act_plus`` / ``lca`` / ``first_order``).
 Unknown names answer with the registry's typed ``BackendError`` payload.
+Exceptions: ``compare`` takes a ``backends`` *list*, and ``optimize``
+always prices through ``repro3d`` (the vectorized core's scalar twin).
 
 Responses are enveloped: ``{"schema": 1, "ok": true, "result": ...}``
 plus a ``cache`` tag (``"store"`` / ``"computed"`` / ``"coalesced"``)
@@ -64,6 +71,10 @@ SCHEMA_VERSION = 1
 MAX_BATCH_POINTS = 10_000
 MAX_MC_SAMPLES = 100_000
 
+#: ``/optimize`` expands its grid server-side through the vectorized
+#: core, so its ceiling sits far above the per-point batch limit.
+MAX_GRID_POINTS = 1_000_000
+
 #: Header carrying a per-request deadline budget in milliseconds; the
 #: server threads it through the dispatcher as a cooperative
 #: :class:`~repro.resilience.Deadline` and answers overruns with a typed
@@ -72,6 +83,7 @@ DEADLINE_HEADER = "X-Carbon3D-Deadline-Ms"
 
 REQUEST_TYPES = (
     "evaluate", "batch", "sweep", "montecarlo", "compare", "tornado",
+    "optimize",
 )
 
 
@@ -374,6 +386,30 @@ class CompareRequest:
     seed: int = 20240623
 
 
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """A vectorized Pareto search over the case-study design grid.
+
+    ``None`` axes take the grid defaults (see
+    :meth:`repro.vec.DesignGrid.from_axes`; fab locations default to the
+    server's configured location). ``max_configs`` subsamples the
+    expanded grid deterministically under ``seed``; ``chunk`` sets the
+    vectorized evaluation block size (the front is chunk-invariant, the
+    reported chunk count is not).
+    """
+
+    reference: ChipDesign
+    workload: "Workload | None"
+    integrations: "tuple[str, ...] | None" = None
+    die_counts: "tuple[int, ...] | None" = None
+    wafer_diameters_mm: "tuple[float, ...] | None" = None
+    fab_locations: "tuple | None" = None
+    max_configs: "int | None" = None
+    chunk: "int | None" = None
+    seed: int = 20240623
+    stream: bool = False
+
+
 def _parse_design(value, where: str) -> ChipDesign:
     return design_from_dict(_require_mapping(value, where))
 
@@ -592,6 +628,86 @@ def parse_compare_request(data) -> CompareRequest:
     )
 
 
+def parse_optimize_request(data) -> OptimizeRequest:
+    data = _require_mapping(data, "request")
+    _check_envelope(data, "optimize")
+    _reject_unknown(
+        data,
+        ("schema", "type", "design", "workload", "integrations",
+         "die_counts", "wafer_diameters_mm", "fab_locations", "max_configs",
+         "chunk", "seed", "stream"),
+        "request",
+    )
+    if "design" not in data:
+        raise SchemaError("optimize request missing \"design\"",
+                          field="design")
+    reference = _parse_design(data["design"], "design")
+    integrations = data.get("integrations")
+    if integrations is not None:
+        if not isinstance(integrations, list) or not integrations or not all(
+            isinstance(name, str) and name for name in integrations
+        ):
+            raise SchemaError(
+                "optimize \"integrations\" must be a non-empty array of "
+                "names",
+                field="integrations",
+            )
+        integrations = tuple(integrations)
+    die_counts = data.get("die_counts")
+    if die_counts is not None:
+        if not isinstance(die_counts, list) or not die_counts:
+            raise SchemaError(
+                "optimize \"die_counts\" must be a non-empty array of "
+                "integers",
+                field="die_counts",
+            )
+        die_counts = tuple(
+            _integer(value, f"die_counts[{index}]", 2, 64)
+            for index, value in enumerate(die_counts)
+        )
+    wafers = data.get("wafer_diameters_mm")
+    if wafers is not None:
+        if not isinstance(wafers, list) or not wafers:
+            raise SchemaError(
+                "optimize \"wafer_diameters_mm\" must be a non-empty array "
+                "of numbers",
+                field="wafer_diameters_mm",
+            )
+        wafers = tuple(
+            _number(value, f"wafer_diameters_mm[{index}]", minimum=0.0)
+            for index, value in enumerate(wafers)
+        )
+    fab_locations = data.get("fab_locations")
+    if fab_locations is not None:
+        if not isinstance(fab_locations, list) or not fab_locations:
+            raise SchemaError(
+                "optimize \"fab_locations\" must be a non-empty array",
+                field="fab_locations",
+            )
+        fab_locations = tuple(
+            _location(value, f"fab_locations[{index}]")
+            for index, value in enumerate(fab_locations)
+        )
+    max_configs = data.get("max_configs")
+    if max_configs is not None:
+        max_configs = _integer(max_configs, "max_configs", 1, MAX_GRID_POINTS)
+    chunk = data.get("chunk")
+    if chunk is not None:
+        chunk = _integer(chunk, "chunk", 1, MAX_GRID_POINTS)
+    return OptimizeRequest(
+        reference=reference,
+        workload=workload_from_value(data.get("workload", "av")),
+        integrations=integrations,
+        die_counts=die_counts,
+        wafer_diameters_mm=wafers,
+        fab_locations=fab_locations,
+        max_configs=max_configs,
+        chunk=chunk,
+        seed=_integer(data.get("seed", 20240623), "seed", 0, 2**62),
+        stream=_boolean(data.get("stream", False), "stream"),
+    )
+
+
 _PARSERS = {
     "evaluate": parse_evaluate_request,
     "batch": parse_batch_request,
@@ -599,6 +715,7 @@ _PARSERS = {
     "montecarlo": parse_montecarlo_request,
     "compare": parse_compare_request,
     "tornado": parse_tornado_request,
+    "optimize": parse_optimize_request,
 }
 
 

@@ -12,6 +12,8 @@ handler routes:
   one engine batch, optionally with per-backend uncertainty bands;
 * ``POST /tornado``    — the one-at-a-time sensitivity study over the
   backend's own factor set;
+* ``POST /optimize``   — the vectorized Pareto search over the
+  case-study design grid (carbon × performance × cost);
 * ``GET  /healthz``    — liveness + config echo (``/healthz/live`` and
   ``/healthz/ready`` split the probe for orchestrators);
 * ``GET  /stats``      — dispatcher / engine / store / service counters.
@@ -38,7 +40,8 @@ releases the listener and store — a graceful drain.
 (``{"schema": 1, "ok": true, "stream": <kind>, "points": N}``), then one
 line per point **as it finishes** — store hits immediately, computed
 points right after their engine call lands (each feeding the store) —
-and a ``{"done": true, "points": N}`` terminator. Entries keep input
+and a ``{"done": true, "points": N}`` terminator. ``/optimize`` streams
+the same framing with one running front snapshot per evaluated chunk. Entries keep input
 order and carry an explicit ``index``. A mid-stream failure emits one
 final ``{"ok": false, "error": {...}}`` line (the status line already
 went out as 200, so the error rides in-band).
@@ -298,8 +301,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
     #: Routes that exist, for bounded-cardinality metric labels.
     KNOWN_ROUTES = frozenset({
         "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
-        "/tornado", "/healthz", "/healthz/live", "/healthz/ready",
-        "/stats", "/metrics",
+        "/tornado", "/optimize", "/healthz", "/healthz/live",
+        "/healthz/ready", "/stats", "/metrics",
     })
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -491,6 +494,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, schema.ok_envelope(result, cache=source)
                 )
+            elif self.path == "/optimize":
+                request = schema.parse_optimize_request(body)
+                if request.stream:
+                    total, entries = dispatcher.stream_optimize(
+                        request, deadline=deadline
+                    )
+                    self._send_stream("optimize", total, entries)
+                else:
+                    result, source = dispatcher.optimize(
+                        request, deadline=deadline
+                    )
+                    self._send_json(
+                        200, schema.ok_envelope(result, cache=source)
+                    )
             else:
                 self._send_error(
                     404, schema.SchemaError(f"no such route: {self.path}")
@@ -630,8 +647,8 @@ class CarbonService(ThreadingHTTPServer):
             "max_inflight": self.gate.limit,
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
-                "/tornado", "/healthz", "/healthz/live", "/healthz/ready",
-                "/stats", "/metrics",
+                "/tornado", "/optimize", "/healthz", "/healthz/live",
+                "/healthz/ready", "/stats", "/metrics",
             ],
         })
 

@@ -1,0 +1,249 @@
+"""Columnar twins of the scalar embodied-carbon math.
+
+Every function here prices one resolved design over *columns* of wafer
+diameters and fab carbon intensities — the two axes the engine's resolve
+fingerprint provably excludes — and is pinned **bit-identical** to the
+scalar pipeline. Parity rests on three facts:
+
+* The column expressions replicate the scalar expression trees operator
+  by operator (same association order, same constants), using only
+  elementwise IEEE-exact numpy float64 ops (``+ - * /``); there is no
+  reduction (``np.sum`` would change the summation tree), only the same
+  sequential per-die accumulation the scalar loops perform, with a
+  ``0.0`` start (``0.0 + x == x`` exactly).
+* Wafer carbon is affine in the fab CI — ``energy = CI · EPA`` with gas
+  and material CI-free — so evaluating the scalar
+  :func:`~repro.core.wafer.wafer_carbon_per_cm2` at ``ci = 1.0`` yields
+  the exact EPA (``1.0 * x == x``), and ``ci_col * epa`` reproduces the
+  scalar energy term per element.
+* Everything else (yields, die areas, BEOL layering, packaging) is
+  constant across the column axes and comes from the *same* resolved
+  objects the scalar path uses.
+
+Per-point failures (a die too large for a small wafer, Eq. 5's DPW < 1)
+are masked and reported with the scalar path's own error message — they
+never poison the rest of the column.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config.integration import BondingMethod, SubstrateKind
+from ..config.parameters import ParameterSet
+from ..core.dpw import effective_area_per_die_mm2
+from ..core.packaging_carbon import packaging_carbon_kg
+from ..core.resolve import ResolvedDesign
+from ..core.wafer import m3d_wafer_carbon_per_cm2, wafer_carbon_per_cm2
+from ..units import mm2_to_cm2
+
+
+def wafer_area_col(wafer_mm: np.ndarray) -> np.ndarray:
+    """Columnar :func:`repro.units.wafer_area_mm2` (``π·(d/2)²``)."""
+    radius = wafer_mm / 2.0
+    return np.pi * radius * radius
+
+
+def dies_per_wafer_col(
+    wafer_mm: np.ndarray, die_area_mm2: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Columnar Eq. 5: ``(dpw, valid)`` over a wafer-diameter column.
+
+    ``valid`` is False where the die does not fit (``dpw < 1``) — the
+    condition the scalar :func:`~repro.core.dpw.dies_per_wafer` raises
+    :class:`~repro.errors.DesignError` for.
+    """
+    gross = wafer_area_col(wafer_mm) / die_area_mm2
+    edge_loss = np.pi * wafer_mm / math.sqrt(2.0 * die_area_mm2)
+    dpw = gross - edge_loss
+    return dpw, dpw >= 1.0
+
+
+def effective_area_col(
+    wafer_mm: np.ndarray, die_area_mm2: float
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Columnar A_wafer/DPW: ``(eff_area, dpw, valid)``."""
+    dpw, valid = dies_per_wafer_col(wafer_mm, die_area_mm2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        eff_area = wafer_area_col(wafer_mm) / dpw
+    return eff_area, dpw, valid
+
+
+def wafer_carbon_col(ci_col: np.ndarray, unit) -> np.ndarray:
+    """Columnar Eq. 6 total per cm²: scale a unit-CI breakdown.
+
+    ``unit`` is a :class:`~repro.core.wafer.WaferCarbonBreakdown`
+    computed at ``ci = 1.0``; the expression mirrors
+    ``total_kg_per_cm2`` = (energy + gas) + material with
+    ``energy = ci · epa``.
+    """
+    return (
+        ci_col * unit.energy_kg_per_cm2 + unit.gas_kg_per_cm2
+    ) + unit.material_kg_per_cm2
+
+
+class ColumnSet:
+    """Embodied columns of one design block (+ per-point error messages)."""
+
+    __slots__ = (
+        "die_kg",
+        "bonding_kg",
+        "packaging_kg",
+        "interposer_kg",
+        "embodied_kg",
+        "cost_mm2",
+        "errors",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.die_kg = np.zeros(n)
+        self.bonding_kg = np.zeros(n)
+        self.packaging_kg = np.zeros(n)
+        self.interposer_kg = np.zeros(n)
+        self.embodied_kg = np.zeros(n)
+        self.cost_mm2 = np.zeros(n)
+        self.errors: "list[str | None]" = [None] * n
+
+
+def _mark_dpw_errors(
+    errors: "list[str | None]",
+    valid: np.ndarray,
+    dpw: np.ndarray,
+    wafer_mm: np.ndarray,
+    die_area_mm2: float,
+) -> None:
+    """Record Eq. 5 failures with the scalar path's exact message."""
+    for i in np.flatnonzero(~valid):
+        if errors[i] is None:
+            errors[i] = (
+                f"die of {die_area_mm2:.0f} mm² does not fit a "
+                f"{wafer_mm[i]:.0f} mm wafer (DPW = {dpw[i]:.2f})"
+            )
+
+
+def embodied_columns(
+    resolved: ResolvedDesign,
+    params: ParameterSet,
+    wafer_mm: np.ndarray,
+    ci_fab: np.ndarray,
+) -> ColumnSet:
+    """Eq. 3 over (wafer diameter, fab CI) columns for one design.
+
+    The scalar twin is :func:`repro.core.embodied.embodied_total_kg`
+    evaluated at ``params.with_wafer_diameter(wafer_mm[i])`` and
+    ``ci_fab[i]`` — the parity tests pin every component column bit for
+    bit. ``cost_mm2`` is the exploration cost proxy: effective wafer
+    silicon area charged per good unit, Σ (A_wafer/DPW)/Y_eff over the
+    dies (the quantity Eq. 4 multiplies by the per-area wafer carbon).
+    """
+    cols = ColumnSet(len(wafer_mm))
+    spec = resolved.spec
+    design = resolved.design
+
+    # -- die manufacturing (Eq. 4) -------------------------------------------
+    if resolved.is_m3d:
+        stack = resolved.m3d_stack
+        unit = m3d_wafer_carbon_per_cm2(
+            tiers=list(zip(stack.tier_nodes, stack.tier_layers)),
+            ci_fab_kg_per_kwh=1.0,
+            m3d=params.m3d,
+            beol_aware=params.beol_aware,
+        )
+        per_cm2 = wafer_carbon_col(ci_fab, unit)
+        eff_area, dpw, valid = effective_area_col(
+            wafer_mm, stack.footprint_mm2
+        )
+        _mark_dpw_errors(
+            cols.errors, valid, dpw, wafer_mm, stack.footprint_mm2
+        )
+        eff_yield = resolved.stack_yields.per_die[0]
+        cols.die_kg = cols.die_kg + (
+            per_cm2 * (eff_area / 100.0) / eff_yield
+        )
+        cols.cost_mm2 = cols.cost_mm2 + eff_area / eff_yield
+    else:
+        for rdie, eff_yield in zip(
+            resolved.dies, resolved.stack_yields.per_die
+        ):
+            unit = wafer_carbon_per_cm2(
+                rdie.node,
+                1.0,
+                beol_layers=rdie.beol.layers,
+                beol_aware=params.beol_aware,
+            )
+            per_cm2 = wafer_carbon_col(ci_fab, unit)
+            eff_area, dpw, valid = effective_area_col(
+                wafer_mm, rdie.area_mm2
+            )
+            _mark_dpw_errors(
+                cols.errors, valid, dpw, wafer_mm, rdie.area_mm2
+            )
+            cols.die_kg = cols.die_kg + (
+                per_cm2 * (eff_area / 100.0) / eff_yield
+            )
+            cols.cost_mm2 = cols.cost_mm2 + eff_area / eff_yield
+
+    # -- bonding (Eq. 11) ----------------------------------------------------
+    if not (spec.is_2d or resolved.is_m3d):
+        if spec.is_3d:
+            process = params.bonding.get(spec.bonding, design.assembly)
+            for i in range(len(resolved.dies) - 1):
+                cols.bonding_kg = cols.bonding_kg + (
+                    ci_fab
+                    * process.epa_kwh_per_cm2
+                    * mm2_to_cm2(resolved.dies[i].area_mm2)
+                    / resolved.stack_yields.per_bond[i]
+                )
+        else:
+            process = params.bonding.get(BondingMethod.C4, design.assembly)
+            for rdie, eff_yield in zip(
+                resolved.dies, resolved.stack_yields.per_bond
+            ):
+                cols.bonding_kg = cols.bonding_kg + (
+                    ci_fab
+                    * process.epa_kwh_per_cm2
+                    * mm2_to_cm2(rdie.area_mm2)
+                    / eff_yield
+                )
+
+    # -- packaging (Eq. 12): CI- and wafer-free, one scalar per block --------
+    cols.packaging_kg = cols.packaging_kg + packaging_carbon_kg(
+        resolved, params
+    )
+
+    # -- substrate (Eq. 13-14): on its own interposer wafer, not the axis ----
+    substrate = resolved.substrate
+    if substrate is not None and substrate.kind is not SubstrateKind.ORGANIC:
+        eff_yield = resolved.stack_yields.substrate
+        if eff_yield is None:
+            eff_yield = substrate.raw_yield
+        if substrate.kind is SubstrateKind.RDL:
+            cols.interposer_kg = cols.interposer_kg + (
+                params.substrate.rdl_cpa_kg_per_cm2
+                * mm2_to_cm2(substrate.area_mm2)
+                / eff_yield
+            )
+        else:
+            node = params.node(params.substrate.silicon_node)
+            unit = wafer_carbon_per_cm2(
+                node,
+                1.0,
+                beol_layers=float(node.max_beol_layers),
+                beol_aware=params.beol_aware,
+            )
+            per_cm2 = wafer_carbon_col(ci_fab, unit)
+            eff_area = effective_area_per_die_mm2(
+                params.substrate.wafer_diameter_mm, substrate.area_mm2
+            )
+            cols.interposer_kg = cols.interposer_kg + (
+                per_cm2 * mm2_to_cm2(eff_area) / eff_yield
+            )
+
+    # Eq. 3, in the scalar path's exact summation order.
+    cols.embodied_kg = (
+        cols.die_kg + cols.bonding_kg + cols.packaging_kg
+        + cols.interposer_kg
+    )
+    return cols

@@ -55,6 +55,12 @@ def all_study_specs() -> "dict[str, StudySpec]":
             stacked, backends=["repro3d", "act", "lca"], draws=8
         ),
         "tornado": StudySpec.tornado(stacked, workload="none"),
+        "optimize": StudySpec.optimize(
+            reference, integrations=["hybrid_3d", "mcm"], die_counts=[2],
+            wafer_diameters_mm=[300.0, 450.0],
+            fab_locations=["taiwan", "iceland"],
+            max_configs=24, chunk=10, seed=11,
+        ),
     }
 
 
@@ -127,6 +133,22 @@ class TestLocalServiceParity:
         streamed = service_session.submit(spec).result()
         local = Session().run(spec)
         assert streamed.to_payload() == local.to_payload()
+
+    def test_streamed_and_enveloped_optimize_agree(self, service_session):
+        """The tentpole's wire parity: the NDJSON ``/optimize`` stream's
+        final snapshot assembles to the very payload the envelope
+        returns, and both match the local engine bit for bit."""
+        spec = all_study_specs()["optimize"]
+        local = Session().run(spec).to_payload()
+        handle = service_session.submit(spec)
+        snapshots = [r.to_payload() for r in handle.partial()]
+        assert handle.result().to_payload() == local
+        assert service_session.run(spec).to_payload() == local
+        # One running-front snapshot per evaluated chunk, cumulative.
+        assert [s["chunk"] for s in snapshots] == list(
+            range(1, local["chunks"] + 1)
+        )
+        assert snapshots[-1]["front"] == local["front"]
 
     def test_schema_errors_are_location_transparent(self, service_session):
         from repro.io.designs import design_to_dict

@@ -149,6 +149,51 @@ class TestAnalysisCommands:
         assert len(rows) == 36
 
 
+class TestOptimizeCommand:
+    ARGS = [
+        "--integrations", "hybrid_3d,mcm", "--die-counts", "2",
+        "--wafers", "300,450", "--locations", "taiwan,iceland",
+        "--max-configs", "24", "--chunk", "10", "--seed", "11",
+    ]
+
+    def test_builtin_drive_reference_text(self, capsys):
+        assert main(["optimize", "orin", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front — ORIN_2D" in out
+        assert "total_kg min, performance_tops max, cost_mm2 min" in out
+        assert "non-dominated configurations" in out
+
+    def test_json_payload_and_stream_agree(self, capsys):
+        assert main(["optimize", "orin", "--json", *self.ARGS]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evaluated"] == 24
+        assert payload["front_size"] == len(payload["front"])
+        assert payload["front_size"] >= 1
+        # --stream prints chunk progress to stderr; the final JSON
+        # payload must be identical to the synchronous run's.
+        assert main(["optimize", "orin", "--json", "--stream",
+                     *self.ARGS]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == payload
+        assert "chunk" in captured.err
+
+    def test_design_json_path(self, tmp_path, capsys):
+        data = {
+            "name": "opt_ref",
+            "throughput_tops": 254.0,
+            "dies": [{"name": "die", "node": "7nm", "gate_count": 17e9,
+                      "efficiency_tops_per_w": 2.74}],
+        }
+        path = tmp_path / "ref.json"
+        path.write_text(json.dumps(data))
+        assert main(["optimize", str(path), *self.ARGS]) == 0
+        assert "Pareto front — opt_ref" in capsys.readouterr().out
+
+    def test_unknown_reference_is_typed_error(self, capsys):
+        assert main(["optimize", "no_such_device_or_file.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServiceCommands:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])

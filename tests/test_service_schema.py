@@ -16,6 +16,7 @@ from repro.service.schema import (
     parse_batch_request,
     parse_evaluate_request,
     parse_montecarlo_request,
+    parse_optimize_request,
     parse_request,
     parse_sweep_request,
     workload_from_value,
@@ -232,6 +233,89 @@ class TestSweepParsing:
             parse_sweep_request({**base, "integrations": []})
         with pytest.raises(SchemaError, match="fab_locations"):
             parse_sweep_request({**base, "fab_locations": "taiwan"})
+
+
+class TestOptimizeParsing:
+    @staticmethod
+    def base(**overrides) -> dict:
+        payload = {
+            "schema": SCHEMA_VERSION, "type": "optimize",
+            "design": {"name": "ref", "throughput_tops": 254.0,
+                       "dies": [{"name": "d", "node": "7nm",
+                                 "gate_count": 17e9}]},
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_defaults(self):
+        request = parse_optimize_request(self.base())
+        assert request.integrations is None  # dispatcher fills the axes
+        assert request.die_counts is None
+        assert request.wafer_diameters_mm is None
+        assert request.fab_locations is None
+        assert request.max_configs is None
+        assert request.chunk is None
+        assert request.seed == 20240623
+        assert request.stream is False
+        assert isinstance(request.workload, Workload)
+
+    def test_explicit_axes(self):
+        request = parse_optimize_request(self.base(
+            integrations=["hybrid_3d", "mcm"],
+            die_counts=[2, 3],
+            wafer_diameters_mm=[300, 450.0],
+            fab_locations=["taiwan", 30],
+            max_configs=1000, chunk=100, seed=7, stream=True,
+            workload="none",
+        ))
+        assert request.integrations == ("hybrid_3d", "mcm")
+        assert request.die_counts == (2, 3)
+        assert request.wafer_diameters_mm == (300.0, 450.0)
+        assert request.fab_locations == ("taiwan", 30.0)
+        assert request.max_configs == 1000
+        assert request.chunk == 100
+        assert request.seed == 7
+        assert request.stream is True
+        assert request.workload is None
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            parse_optimize_request(self.base(objectives=["total_kg"]))
+
+    def test_missing_design_rejected(self):
+        payload = self.base()
+        del payload["design"]
+        with pytest.raises(SchemaError, match="design"):
+            parse_optimize_request(payload)
+
+    def test_bad_axes_rejected(self):
+        with pytest.raises(SchemaError, match="integrations"):
+            parse_optimize_request(self.base(integrations=[]))
+        with pytest.raises(SchemaError, match="die_counts"):
+            parse_optimize_request(self.base(die_counts=[1]))
+        with pytest.raises(SchemaError, match="wafer_diameters_mm"):
+            parse_optimize_request(self.base(wafer_diameters_mm=[-300.0]))
+        with pytest.raises(SchemaError, match="max_configs"):
+            parse_optimize_request(self.base(max_configs=0))
+        with pytest.raises(SchemaError, match="chunk"):
+            parse_optimize_request(self.base(chunk=0))
+        with pytest.raises(SchemaError, match="seed"):
+            parse_optimize_request(self.base(seed=-1))
+
+    def test_parse_request_dispatches(self):
+        request = parse_request(self.base())
+        assert request.__class__.__name__ == "OptimizeRequest"
+
+    def test_dispatcher_rejects_oversized_grids(self):
+        """The expansion bound runs *before* the grid materializes."""
+        from repro.service.dispatcher import Dispatcher
+
+        request = parse_optimize_request(self.base(
+            wafer_diameters_mm=[float(d) for d in range(150, 500)],
+            fab_locations=[float(ci) for ci in range(30, 700, 3)],
+        ))
+        with pytest.raises(SchemaError, match="narrow an axis"):
+            Dispatcher().optimize(request)
 
 
 class TestMonteCarloParsing:
