@@ -1,0 +1,32 @@
+# carbon3d service image: stdlib-only, so the base image is the whole
+# dependency story (no pip stage, nothing to resolve). Run a pre-forked
+# fleet with:
+#
+#   docker build -t carbon3d .
+#   docker run -p 8787:8787 carbon3d
+#
+# or `docker compose up` for the probed two-worker recipe.
+FROM python:3.11-slim
+
+WORKDIR /app
+
+COPY src ./src
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+# The store lives on a volume so memoized results survive container
+# restarts (the same cold-restart contract the service tests pin).
+VOLUME /data
+ENV CARBON3D_STORE=/data/carbon3d_store.sqlite3
+
+EXPOSE 8787
+
+# `--workers auto` sizes the fleet to the container's usable CPUs
+# (respects --cpuset-cpus / compose cpu limits via sched_getaffinity).
+CMD ["sh", "-c", "exec python -m repro.cli serve --host 0.0.0.0 --port 8787 --workers auto --store \"$CARBON3D_STORE\""]
+
+# Liveness and readiness split exactly like the compose probes:
+# /healthz/live answers while the process runs; /healthz/ready flips to
+# 503 during drain so orchestrators stop routing before shutdown.
+HEALTHCHECK --interval=10s --timeout=3s --start-period=5s --retries=3 \
+    CMD python -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8787/healthz/ready', timeout=2)"

@@ -381,6 +381,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
     from .resilience import FaultPlan, install_plan
+    from .service.fleet import ServiceFleet, resolve_worker_count
     from .service.server import make_server, serve_forever
 
     faults = None
@@ -390,6 +391,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # — exactly what CARBON3D_FAULT_PLAN does for subprocess tests.
         faults = install_plan(FaultPlan.coerce(args.fault_plan))
     store_path = None if args.no_store else args.store
+    workers = resolve_worker_count(getattr(args, "workers", 1))
+    store_text = store_path if store_path else "(in-memory only)"
+
+    def _banner(url: str) -> None:
+        print(f"carbon3d service listening on {url}", flush=True)
+        print(f"  store   : {store_text}", flush=True)
+        if workers > 1:
+            print(f"  workers : {workers} pre-forked processes", flush=True)
+        print(f"  auth    : "
+              f"{'X-Carbon3D-Token required' if args.token else 'open'}",
+              flush=True)
+        print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
+              "/tornado /optimize /healthz /healthz/live /healthz/ready "
+              "/stats /metrics",
+              flush=True)
+
+    if workers > 1:
+        # Pre-forked fleet: the parent binds, forks, supervises;
+        # SIGTERM/SIGINT fan out to the workers' own graceful drains.
+        if args.fault_plan is not None:
+            # Workers re-arm from the environment after fork (the
+            # parent-installed injector object does not cross exec-less
+            # forks coherently for per-rule counters).
+            import os as _os
+
+            _os.environ["CARBON3D_FAULT_PLAN"] = args.fault_plan
+        fleet = ServiceFleet(
+            host=args.host,
+            port=args.port,
+            workers=workers,
+            fab_location=args.fab_location,
+            store_path=store_path,
+            max_entries=args.max_entries,
+            verbose=args.verbose,
+            token=args.token,
+            max_inflight=args.max_inflight,
+            drain_timeout_s=args.drain_timeout,
+            log_json=args.log_json,
+        )
+        fleet.drain_timeout_s = args.drain_timeout + 5.0
+        fleet.start()
+
+        def _stop(signum, frame):  # pragma: no cover - via subprocess
+            fleet.request_stop()
+
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+        _banner(fleet.url)
+        fleet.wait()
+        fleet.close()
+        print("carbon3d fleet drained; exiting", flush=True)
+        return 0
+
     server = make_server(
         host=args.host,
         port=args.port,
@@ -413,20 +467,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ).start()
 
     signal.signal(signal.SIGTERM, _drain)
-    store_text = store_path if store_path else "(in-memory only)"
-    print(f"carbon3d service listening on {server.url}", flush=True)
-    print(f"  store   : {store_text}", flush=True)
-    print(f"  auth    : "
-          f"{'X-Carbon3D-Token required' if args.token else 'open'}",
-          flush=True)
+    _banner(server.url)
     if server.faults.active:
         print(f"  faults  : {server.faults.describe()}", flush=True)
-    print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
-          "/tornado /optimize /healthz /healthz/live /healthz/ready "
-          "/stats /metrics",
-          flush=True)
     serve_forever(server)
     print("carbon3d service drained; exiting", flush=True)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service.loadgen import (
+        format_fleet_bench,
+        run_fleet_bench,
+        run_load,
+    )
+
+    keep_alive = not args.no_keep_alive
+    if args.url is not None:
+        result = run_load(
+            args.url,
+            requests_n=args.requests,
+            concurrency=args.concurrency,
+            distinct=args.distinct,
+            keep_alive=keep_alive,
+            token=args.token,
+        )
+        result.pop("digests", None)  # per-design hashes, noise on stdout
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(
+                f"loadgen      {result['completed']}/{result['requests']} "
+                f"requests × {result['concurrency']} clients: "
+                f"{result['rps']:.0f} rps "
+                f"(p50 {result['p50_ms']:.1f}ms p99 {result['p99_ms']:.1f}ms, "
+                f"keep_alive={result['keep_alive']})"
+            )
+        return 1 if result["errors"] else 0
+
+    try:
+        worker_counts = [
+            int(part) for part in args.workers_list.split(",") if part.strip()
+        ]
+    except ValueError:
+        print(f"error: --workers-list must be comma-separated integers, "
+              f"got {args.workers_list!r}", file=sys.stderr)
+        return 2
+    output = None if args.no_output else args.output
+    result = run_fleet_bench(
+        output_path=output,
+        worker_counts=worker_counts,
+        requests_n=args.requests,
+        concurrency=args.concurrency,
+        distinct=args.distinct,
+        keep_alive=keep_alive,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(format_fleet_bench(result))
+        if output:
+            print(f"\nwrote {output}")
     return 0
 
 
@@ -829,7 +930,52 @@ def build_parser() -> argparse.ArgumentParser:
              "to a JSON file (see repro.resilience.FaultPlan); armed "
              "process-wide, like the CARBON3D_FAULT_PLAN env var",
     )
+    p_serve.add_argument(
+        "--workers", default="1", metavar="N|auto",
+        help="pre-forked worker processes sharing one listening socket "
+             "(auto = usable CPUs); 1 serves single-process (default)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive concurrent keep-alive load; record p50/p99 and "
+             "rps-vs-workers curves",
+    )
+    p_loadgen.add_argument(
+        "--url", default=None,
+        help="existing service to load instead of forking local fleets",
+    )
+    p_loadgen.add_argument(
+        "--workers-list", default="1,2,4", metavar="N,N,...",
+        help="fleet sizes to sweep when no --url is given (default: 1,2,4)",
+    )
+    p_loadgen.add_argument("--requests", type=int, default=64,
+                           help="request budget per pass (default: 64)")
+    p_loadgen.add_argument("--concurrency", type=int, default=8,
+                           help="concurrent clients (default: 8)")
+    p_loadgen.add_argument("--distinct", type=int, default=8,
+                           help="distinct designs round-robined (default: 8)")
+    p_loadgen.add_argument(
+        "--no-keep-alive", action="store_true",
+        help="reconnect per request (measures what keep-alive is worth)",
+    )
+    p_loadgen.add_argument(
+        "--token", default=None,
+        help="shared-secret token for an authenticated --url service",
+    )
+    p_loadgen.add_argument(
+        "--output", default="BENCH_service.json",
+        help="trajectory file for the fleet sweep "
+             "(default: BENCH_service.json; --url mode never writes)",
+    )
+    p_loadgen.add_argument(
+        "--no-output", action="store_true",
+        help="print results without touching the trajectory file",
+    )
+    p_loadgen.add_argument("--json", action="store_true",
+                           help="emit the full JSON result")
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_submit = sub.add_parser(
         "submit", help="submit a design JSON to a running service"

@@ -141,6 +141,17 @@ def write_bench_report(result: dict, path: "str | Path") -> dict:
             elif "bench" in previous:
                 # Pre-trajectory format: one bare result — keep it.
                 trajectory = [dict(previous)]
+        for prior_entry in trajectory:
+            # Entries must always carry a timestamp so curves stay
+            # comparable across PRs; a migrated pre-trajectory entry
+            # never had one — stamp it with the file's own mtime (the
+            # best surviving record of when that run happened).
+            if "timestamp" not in prior_entry:
+                prior_entry["timestamp"] = (
+                    datetime.datetime.fromtimestamp(
+                        path.stat().st_mtime, datetime.timezone.utc
+                    ).isoformat(timespec="seconds")
+                )
     trajectory.append(entry)
     payload = dict(result)
     payload["trajectory"] = trajectory[-BENCH_TRAJECTORY_LIMIT:]

@@ -70,6 +70,22 @@ def _render_labels(key: "tuple[tuple[str, str], ...]") -> str:
     return "{" + inner + "}"
 
 
+def _merge_labels(
+    extra: "tuple[tuple[str, str], ...]",
+    key: "tuple[tuple[str, str], ...]",
+) -> "tuple[tuple[str, str], ...]":
+    """Registry const-labels merged under a series' own labels.
+
+    A series label with the same name wins over the const label, so an
+    instrument that already tags ``worker=`` keeps its own value.
+    """
+    if not extra:
+        return key
+    merged = dict(extra)
+    merged.update(dict(key))
+    return _label_key(merged)
+
+
 class Counter:
     """A monotonically increasing, thread-safe counter."""
 
@@ -130,12 +146,13 @@ class Counter:
         else:
             yield (), self.value
 
-    def render(self) -> "list[str]":
+    def render(self, extra: "tuple[tuple[str, str], ...]" = ()) -> "list[str]":
         lines = [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} counter",
         ]
         for key, value in self._series():
+            key = _merge_labels(extra, key)
             lines.append(
                 f"{self.name}{_render_labels(key)} {_format_value(value)}"
             )
@@ -209,12 +226,13 @@ class Gauge:
         else:
             yield (), self.value
 
-    def render(self) -> "list[str]":
+    def render(self, extra: "tuple[tuple[str, str], ...]" = ()) -> "list[str]":
         lines = [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} gauge",
         ]
         for key, value in self._series():
+            key = _merge_labels(extra, key)
             lines.append(
                 f"{self.name}{_render_labels(key)} {_format_value(value)}"
             )
@@ -342,12 +360,13 @@ class Histogram:
         else:
             yield (), self
 
-    def render(self) -> "list[str]":
+    def render(self, extra: "tuple[tuple[str, str], ...]" = ()) -> "list[str]":
         lines = [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} histogram",
         ]
         for key, child in self._series():
+            key = _merge_labels(extra, key)
             with child._lock:
                 counts = list(child._counts)
                 total_sum = child._sum
@@ -409,11 +428,19 @@ class MetricsRegistry:
     ``/stats`` envelope. Registering an existing name returns the
     existing instrument (so modules can idempotently declare what they
     use).
+
+    ``const_labels`` are stamped onto every Prometheus series the
+    registry renders — the fleet front end uses ``{"worker": "<i>"}`` so
+    a scrape that round-robins across pre-forked workers never silently
+    mixes per-process counters into one series. A series' own label with
+    the same name wins. JSON snapshots stay unlabelled (the ``/stats``
+    payload carries the worker index at the envelope level instead).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, const_labels: "dict[str, str] | None" = None) -> None:
         self._lock = threading.Lock()
         self._metrics: "dict[str, object]" = {}
+        self.const_labels = dict(const_labels) if const_labels else {}
 
     def _register(self, factory, name: str, help: str, **kwargs):
         with self._lock:
@@ -455,9 +482,10 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         with self._lock:
             metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        extra = _label_key(self.const_labels)
         lines: "list[str]" = []
         for metric in metrics:
-            lines.extend(metric.render())
+            lines.extend(metric.render(extra))
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict:

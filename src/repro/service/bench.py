@@ -146,6 +146,12 @@ def bench_service(
     n = len(requests)
     return {
         "requests": n,
+        # Run shape, recorded so trajectory entries stay comparable as
+        # the serving stack evolves (pre-forked fleets, keep-alive
+        # clients): this bench is the single-process, single-client
+        # baseline the fleet curves are measured against.
+        "workers": 1,
+        "keep_alive": True,
         "evaluates": evaluates,
         "mc_requests": mc_requests,
         "mc_samples": samples,

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import threading
+import time
+import uuid
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 
 from ..config.parameters import DEFAULT_PARAMETERS, ParameterSet
@@ -141,6 +144,9 @@ class DispatchStats:
         "store_hits": "Points served from the persistent result store",
         "coalesced": "Requests that waited on an identical in-flight one",
         "deduplicated": "In-request duplicate points reusing a twin",
+        "claims": "Cross-process claims acquired before computing",
+        "claim_waits": "Requests that waited on a peer worker's claim",
+        "claims_expired": "Stale claims swept (a worker died mid-claim)",
         "errors": "Requests answered with an error envelope",
     }
 
@@ -197,11 +203,21 @@ class Dispatcher:
         evaluator: "BatchEvaluator | None" = None,
         faults=None,
         metrics: "MetricsRegistry | None" = None,
+        claim_ttl_s: float = 60.0,
+        claim_poll_s: float = 0.002,
     ) -> None:
         self.params = params if params is not None else DEFAULT_PARAMETERS
         self.fab_location = fab_location
         self.store = store
         self.faults = resolve_injector(faults)
+        #: Cross-process dedup knobs: a claim a worker holds while it
+        #: computes expires after ``claim_ttl_s`` (so a killed worker
+        #: never wedges a key), and peers waiting on a foreign claim
+        #: poll the store every ``claim_poll_s``. The owner id makes
+        #: claims attributable across a pre-forked fleet.
+        self.claim_ttl_s = claim_ttl_s
+        self.claim_poll_s = claim_poll_s
+        self.claim_owner = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.evaluator = (
             evaluator
@@ -350,26 +366,101 @@ class Dispatcher:
                     elapsed_s=deadline.elapsed_s(),
                 ) from None
         try:
-            if self.faults.active:
-                self.faults.hit("dispatcher.compute")
-            with obs_trace.span("dispatcher.compute"):
-                result = compute()
+            result, source = self._claimed_compute(key, compute, deadline)
         except BaseException as error:
             future.set_exception(error)
             raise
         else:
-            # Publish before the final deadline check: the computed
-            # result is real — waiters and the store keep it even when
-            # *this* request must answer with a timeout.
-            self._store_put(key, result)
+            # Publish to same-process waiters before the final deadline
+            # check: the computed result is real — waiters and the store
+            # keep it even when *this* request must answer with a
+            # timeout.
             future.set_result(result)
-            self.stats.inc("computed")
             if deadline is not None:
                 deadline.check("request")
-            return result, SOURCE_COMPUTED
+            return result, source
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
+
+    def _run_compute(self, compute) -> dict:
+        if self.faults.active:
+            self.faults.hit("dispatcher.compute")
+        with obs_trace.span("dispatcher.compute"):
+            return compute()
+
+    def _claimed_compute(
+        self, key: str, compute, deadline: "Deadline | None"
+    ) -> "tuple[dict, str]":
+        """Per-process in-flight owner path, claim-aware across workers.
+
+        With a shared store, the exactly-one-compute guarantee must hold
+        across *processes*, not just threads: win the store-level claim
+        row and compute (claim → compute → publish → release), or poll
+        the store while a peer worker holds the claim. A claim that
+        expires without a published result (worker killed mid-claim)
+        sends us back into the claim race, so a dead worker never wedges
+        a key.
+        """
+        store = self.store
+        if store is None:
+            result = self._run_compute(compute)
+            self.stats.inc("computed")
+            return result, SOURCE_COMPUTED
+        waited = False
+        while True:
+            acquired, swept = store.try_claim(
+                key, self.claim_owner, self.claim_ttl_s
+            )
+            if swept:
+                self.stats.inc("claims_expired")
+            if acquired:
+                self.stats.inc("claims")
+                try:
+                    # Re-check under the claim: a peer may have
+                    # published between our pre-claim store miss and
+                    # winning the claim (publishes happen claim-held,
+                    # so this read is authoritative).
+                    cached = self._store_get(key)
+                    if cached is not None:
+                        return cached, SOURCE_STORE
+                    result = self._run_compute(compute)
+                    self._store_put(key, result)
+                    self.stats.inc("computed")
+                    return result, SOURCE_COMPUTED
+                finally:
+                    store.release_claim(key, self.claim_owner)
+            if not waited:
+                waited = True
+                self.stats.inc("claim_waits")
+            peer_result = self._await_peer(key, deadline)
+            if peer_result is not None:
+                return peer_result, SOURCE_STORE
+
+    def _await_peer(
+        self, key: str, deadline: "Deadline | None"
+    ) -> "dict | None":
+        """Poll the shared store while a peer worker computes ``key``.
+
+        Returns the published payload, or ``None`` when the peer's claim
+        expired without one (killed mid-claim) — the caller then
+        re-enters the claim race. ``peek`` keeps the polling loop
+        stats-neutral; only the final successful read goes through
+        :meth:`_store_get` and counts as a store hit.
+        """
+        store = self.store
+        while True:
+            if store.peek(key) is not None:
+                result = self._store_get(key)
+                if result is not None:
+                    return result
+            if not store.claim_active(key):
+                # One last look: the peer may have published between our
+                # peek and its release.
+                return self._store_get(key)
+            if deadline is not None:
+                deadline.check("request")
+            time.sleep(self.claim_poll_s)
 
     def _point_fab_location(self, point: EvaluateRequest):
         return (

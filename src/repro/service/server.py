@@ -64,6 +64,7 @@ from ..config.parameters import ParameterSet
 from ..errors import CarbonModelError, EvaluationTimeout
 from ..obs import trace as obs_trace
 from ..obs.logging import JsonRequestLog
+from ..obs.metrics import MetricsRegistry
 from ..resilience.deadline import Deadline
 from ..resilience.faults import resolve_injector
 from . import schema
@@ -139,6 +140,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     server: "CarbonService"
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients send the next request the instant the response
+    # lands; Nagle holding the response body for the peer's delayed ACK
+    # costs a flat ~40ms per exchange on small JSON payloads.
+    disable_nagle_algorithm = True
 
     # -- plumbing ------------------------------------------------------------
 
@@ -406,11 +411,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         server = self.server
         dispatcher = server.dispatcher
         admitted = False
+        # Pessimistic until the request body is drained off the socket:
+        # any early answer (auth, shed, injected fault, bad deadline)
+        # leaves unread body bytes that would be parsed as the next
+        # request on a reused keep-alive connection. _read_json_body
+        # flips this back once the body is fully read.
+        self.close_connection = True
         try:
             if not self._authorized():
                 # The body stays unread, so the connection cannot be
                 # reused — close it rather than parse attacker bytes.
-                self.close_connection = True
                 self._send_error(
                     401, schema.AuthError("missing or invalid service token")
                 )
@@ -537,6 +547,11 @@ class CarbonService(ThreadingHTTPServer):
     """A carbon-evaluation server bound to one dispatcher + result store."""
 
     daemon_threads = True
+    # Graceful drain means "finish admitted work" (gate.wait_idle in
+    # close()), not "wait for every keep-alive client to hang up": a
+    # handler thread parked in readline on an idle persistent connection
+    # must not block server_close() indefinitely.
+    block_on_close = False
 
     def __init__(
         self,
@@ -555,8 +570,27 @@ class CarbonService(ThreadingHTTPServer):
         faults=None,
         log_json: bool = False,
         request_log: "JsonRequestLog | None" = None,
+        listen_socket=None,
+        worker_index: "int | None" = None,
     ) -> None:
-        super().__init__(address, ServiceHandler)
+        if listen_socket is None:
+            super().__init__(address, ServiceHandler)
+        else:
+            # Pre-forked fleet worker: adopt the listening socket the
+            # parent bound before forking instead of binding our own.
+            # The auto-created socket is discarded unbound; the shared
+            # one is already bound *and* listening, so neither
+            # server_bind nor server_activate runs.
+            super().__init__(address, ServiceHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = self.socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+        #: Position in a pre-forked fleet (None when standalone); tags
+        #: this process's Prometheus series with a ``worker`` label.
+        self.worker_index = worker_index
         self.faults = resolve_injector(faults)
         if store is None and store_path is not None:
             store = ResultStore(
@@ -569,6 +603,13 @@ class CarbonService(ThreadingHTTPServer):
         self.dispatcher = Dispatcher(
             params=params, fab_location=fab_location, store=store,
             faults=self.faults,
+            metrics=(
+                None
+                if worker_index is None
+                else MetricsRegistry(
+                    const_labels={"worker": str(worker_index)}
+                )
+            ),
         )
         self.verbose = verbose
         self.started_s = time.time()
@@ -645,6 +686,7 @@ class CarbonService(ThreadingHTTPServer):
             "backends": list(backend_names()),
             "auth": self.token is not None,
             "max_inflight": self.gate.limit,
+            "worker": self.worker_index,
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
                 "/tornado", "/optimize", "/healthz", "/healthz/live",
@@ -665,6 +707,7 @@ class CarbonService(ThreadingHTTPServer):
             "max_inflight": self.gate.limit,
             "shed_requests": self.shed_requests,
             "draining": self.draining,
+            "worker": self.worker_index,
         }
         data["metrics"] = self.metrics.snapshot()
         return data

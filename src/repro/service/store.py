@@ -21,6 +21,15 @@ over a monotonically increasing ``last_used`` clock column (batched
 deletes amortize the SQL cost). Hit/miss/eviction statistics are kept
 per instance and, cumulatively, in the database itself.
 
+**Claim rows.** Because the database file is shared across the
+pre-forked worker fleet, it doubles as the cross-process coordination
+point for the dispatcher's exactly-one-compute guarantee: short-lived
+rows in the ``claims`` table mark keys a worker is computing *right
+now* (claim → compute → publish → release). Claims carry a TTL, so a
+worker killed mid-claim never wedges a key — the stale row is swept on
+the next contested :meth:`ResultStore.try_claim` and another worker
+recomputes (bit-identically, by the engine's determinism contract).
+
 **Self-healing.** The store is a cache of recomputable results, which
 makes the aggressive recovery policy safe: a database that fails its
 open-time ``PRAGMA quick_check`` — or turns corrupt at runtime — is
@@ -122,6 +131,11 @@ CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS claims (
+    key     TEXT PRIMARY KEY,
+    owner   TEXT NOT NULL,
+    expires REAL NOT NULL
+);
 """
 
 #: SQLite sidecar files that must travel with a quarantined database —
@@ -176,8 +190,15 @@ class ResultStore:
         self.quarantined = 0
         self.busy_retried = 0
         #: Lifetime counters accumulate in memory and flush to the meta
-        #: table lazily (stats/close) — a per-probe UPSERT would triple
-        #: the SQL of every cache lookup for pure bookkeeping.
+        #: table lazily (stats/close, or every
+        #: :data:`FLUSH_PENDING_EVERY` observations) — a per-probe
+        #: UPSERT would triple the SQL of every cache lookup for pure
+        #: bookkeeping. Because the meta table lives in the shared
+        #: database file, the flushed counters are *fleet-wide*: every
+        #: pre-forked worker accumulates into the same rows, so any one
+        #: worker's ``/stats`` reports the whole fleet's story (modulo
+        #: up to ``FLUSH_PENDING_EVERY - 1`` not-yet-flushed probes per
+        #: peer).
         self._pending = {"hits": 0, "misses": 0, "evictions": 0}
         self._lock = threading.Lock()
         with self._lock:
@@ -339,6 +360,12 @@ class ResultStore:
             (key, value),
         )
 
+    #: Flush pending lifetime counters to the shared meta table after
+    #: this many un-flushed observations — frequent enough that a peer
+    #: worker's ``/stats`` sees near-live fleet-wide counters, rare
+    #: enough that the amortized SQL cost per lookup stays negligible.
+    FLUSH_PENDING_EVERY = 32
+
     def _flush_lifetime(self) -> None:
         for name, amount in self._pending.items():
             if amount:
@@ -349,6 +376,16 @@ class ResultStore:
                 )
                 self._pending[name] = 0
         self._conn.commit()
+
+    def _maybe_flush_lifetime(self) -> None:
+        """Flush inside the caller's lock once enough probes piled up."""
+        if sum(self._pending.values()) >= self.FLUSH_PENDING_EVERY:
+            try:
+                self._flush_lifetime()
+            except sqlite3.Error:
+                # Pure bookkeeping: a contended flush retries on the
+                # next threshold crossing instead of failing the lookup.
+                pass
 
     # -- the cache interface -------------------------------------------------
 
@@ -383,7 +420,86 @@ class ResultStore:
             else:
                 self.hits += 1
                 self._pending["hits"] += 1
+            self._maybe_flush_lifetime()
             return payload
+
+    def peek(self, key: str) -> "str | None":
+        """The stored payload without touching stats or LRU recency.
+
+        The claim-wait poll loop (see :meth:`try_claim`) probes a key
+        many times per second while a peer worker computes; counting
+        each probe as a miss would swamp the hit-ratio stats, and
+        bumping recency for a key about to be fetched anyway is wasted
+        SQL. One real :meth:`get` follows when the payload lands.
+        """
+
+        def op() -> "str | None":
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            return None if row is None else row[0]
+
+        with self._lock:
+            return self._run("store.peek", op)
+
+    # -- claim rows: cross-process exactly-one-compute -----------------------
+
+    def try_claim(
+        self, key: str, owner: str, ttl_s: float
+    ) -> "tuple[bool, bool]":
+        """Atomically claim ``key`` for ``owner`` → ``(acquired, stale)``.
+
+        A claim row says "a worker process is computing this key right
+        now" — the cross-process twin of the dispatcher's in-flight
+        coalescing map. The insert is atomic at the SQLite level, so
+        exactly one process of a pre-forked fleet wins a contested key.
+        An *expired* claim (a worker killed mid-compute never released
+        it) is evicted first, so a dead owner can never wedge a key past
+        its TTL; ``stale`` reports that an expired claim was swept in
+        the process.
+        """
+
+        def op() -> "tuple[bool, bool]":
+            now = time.time()
+            stale = self._conn.execute(
+                "DELETE FROM claims WHERE key = ? AND expires <= ?",
+                (key, now),
+            ).rowcount
+            cursor = self._conn.execute(
+                "INSERT INTO claims (key, owner, expires) VALUES (?, ?, ?) "
+                "ON CONFLICT(key) DO NOTHING",
+                (key, owner, now + ttl_s),
+            )
+            self._conn.commit()
+            return cursor.rowcount == 1, stale > 0
+
+        with self._lock:
+            return self._run("store.claim", op)
+
+    def release_claim(self, key: str, owner: str) -> None:
+        """Drop ``owner``'s claim on ``key`` (a foreign claim is kept)."""
+
+        def op() -> None:
+            self._conn.execute(
+                "DELETE FROM claims WHERE key = ? AND owner = ?",
+                (key, owner),
+            )
+            self._conn.commit()
+
+        with self._lock:
+            self._run("store.claim", op)
+
+    def claim_active(self, key: str) -> bool:
+        """Whether a live (unexpired) claim currently covers ``key``."""
+
+        def op() -> bool:
+            row = self._conn.execute(
+                "SELECT expires FROM claims WHERE key = ?", (key,)
+            ).fetchone()
+            return row is not None and row[0] > time.time()
+
+        with self._lock:
+            return self._run("store.claim", op)
 
     def put(self, key: str, payload: str) -> None:
         """Insert (or refresh) a payload, evicting LRU entries past the bound."""
@@ -415,6 +531,7 @@ class ResultStore:
 
         with self._lock:
             self._run("store.put", op)
+            self._maybe_flush_lifetime()
 
     def __len__(self) -> int:
         with self._lock:
@@ -431,15 +548,32 @@ class ResultStore:
     def clear(self) -> None:
         with self._lock:
             self._conn.execute("DELETE FROM results")
+            self._conn.execute("DELETE FROM claims")
             self._conn.commit()
         self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict:
-        """Instance and lifetime counters, JSON-ready for ``/stats``."""
+        """Instance and lifetime counters, JSON-ready for ``/stats``.
+
+        The ``fleet`` block is store-backed (entries, live claims, and
+        the lifetime counters from the shared meta table), so in a
+        pre-forked deployment it reports the *whole fleet's* traffic
+        whichever worker answers the scrape; the top-level hit/miss
+        fields stay this process's own. Expired claim rows are swept as
+        housekeeping — a dead worker's claims must not linger forever on
+        keys nobody re-requests.
+        """
         with self._lock:
             self._flush_lifetime()
+            self._conn.execute(
+                "DELETE FROM claims WHERE expires <= ?", (time.time(),)
+            )
+            self._conn.commit()
             entries = self._conn.execute(
                 "SELECT COUNT(*) FROM results"
+            ).fetchone()[0]
+            claims = self._conn.execute(
+                "SELECT COUNT(*) FROM claims"
             ).fetchone()[0]
             lifetime = {
                 name: int(self._meta_get(f"lifetime_{name}") or 0)
@@ -456,6 +590,11 @@ class ResultStore:
             "quarantined": self.quarantined,
             "busy_retried": self.busy_retried,
             "lifetime": lifetime,
+            "fleet": {
+                "entries": entries,
+                "claims": claims,
+                **lifetime,
+            },
         }
 
     def close(self) -> None:

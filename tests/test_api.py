@@ -366,26 +366,28 @@ class TestTokenAuth:
 
 
 class TestClientRetries:
-    def _flaky_urlopen(self, monkeypatch, failures: "list[Exception]"):
-        """Patch urlopen to raise the queued failures, then delegate."""
+    def _flaky_send(self, monkeypatch, failures: "list[Exception]"):
+        """Patch the transport seam to raise queued failures, then pass."""
         calls = {"n": 0}
-        real = urllib.request.urlopen
+        real = ServiceClient._send
 
-        def fake(request, timeout=None):
+        def fake(self, conn, method, path, body, headers):
             calls["n"] += 1
             if failures:
                 raise failures.pop(0)
-            return real(request, timeout=timeout)
+            return real(self, conn, method, path, body, headers)
 
-        monkeypatch.setattr(urllib.request, "urlopen", fake)
+        monkeypatch.setattr(ServiceClient, "_send", fake)
         return calls
 
-    def test_get_retries_any_urlerror(self, service_session, monkeypatch):
+    def test_get_retries_any_transport_error(
+        self, service_session, monkeypatch
+    ):
         client = service_session.client
         client.backoff_s = 0.001
-        calls = self._flaky_urlopen(monkeypatch, [
-            urllib.error.URLError(OSError("temporarily unreachable")),
-            urllib.error.URLError(ConnectionRefusedError("refused")),
+        calls = self._flaky_send(monkeypatch, [
+            OSError("temporarily unreachable"),
+            ConnectionRefusedError("refused"),
         ])
         assert client.healthz()["status"] == "ok"
         assert calls["n"] == 3
@@ -395,15 +397,15 @@ class TestClientRetries:
     ):
         client = service_session.client
         client.backoff_s = 0.001
-        calls = self._flaky_urlopen(monkeypatch, [
-            urllib.error.URLError(ConnectionRefusedError("warming up")),
+        calls = self._flaky_send(monkeypatch, [
+            ConnectionRefusedError("warming up"),
         ])
         envelope = client.evaluate(stacked_design())
         assert envelope["result"]["total_kg"] > 0
         assert calls["n"] == 2
 
-        calls = self._flaky_urlopen(monkeypatch, [
-            urllib.error.URLError(OSError("mid-flight failure")),
+        calls = self._flaky_send(monkeypatch, [
+            OSError("mid-flight failure"),
         ])
         with pytest.raises(ServiceError, match="cannot reach"):
             client.evaluate(stacked_design())
@@ -412,10 +414,38 @@ class TestClientRetries:
     def test_retry_budget_is_bounded(self, monkeypatch):
         client = ServiceClient("http://127.0.0.1:9", retries=2,
                                backoff_s=0.001)
-        calls = self._flaky_urlopen(monkeypatch, [
-            urllib.error.URLError(ConnectionRefusedError("down"))
-            for _ in range(10)
+        calls = self._flaky_send(monkeypatch, [
+            ConnectionRefusedError("down") for _ in range(10)
         ])
         with pytest.raises(ServiceError, match="cannot reach"):
             client.evaluate(stacked_design())
         assert calls["n"] == 3  # first try + 2 retries, then give up
+
+    def test_stale_pooled_socket_reconnects_free(self, service_session):
+        """A server-closed keep-alive socket costs no retry attempt."""
+        import socket as socket_mod
+
+        client = service_session.client
+        assert client.healthz()["status"] == "ok"  # park a pooled conn
+        assert len(client.pool._idle) >= 1
+        # Sever the pooled socket the way a restarting server would:
+        # shutdown makes the next reuse fail with a stale-socket error
+        # (broken pipe / empty status line), not a fresh-connect error.
+        for conn in client.pool._idle:
+            if conn.sock is not None:
+                conn.sock.shutdown(socket_mod.SHUT_RDWR)
+        before = client.retries
+        client.retries = 0  # stale-socket recovery must not need retries
+        try:
+            envelope = client.evaluate(stacked_design())
+        finally:
+            client.retries = before
+        assert envelope["result"]["total_kg"] > 0
+
+    def test_keep_alive_reuses_one_connection(self, service_session):
+        client = service_session.client
+        client.healthz()
+        assert len(client.pool._idle) == 1
+        conn = client.pool._idle[0]
+        client.healthz()
+        assert client.pool._idle == [conn]  # same socket, round-tripped
