@@ -256,6 +256,34 @@ class Session:
             return data
         return self.client.stats()
 
+    def usage(self) -> dict:
+        """Per-tenant usage totals, any executor.
+
+        The location-transparent twin of ``GET /usage``. A local session
+        runs as the anonymous tenant outside any auth boundary, so its
+        own consumption comes straight from the dispatch counters; the
+        ``tenants`` view surfaces whatever the attached store's ledger
+        has aggregated (e.g. a fleet writing through the same store
+        file). A service session asks the server, which scopes the
+        answer to the token's tenant.
+        """
+        if self.is_local:
+            from ..tenancy import USAGE_FIELDS, ANONYMOUS_TENANT
+
+            dispatcher = self._exec().dispatcher
+            stats = dispatcher.stats
+            own = {
+                name: int(getattr(stats, name, 0))
+                if name in stats.FIELDS else 0
+                for name in USAGE_FIELDS
+            }
+            return {
+                "tenant": ANONYMOUS_TENANT,
+                "usage": own,
+                "tenants": dispatcher.usage.all_totals(),
+            }
+        return self.client.usage()
+
     def close(self) -> None:
         """Release the executor's resources (the store handle, if any)."""
         if self._executor is not None:

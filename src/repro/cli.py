@@ -13,8 +13,14 @@ Sub-commands mirror the paper's artifacts:
   with ``--service``, the warm-vs-cold store throughput bench →
   ``BENCH_service.json``);
 * ``serve`` — run the carbon-as-a-service HTTP server (persistent
-  content-addressed result store; ``--token`` for shared-secret auth;
+  content-addressed result store; ``--tokens`` for the multi-tenant
+  token registry, ``--token`` for legacy shared-secret auth;
   see :mod:`repro.service`);
+* ``tokens issue|revoke|list|rotate`` — administer the multi-tenant
+  token registry (named, hashed API tokens with per-tenant quotas;
+  see :mod:`repro.tenancy`);
+* ``usage`` — a tenant's usage counters from a running server
+  (``GET /usage``; admin tokens see every tenant);
 * ``submit`` — send a design JSON to a running server over HTTP (via
   the :class:`repro.api.Session` facade);
 * ``trace`` — run a study locally under a trace and print its span tree
@@ -393,18 +399,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store_path = None if args.no_store else args.store
     workers = resolve_worker_count(getattr(args, "workers", 1))
     store_text = store_path if store_path else "(in-memory only)"
+    tokens_path = getattr(args, "tokens", None)
+    if args.token:
+        print("note: --token is the legacy shared secret; prefer a "
+              "--tokens registry with named per-tenant tokens "
+              "(carbon3d tokens issue)", file=sys.stderr, flush=True)
 
     def _banner(url: str) -> None:
         print(f"carbon3d service listening on {url}", flush=True)
         print(f"  store   : {store_text}", flush=True)
         if workers > 1:
             print(f"  workers : {workers} pre-forked processes", flush=True)
-        print(f"  auth    : "
-              f"{'X-Carbon3D-Token required' if args.token else 'open'}",
-              flush=True)
+        if tokens_path:
+            auth_text = f"token registry {tokens_path}"
+        elif args.token:
+            auth_text = "X-Carbon3D-Token required (legacy shared secret)"
+        else:
+            auth_text = "open"
+        print(f"  auth    : {auth_text}", flush=True)
         print("  routes  : /evaluate /batch /sweep /montecarlo /compare "
               "/tornado /optimize /healthz /healthz/live /healthz/ready "
-              "/stats /metrics",
+              "/stats /metrics /usage",
               flush=True)
 
     if workers > 1:
@@ -426,6 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_entries=args.max_entries,
             verbose=args.verbose,
             token=args.token,
+            tokens_path=tokens_path,
             max_inflight=args.max_inflight,
             drain_timeout_s=args.drain_timeout,
             log_json=args.log_json,
@@ -452,6 +468,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_entries=args.max_entries,
         verbose=args.verbose,
         token=args.token,
+        tokens_path=tokens_path,
         max_inflight=args.max_inflight,
         drain_timeout_s=args.drain_timeout,
         faults=faults,
@@ -528,6 +545,125 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(format_fleet_bench(result))
         if output:
             print(f"\nwrote {output}")
+    return 0
+
+
+def _format_stamp(stamp: "float | None") -> str:
+    import time as _time
+
+    if stamp is None:
+        return "-"
+    return _time.strftime("%Y-%m-%d %H:%M", _time.localtime(stamp))
+
+
+def _cmd_tokens(args: argparse.Namespace) -> int:
+    """Administer the token registry file (no server required).
+
+    The registry is the same SQLite file every fleet worker reads, so a
+    token issued here is honored by a running fleet on its next request
+    — and a revocation takes effect just as immediately.
+    """
+    from .tenancy import TenantQuota, TokenRegistry
+
+    registry = TokenRegistry(args.tokens)
+    try:
+        if args.tokens_command == "issue":
+            quota = None
+            limits = (args.rate, args.burst, args.max_requests,
+                      args.max_points)
+            if any(value is not None for value in limits):
+                quota = TenantQuota(
+                    rate_per_s=args.rate,
+                    burst=args.burst,
+                    max_requests=args.max_requests,
+                    max_points=args.max_points,
+                )
+            scopes = tuple(_axis_list(args.scopes) or ())
+            tenant = args.tenant if args.tenant else args.name
+            secret, record = registry.issue(
+                args.name, tenant, scopes=scopes, quota=quota
+            )
+            if args.json:
+                print(json.dumps(
+                    {"secret": secret, **record.to_dict()}, indent=2
+                ))
+                return 0
+            print(f"token   : {secret}")
+            print(f"id      : {record.id}")
+            print(f"name    : {record.name}")
+            print(f"tenant  : {record.tenant}")
+            if record.scopes:
+                print(f"scopes  : {','.join(record.scopes)}")
+            if record.quota is not None:
+                print(f"quota   : {json.dumps(record.quota.to_dict())}")
+            print("store the token now — the secret is never shown again")
+            return 0
+        if args.tokens_command == "revoke":
+            record = registry.revoke(args.ident)
+            print(f"revoked {record.name} (id {record.id}, "
+                  f"tenant {record.tenant})")
+            return 0
+        if args.tokens_command == "rotate":
+            secret, record = registry.rotate(args.ident)
+            if args.json:
+                print(json.dumps(
+                    {"secret": secret, **record.to_dict()}, indent=2
+                ))
+                return 0
+            print(f"token   : {secret}")
+            print(f"rotated : {record.name} (id {record.id}, "
+                  f"tenant {record.tenant}) — the old secret is dead")
+            return 0
+        records = registry.list(include_revoked=args.all)
+        if args.json:
+            print(json.dumps(
+                [record.to_dict() for record in records], indent=2
+            ))
+            return 0
+        header = (f"{'id':<10} {'name':<24} {'tenant':<16} {'state':<8} "
+                  f"{'created':<17} scopes")
+        print(header)
+        print("-" * len(header))
+        for record in records:
+            state = "active" if record.active else "revoked"
+            print(
+                f"{record.id:<10} {record.name:<24.24} "
+                f"{record.tenant:<16.16} {state:<8} "
+                f"{_format_stamp(record.created):<17} "
+                f"{','.join(record.scopes)}"
+            )
+        print(f"{len(records)} tokens in {args.tokens}")
+        return 0
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    finally:
+        registry.close()
+
+
+def _cmd_usage(args: argparse.Namespace) -> int:
+    """A tenant's usage counters from a running server (GET /usage)."""
+    from .service.client import ServiceClient
+
+    with ServiceClient(
+        args.url, timeout=args.timeout, token=args.token
+    ) as client:
+        result = client.usage()
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+
+    def _counters(usage: dict) -> str:
+        return "  ".join(f"{name}={value}" for name, value in usage.items())
+
+    print(f"tenant {result['tenant']}")
+    print(f"  {_counters(result['usage'])}")
+    tenants = result.get("tenants")
+    if tenants:
+        print("all tenants:")
+        for tenant, usage in tenants.items():
+            print(f"  {tenant:<16} {_counters(usage)}")
     return 0
 
 
@@ -906,8 +1042,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="log every request to stderr")
     p_serve.add_argument(
         "--token", default=None,
-        help="require this shared-secret X-Carbon3D-Token on every "
-             "route except GET /healthz (401 otherwise)",
+        help="DEPRECATED legacy shared secret: required as "
+             "X-Carbon3D-Token on every route except /healthz and "
+             "/metrics (401 otherwise); folded into the token registry "
+             "as an anonymous-tenant token — prefer --tokens with named "
+             "per-tenant tokens (carbon3d tokens issue)",
+    )
+    p_serve.add_argument(
+        "--tokens", default=None, metavar="PATH",
+        help="multi-tenant token registry (SQLite; administer with "
+             "carbon3d tokens); once it holds any token, every request "
+             "must present a valid X-Carbon3D-Token and runs in its "
+             "tenant's namespace under its tenant's quota",
     )
     p_serve.add_argument(
         "--max-inflight", type=int, default=32,
@@ -977,6 +1123,84 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the full JSON result")
     p_loadgen.set_defaults(func=_cmd_loadgen)
 
+    p_tokens = sub.add_parser(
+        "tokens",
+        help="administer the multi-tenant token registry "
+             "(issue/revoke/list/rotate named API tokens)",
+    )
+    p_tokens.add_argument(
+        "--tokens", default="carbon3d_tokens.sqlite3", metavar="PATH",
+        help="registry path (default: carbon3d_tokens.sqlite3; point "
+             "this at the file carbon3d serve --tokens uses)",
+    )
+    tokens_sub = p_tokens.add_subparsers(
+        dest="tokens_command", required=True
+    )
+    t_issue = tokens_sub.add_parser(
+        "issue", help="mint a named token (the secret prints once)"
+    )
+    t_issue.add_argument("name", help="unique-for-active-tokens name")
+    t_issue.add_argument(
+        "--tenant", default=None,
+        help="owning tenant id (default: the token name)",
+    )
+    t_issue.add_argument(
+        "--scopes", default=None, metavar="LIST",
+        help="comma-separated scopes ('admin' sees every tenant's usage)",
+    )
+    t_issue.add_argument(
+        "--rate", type=float, default=None, metavar="PTS_PER_S",
+        help="token-bucket refill rate in points/second (unset: no rate "
+             "limit)",
+    )
+    t_issue.add_argument(
+        "--burst", type=float, default=None, metavar="PTS",
+        help="token-bucket capacity in points (default: the --rate)",
+    )
+    t_issue.add_argument(
+        "--max-requests", type=int, default=None,
+        help="absolute lifetime request ceiling (429 past it)",
+    )
+    t_issue.add_argument(
+        "--max-points", type=int, default=None,
+        help="absolute lifetime evaluated-point ceiling (429 past it)",
+    )
+    t_issue.add_argument("--json", action="store_true",
+                         help="emit the secret and record as JSON")
+    t_revoke = tokens_sub.add_parser(
+        "revoke", help="revoke an active token by id or name"
+    )
+    t_revoke.add_argument("ident", help="token id or name")
+    t_rotate = tokens_sub.add_parser(
+        "rotate", help="re-key a token in place (new secret prints once)"
+    )
+    t_rotate.add_argument("ident", help="token id or name")
+    t_rotate.add_argument("--json", action="store_true",
+                          help="emit the new secret and record as JSON")
+    t_list = tokens_sub.add_parser("list", help="list registry tokens")
+    t_list.add_argument(
+        "--all", action="store_true",
+        help="include revoked tokens (default: active only)",
+    )
+    t_list.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    p_tokens.set_defaults(func=_cmd_tokens)
+
+    p_usage = sub.add_parser(
+        "usage",
+        help="a tenant's usage counters from a running service "
+             "(GET /usage; admin tokens see every tenant)",
+    )
+    p_usage.add_argument("--url", default="http://127.0.0.1:8787")
+    p_usage.add_argument(
+        "--token", default=None,
+        help="API token selecting the tenant to report on",
+    )
+    p_usage.add_argument("--timeout", type=float, default=10.0)
+    p_usage.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    p_usage.set_defaults(func=_cmd_usage)
+
     p_submit = sub.add_parser(
         "submit", help="submit a design JSON to a running service"
     )
@@ -992,7 +1216,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument(
         "--token", default=None,
-        help="shared-secret token for an authenticated server",
+        help="token secret for an authenticated server (a registry "
+        "token from `carbon3d tokens issue`, or a legacy shared secret)",
     )
     p_submit.add_argument(
         "--json", action="store_true", help="emit the full JSON report"

@@ -36,6 +36,15 @@ and drive in-process:
   harness (``carbon3d loadgen``) recording p50/p99 latency and
   rps-vs-workers curves into ``BENCH_service.json``.
 
+Multi-tenant operation rides on :mod:`repro.tenancy`: the server
+resolves ``X-Carbon3D-Token`` against a SQLite
+:class:`~repro.tenancy.tokens.TokenRegistry` (``carbon3d serve
+--tokens`` / ``carbon3d tokens issue``), namespaces store keys per
+tenant, enforces per-tenant quotas as typed 429s with ``Retry-After``
+(breaker-neutral on the client, unlike the overload 503), and meters
+per-tenant usage through the store — served by ``GET /usage`` and
+``carbon3d usage``, fleet-wide.
+
 Responses are **bit-identical** to ``CarbonModel.evaluate`` on the same
 inputs: computed answers run the very same stage functions through the
 engine, and stored answers round-trip through JSON, which preserves

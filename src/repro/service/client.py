@@ -28,9 +28,12 @@ is *refused* — the server-warming-up case, where the request never left
 this process so a resend cannot double-evaluate — or when the server
 *shed* the request with 503 (load shedding is an explicit "not
 processed, come back later", so a resend after the advertised
-``Retry-After`` cannot double-evaluate either). Other HTTP error
-*responses* (400/401/...) are never retried. ``token=...`` attaches the
-service's shared secret as the ``X-Carbon3D-Token`` header.
+``Retry-After`` cannot double-evaluate either). A 429 quota rejection
+also waits out ``Retry-After`` and retries, but is **breaker-neutral**:
+it reports one tenant's budget, not service health, so it never opens
+the circuit. Other HTTP error *responses* (400/401/...) are never
+retried. ``token=...`` attaches an API token (or the legacy shared
+secret) as the ``X-Carbon3D-Token`` header.
 
 A :class:`~repro.resilience.CircuitBreaker` sits over the retry loop:
 consecutive transport failures (or 503 sheds) open it, after which
@@ -395,9 +398,12 @@ class ServiceClient:
 
         Returns the live response object (the caller reads/closes it);
         HTTP error responses raise a typed :class:`ServiceError` without
-        any retry — except 503/429 sheds, which were never processed and
-        retry after the server's ``Retry-After``. The circuit breaker is
-        consulted before every attempt and fed the outcome of each.
+        any retry — except 503 sheds and 429 quota rejections, which
+        were never processed and retry after the server's
+        ``Retry-After``. The circuit breaker is consulted before every
+        attempt and fed the outcome of each: transport failures and 503s
+        count against it, 429s do not (quota is per-tenant policy, not
+        service health).
         """
         self.breaker.check()
         body, headers = self._build_headers(payload, accept)
@@ -429,10 +435,21 @@ class ServiceClient:
                     envelope = json.loads(raw.decode("utf-8"))
                 except (UnicodeDecodeError, json.JSONDecodeError):
                     envelope = None
-                if status in (503, 429):
+                if status == 503:
                     # A shed request was never processed: count it
                     # against the breaker and retry after the back-off.
                     self.breaker.record_failure(retry_after_s)
+                    if attempt < self.retries:
+                        self._sleep_before_retry(attempt, retry_after_s)
+                        attempt += 1
+                        self.breaker.check()
+                        continue
+                elif status == 429:
+                    # A quota rejection is a healthy server saying *this
+                    # tenant* is over budget — per-tenant policy, not a
+                    # service-health signal, so it must never open the
+                    # shared breaker. Still honor Retry-After and retry.
+                    self.breaker.record_success()
                     if attempt < self.retries:
                         self._sleep_before_retry(attempt, retry_after_s)
                         attempt += 1
@@ -475,6 +492,16 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")["result"]
+
+    def usage(self) -> dict:
+        """This token's tenant usage totals (``GET /usage``).
+
+        The result carries ``tenant`` and ``usage`` (counter totals);
+        admin-scoped tokens — and any client of a server without auth
+        enforcement — additionally see ``tenants``, every tenant's
+        totals.
+        """
+        return self._request("GET", "/usage")["result"]
 
     def evaluate(
         self,

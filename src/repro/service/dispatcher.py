@@ -45,6 +45,9 @@ from ..resilience.deadline import Deadline
 from ..resilience.faults import resolve_injector
 from ..pipeline.registry import DEFAULT_BACKEND, backend_names, resolve_backend
 from ..pipeline.stage import EvalContext
+from ..tenancy.namespace import current_tenant, namespace_key, record_usage
+from ..tenancy.quota import QuotaManager
+from ..tenancy.usage import UsageLedger
 from .schema import (
     MAX_GRID_POINTS,
     SCHEMA_VERSION,
@@ -58,7 +61,7 @@ from .schema import (
     TornadoRequest,
     workload_to_value,
 )
-from .store import ResultStore, content_key
+from .store import ResultStore
 
 #: ``cache`` tags in responses, from cheapest to most expensive.
 SOURCE_STORE = "store"
@@ -163,8 +166,16 @@ class DispatchStats:
         object.__setattr__(self, "_counters", counters)
 
     def inc(self, name: str, amount: int = 1) -> None:
-        """Atomically add ``amount`` to the named counter."""
+        """Atomically add ``amount`` to the named counter.
+
+        Billable counters (points / computed / store hits) are also
+        mirrored into the active request's tenant context, so one code
+        path keeps the global dispatch stats and the per-tenant usage
+        ledger in lockstep (``record_usage`` is a no-op outside a
+        tenant-scoped request — local sessions pay nothing).
+        """
         self._counters[name].inc(amount)
+        record_usage(name, amount)
 
     def __getattr__(self, name: str):
         counters = object.__getattribute__(self, "_counters")
@@ -239,6 +250,12 @@ class Dispatcher:
             )
         self.evaluator.attach_metrics(self.metrics)
         self.stats = DispatchStats(self.metrics)
+        #: Tenancy control plane: the usage ledger writes through the
+        #: shared store (fleet-wide totals), and the quota manager holds
+        #: this process's token buckets. Both are inert for anonymous
+        #: traffic — admission returns immediately without a quota.
+        self.usage = UsageLedger(store)
+        self.quotas = QuotaManager()
         self._dispatch_hist = self.metrics.histogram(
             "carbon3d_dispatch_duration_seconds",
             "Wall time spent in each dispatcher request handler",
@@ -305,6 +322,22 @@ class Dispatcher:
         if self.store is None:
             return 0
         return self.store.stats().get(field, 0)
+
+    def _admit(self, points: int) -> None:
+        """Per-tenant quota gate, before any stats or engine work.
+
+        Charges the active tenant's token bucket ``points`` and checks
+        its absolute ceilings against the fleet-wide ledger; raises the
+        typed :class:`~repro.tenancy.quota.QuotaExceededError` (wire
+        429) on rejection. Runs *before* the per-handler ``points``
+        increment so a rejected request never pollutes the tenant's
+        billed totals, and before any claim/compute so a rejected
+        request costs the service nothing.
+        """
+        ctx = current_tenant()
+        if ctx is None or ctx.quota is None:
+            return
+        self.quotas.admit(ctx.tenant, ctx.quota, points, usage=self.usage)
 
     # -- store/coalescing plumbing ------------------------------------------
 
@@ -470,7 +503,7 @@ class Dispatcher:
         )
 
     def _point_key(self, point: EvaluateRequest) -> str:
-        return content_key(
+        return namespace_key(
             evaluate_fingerprint(
                 point.design,
                 self.params,
@@ -513,6 +546,7 @@ class Dispatcher:
         self, request: EvaluateRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
         """One point → (report dict, cache tag)."""
+        self._admit(1)
         self.stats.inc("requests")
         self.stats.inc("points")
         key = self._point_key(request)
@@ -525,6 +559,7 @@ class Dispatcher:
         self, request: BatchRequest, *, deadline: "Deadline | None" = None
     ) -> "list[dict]":
         """Deduplicated batch → one entry per input point, input order."""
+        self._admit(len(request.points))
         self.stats.inc("requests")
         self.stats.inc("points", len(request.points))
         return self._batch_points(request.points, deadline)
@@ -611,6 +646,7 @@ class Dispatcher:
         tag, so a streamed run and an enveloped run of the same request
         produce identical entries.
         """
+        self._admit(len(request.points))
         self.stats.inc("requests")
         self.stats.inc("points", len(request.points))
         return len(request.points), self._iter_points(request.points, deadline)
@@ -659,6 +695,7 @@ class Dispatcher:
     ) -> "tuple[int, 'Iterator[dict]']":
         """Streaming sweep: the expanded grid, streamed point by point."""
         points = self._sweep_points(request)
+        self._admit(len(points))
         self.stats.inc("requests")
         self.stats.inc("points", len(points))
         return len(points), self._iter_points(points, deadline)
@@ -701,6 +738,7 @@ class Dispatcher:
         self, request: MonteCarloRequest, *, deadline: "Deadline | None" = None
     ) -> "tuple[dict, str]":
         """Monte-Carlo summary → (summary dict, cache tag)."""
+        self._admit(request.samples)
         self.stats.inc("requests")
         self.stats.inc("points", request.samples)
         return self._montecarlo_through(request, deadline)
@@ -714,7 +752,7 @@ class Dispatcher:
             if request.fab_location is not None
             else self.fab_location
         )
-        key = content_key(
+        key = namespace_key(
             montecarlo_fingerprint(
                 request.design, self.params, fab_location,
                 request.workload, request.samples, request.seed,
@@ -764,7 +802,6 @@ class Dispatcher:
         The store key embeds the factor-set fingerprint (a changed range
         or distribution must never serve a stale swing table).
         """
-        self.stats.inc("requests")
         fab_location = (
             request.fab_location
             if request.fab_location is not None
@@ -773,8 +810,10 @@ class Dispatcher:
         factor_set = resolve_backend(request.backend).factor_set(
             request.design, self.params
         )
+        self._admit(2 * len(factor_set) + 1)
+        self.stats.inc("requests")
         self.stats.inc("points", 2 * len(factor_set) + 1)
-        key = content_key((
+        key = namespace_key((
             "tornado",
             evaluate_fingerprint(
                 request.design, self.params, fab_location,
@@ -831,12 +870,13 @@ class Dispatcher:
         compare never recomputes what a previous request already paid
         for (and vice versa).
         """
-        self.stats.inc("requests")
         names = (
             list(request.backends)
             if request.backends is not None
             else list(backend_names())
         )
+        self._admit(len(names) + len(names) * request.draws)
+        self.stats.inc("requests")
         self.stats.inc("points", len(names) + len(names) * request.draws)
         entries = self._batch_points([
             EvaluateRequest(
@@ -954,7 +994,7 @@ class Dispatcher:
         from ..io.designs import design_to_dict
 
         integrations, die_counts, wafers, locations = axes
-        return content_key((
+        return namespace_key((
             "optimize",
             SCHEMA_VERSION,
             parameters_to_dict(self.params),
@@ -987,7 +1027,14 @@ class Dispatcher:
         The grid expands and evaluates inside ``compute`` (a store hit
         pays nothing); ``points`` counts actually-evaluated grid points,
         so it is incremented there too.
+
+        Quota note: the grid only expands inside ``compute`` (a store
+        hit must stay free), so admission charges one bucket point here;
+        the tenant's *absolute* point ceiling still sees every evaluated
+        grid point through the mirrored ``points`` counter on the next
+        request.
         """
+        self._admit(1)
         self.stats.inc("requests")
         axes = self._optimize_axes(request)
         key = self._optimize_key(request, axes)
@@ -1015,12 +1062,13 @@ class Dispatcher:
         Streams always compute fresh (front snapshots are incremental
         state, not per-point results the store could replay).
         """
-        self.stats.inc("requests")
         axes = self._optimize_axes(request)
         search = self._optimize_search(request, axes)
         points = len(search.grid.points)
         if request.max_configs is not None:
             points = min(points, request.max_configs)
+        self._admit(points)
+        self.stats.inc("requests")
         self.stats.inc("points", points)
         total = -(-points // search.chunk)
 
@@ -1050,4 +1098,7 @@ class Dispatcher:
         }
         if self.store is not None:
             data["store"] = self.store.stats()
+        tenants = self.usage.all_totals()
+        if tenants:
+            data["tenants"] = tenants
         return data

@@ -118,8 +118,11 @@ class OverloadedError(CarbonModelError):
 
 #: Optional typed-error attributes lifted into the wire payload when the
 #: exception carries them (``OverloadedError.retry_after_s``,
-#: ``EvaluationTimeout.budget_s``/``elapsed_s``, ``SchemaError.field``).
-_ERROR_ATTRS = ("field", "retry_after_s", "budget_s", "elapsed_s")
+#: ``EvaluationTimeout.budget_s``/``elapsed_s``, ``SchemaError.field``,
+#: ``QuotaExceededError.tenant``/``reason``).
+_ERROR_ATTRS = (
+    "field", "retry_after_s", "budget_s", "elapsed_s", "tenant", "reason"
+)
 
 
 def error_payload(error: Exception) -> dict:

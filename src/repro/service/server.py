@@ -16,7 +16,9 @@ handler routes:
   case-study design grid (carbon × performance × cost);
 * ``GET  /healthz``    — liveness + config echo (``/healthz/live`` and
   ``/healthz/ready`` split the probe for orchestrators);
-* ``GET  /stats``      — dispatcher / engine / store / service counters.
+* ``GET  /stats``      — dispatcher / engine / store / service counters;
+* ``GET  /usage``      — the calling tenant's usage counters (all
+  tenants for admin-scoped tokens and open servers).
 
 Validation errors answer 400 with the typed error envelope of
 :mod:`repro.service.schema`; unknown routes answer 404; unexpected
@@ -46,14 +48,23 @@ order and carry an explicit ``index``. A mid-stream failure emits one
 final ``{"ok": false, "error": {...}}`` line (the status line already
 went out as 200, so the error rides in-band).
 
-**Auth.** With ``token=...`` (``carbon3d serve --token``) every route
-except ``GET /healthz*`` requires a matching ``X-Carbon3D-Token``
-header; mismatches answer 401 with a typed ``AuthError`` payload.
+**Auth & tenancy.** Every request resolves its ``X-Carbon3D-Token``
+header against the :class:`~repro.tenancy.tokens.TokenRegistry`
+(``tokens_path=`` / ``carbon3d serve --tokens``) into a
+:class:`~repro.tenancy.namespace.TenantContext` *before* dispatch; the
+context rides a contextvar through the whole request, so the dispatcher
+namespaces store keys, enforces quotas (typed 429 + ``Retry-After``,
+distinct from the overload 503), and meters usage per tenant without
+any parameter threading. ``GET /healthz*`` and ``GET /metrics`` stay
+open for probes and scrapers; everything else answers 401 with a typed
+``AuthError`` payload when the registry is enforcing. The legacy
+``token=`` shared secret (``--token``, deprecated) is folded into the
+registry as an anonymous-tenant row, preserving the old single-secret
+behavior bit for bit.
 """
 
 from __future__ import annotations
 
-import hmac
 import json
 import sys
 import threading
@@ -67,9 +78,16 @@ from ..obs.logging import JsonRequestLog
 from ..obs.metrics import MetricsRegistry
 from ..resilience.deadline import Deadline
 from ..resilience.faults import resolve_injector
+from ..tenancy.namespace import TenantContext, tenant_scope
+from ..tenancy.quota import QuotaExceededError
+from ..tenancy.tokens import TokenRegistry
 from . import schema
 from .dispatcher import Dispatcher
 from .store import ResultStore
+
+#: Header carrying the caller's API token (legacy shared secrets and
+#: registry-issued ``c3d_...`` tokens ride the same header).
+TOKEN_HEADER = "X-Carbon3D-Token"
 
 #: Request bodies above this size are refused outright (16 MiB of JSON
 #: is far beyond any legitimate batch under the schema's point limits).
@@ -169,6 +187,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if payload.get("ok") is False:
             self._log_error = (payload.get("error") or {}).get("type")
         body = json.dumps(payload).encode("utf-8")
+        if self._tenant_ctx is not None:
+            self._tenant_ctx.add("bytes_out", len(body))
+            # Flush usage BEFORE the response bytes reach the socket:
+            # once the client has the answer it may immediately send the
+            # next request (possibly to another fleet worker), and quota
+            # admission must already see this one in the ledger —
+            # post-response accounting would enforce ceilings one
+            # request late, racily.
+            self._flush_tenant(self._tenant_ctx, status)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -199,18 +226,27 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
-    def _authorized(self) -> bool:
-        """Shared-secret check; ``GET /healthz*`` and ``GET /metrics``
-        stay open for probes and scrapers."""
-        token = self.server.token
-        if (
-            token is None
-            or self.path.startswith("/healthz")
-            or self.path == "/metrics"
-        ):
-            return True
-        provided = self.headers.get("X-Carbon3D-Token")
-        return provided is not None and hmac.compare_digest(provided, token)
+    def _resolve_tenant(self) -> TenantContext:
+        """``X-Carbon3D-Token`` → the caller's tenant context.
+
+        The auth middleware: runs before any dispatch. A server without
+        an enforcing registry (no tokens ever issued) is open — every
+        caller is the anonymous tenant, exactly the pre-tenancy
+        behavior. An enforcing registry answers a typed
+        :class:`~repro.service.schema.AuthError` (wire 401) for missing,
+        unknown, or revoked tokens; resolution is one indexed read plus
+        a constant-time hash compare.
+        """
+        registry = self.server.tokens
+        if registry is None or not registry.enforcing():
+            return TenantContext()
+        provided = self.headers.get(TOKEN_HEADER)
+        if not provided:
+            raise schema.AuthError("missing service token")
+        record = registry.resolve(provided)
+        if record is None:
+            raise schema.AuthError("invalid or revoked service token")
+        return TenantContext.from_record(record)
 
     def _deadline(self) -> "Deadline | None":
         """The request's deadline budget from ``X-Carbon3D-Deadline-Ms``."""
@@ -242,7 +278,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         trace_id = obs_trace.current_trace_id()
 
         def write_line(payload: dict) -> None:
-            self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+            data = json.dumps(payload).encode("utf-8") + b"\n"
+            if self._tenant_ctx is not None:
+                self._tenant_ctx.add("bytes_out", len(data))
+            self.wfile.write(data)
             self.wfile.flush()
 
         header = {
@@ -268,11 +307,18 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 trailer["trace_id"] = trace_id
             self._log_error = trailer.get("error", {}).get("type")
             write_line(trailer)
+            if self._tenant_ctx is not None:
+                # Flush before the connection closes (the client reads
+                # until EOF, so the ledger is current by the time it can
+                # issue a follow-up) — partial work is still billed.
+                self._flush_tenant(self._tenant_ctx, 200)
             return
         done = {"done": True, "points": total}
         if trace_id is not None:
             done["trace_id"] = trace_id
         write_line(done)
+        if self._tenant_ctx is not None:
+            self._flush_tenant(self._tenant_ctx, 200)
 
     def _read_json_body(self) -> dict:
         # Until the body is fully read off the socket, answering on a
@@ -307,7 +353,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
     KNOWN_ROUTES = frozenset({
         "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
         "/tornado", "/optimize", "/healthz", "/healthz/live",
-        "/healthz/ready", "/stats", "/metrics",
+        "/healthz/ready", "/stats", "/metrics", "/usage",
     })
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -330,6 +376,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._log_cache = None
         self._log_error = None
         self._log_shed = False
+        #: Set by _handle_post once the caller's tenant resolves; the
+        #: response writers accumulate bytes into it and flush it to the
+        #: usage ledger just before the response hits the socket.
+        self._tenant_ctx = None
+        self._tenant_flushed = False
         incoming = self.headers.get(obs_trace.TRACE_HEADER)
         started = time.perf_counter()
         with obs_trace.trace(
@@ -337,6 +388,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         ) as root:
             trace_id = root.trace_id
             handler()
+        if self._tenant_ctx is not None and not self._tenant_flushed:
+            # Backstop for requests that died before any response write
+            # (socket errors mid-handler): the work still gets billed.
+            self._flush_tenant(self._tenant_ctx, self._log_status)
         duration_s = time.perf_counter() - started
         route = (
             self.path if self.path in self.KNOWN_ROUTES else "(unknown)"
@@ -356,13 +411,51 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 error=self._log_error,
             )
 
+    def _flush_tenant(self, ctx: TenantContext, status: int) -> None:
+        """One ledger write + metric bumps per served work request.
+
+        Status decides the accounting: a quota 429 bills
+        ``quota_rejected`` (the request never ran), anything else counts
+        a request (plus ``errors`` on 4xx/5xx); the dispatcher-mirrored
+        counters (points / computed / store hits) and the response bytes
+        ride in the same batch. Accounting must never fail the response,
+        so ledger errors are swallowed (the store layer already
+        retries/heals underneath).
+        """
+        self._tenant_flushed = True
+        server = self.server
+        if status == 429:
+            ctx.add("quota_rejected")
+            server.tenant_rejected.labels(tenant=ctx.tenant).inc()
+        else:
+            ctx.add("requests")
+            if status >= 400:
+                ctx.add("errors")
+        server.tenant_requests.labels(tenant=ctx.tenant).inc()
+        points = ctx.counters.get("points", 0)
+        if points:
+            server.tenant_points.labels(tenant=ctx.tenant).inc(points)
+        try:
+            server.dispatcher.usage.record(ctx.tenant, **ctx.counters)
+        except Exception as error:
+            sys.stderr.write(
+                f"[carbon3d] dropping usage record for tenant "
+                f"{ctx.tenant!r}: {type(error).__name__}: {error}\n"
+            )
+
     def _handle_get(self) -> None:
         try:
-            if not self._authorized():
-                self._send_error(
-                    401, schema.AuthError("missing or invalid service token")
-                )
-            elif self.path == "/healthz":
+            if not (
+                self.path.startswith("/healthz") or self.path == "/metrics"
+            ):
+                # Everything else is tenant-scoped once the registry
+                # enforces; AuthError → the 401 branch below. Billed
+                # like any served request (_send_json flushes the ctx).
+                ctx = self._resolve_tenant()
+                self._tenant_ctx = ctx
+            else:
+                ctx = None
+            if self.path == "/healthz":
                 self._send_json(200, self.server.health_payload())
             elif self.path == "/healthz/live":
                 # Liveness: the process answers, full stop. Never 503s —
@@ -391,6 +484,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     200,
                     schema.ok_envelope(self.server.stats_dict()),
                 )
+            elif self.path == "/usage":
+                self._send_json(
+                    200,
+                    schema.ok_envelope(self.server.usage_payload(ctx)),
+                )
             elif self.path == "/metrics":
                 # Prometheus text exposition; open (like /healthz*) so
                 # scrapers need no service token.
@@ -403,14 +501,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._send_error(
                     404, schema.SchemaError(f"no such route: {self.path}")
                 )
+        except schema.AuthError as error:
+            self._send_error(401, error)
         except Exception as error:  # pragma: no cover - defensive
             self.server.dispatcher.stats.inc("errors")
             self._send_error(500, error)
 
     def _handle_post(self) -> None:
-        server = self.server
-        dispatcher = server.dispatcher
-        admitted = False
         # Pessimistic until the request body is drained off the socket:
         # any early answer (auth, shed, injected fault, bad deadline)
         # leaves unread body bytes that would be parsed as the next
@@ -418,13 +515,25 @@ class ServiceHandler(BaseHTTPRequestHandler):
         # flips this back once the body is fully read.
         self.close_connection = True
         try:
-            if not self._authorized():
-                # The body stays unread, so the connection cannot be
-                # reused — close it rather than parse attacker bytes.
-                self._send_error(
-                    401, schema.AuthError("missing or invalid service token")
-                )
-                return
+            ctx = self._resolve_tenant()
+        except schema.AuthError as error:
+            # The body stays unread, so the connection cannot be
+            # reused — close it rather than parse attacker bytes. An
+            # unauthenticated caller is nobody's tenant: no usage row.
+            self._send_error(401, error)
+            return
+        self._tenant_ctx = ctx
+        with tenant_scope(ctx):
+            # The scope covers dispatch AND stream consumption (both on
+            # this handler thread): every store key, quota check, and
+            # mirrored counter below sees the caller's tenant.
+            self._dispatch_post(ctx)
+
+    def _dispatch_post(self, ctx: TenantContext) -> None:
+        server = self.server
+        dispatcher = server.dispatcher
+        admitted = False
+        try:
             if server.faults.active:
                 server.faults.hit("server.request")
             if server.draining:
@@ -527,6 +636,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
             # client mistake.
             dispatcher.stats.inc("errors")
             self._send_error(504, error)
+        except QuotaExceededError as error:
+            # Before CarbonModelError: a quota rejection is a typed 429
+            # with its own Retry-After — the tenant's budget ran out,
+            # not the service's capacity (that is the 503 below) and not
+            # a client mistake (the 400 below). The dispatcher admitted
+            # nothing, so no error counter; _flush_tenant bills it as
+            # quota_rejected off the 429 status.
+            self._send_error(
+                429, error,
+                headers=server.retry_after_headers(error.retry_after_s),
+            )
         except schema.OverloadedError as error:
             # Shed, not failed: the request was never processed, so the
             # client may safely retry after the advertised back-off.
@@ -572,6 +692,8 @@ class CarbonService(ThreadingHTTPServer):
         request_log: "JsonRequestLog | None" = None,
         listen_socket=None,
         worker_index: "int | None" = None,
+        tokens_path: "str | None" = None,
+        token_registry: "TokenRegistry | None" = None,
     ) -> None:
         if listen_socket is None:
             super().__init__(address, ServiceHandler)
@@ -597,9 +719,23 @@ class CarbonService(ThreadingHTTPServer):
                 store_path, max_entries=max_entries, faults=self.faults
             )
         self.store = store
-        #: Optional shared secret; when set, requests (except
-        #: ``GET /healthz*``) must carry it as ``X-Carbon3D-Token``.
+        #: Legacy shared secret (``--token``, deprecated); kept as an
+        #: attribute for introspection, enforced through the registry.
         self.token = token
+        #: Token registry — the tenancy control plane's source of truth.
+        #: ``token_registry=`` shares a caller-owned instance (tests),
+        #: ``tokens_path=`` opens/creates the SQLite file (each fleet
+        #: worker opens its own connection after the fork), and a bare
+        #: legacy ``token=`` gets a process-local in-memory registry so
+        #: the old single-secret deployments run unchanged.
+        self._owns_tokens = token_registry is None
+        self.tokens = token_registry
+        if self.tokens is None and tokens_path is not None:
+            self.tokens = TokenRegistry(tokens_path)
+        if token is not None:
+            if self.tokens is None:
+                self.tokens = TokenRegistry()
+            self.tokens.ensure_shared_secret(token)
         self.dispatcher = Dispatcher(
             params=params, fab_location=fab_location, store=store,
             faults=self.faults,
@@ -634,6 +770,21 @@ class CarbonService(ThreadingHTTPServer):
             "carbon3d_shed_requests_total",
             "POSTs shed by the admission gate or during drain",
         )
+        #: Per-tenant series for ``/metrics`` — labeled children are
+        #: created lazily per tenant id (bounded by the registry's
+        #: token count, so cardinality stays operator-controlled).
+        self.tenant_requests = self.metrics.counter(
+            "carbon3d_tenant_requests_total",
+            "Work POSTs answered, by tenant (quota rejections included)",
+        )
+        self.tenant_points = self.metrics.counter(
+            "carbon3d_tenant_points_total",
+            "Evaluation points billed, by tenant",
+        )
+        self.tenant_rejected = self.metrics.counter(
+            "carbon3d_tenant_quota_rejected_total",
+            "Requests answered 429 by per-tenant quota enforcement",
+        )
         self.metrics.gauge(
             "carbon3d_inflight_requests",
             "Admitted POSTs currently being processed",
@@ -667,10 +818,35 @@ class CarbonService(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
-    def retry_after_headers(self) -> dict:
+    def retry_after_headers(self, seconds: "float | None" = None) -> dict:
         # Retry-After is an integer number of seconds; round up so a
-        # client honoring the header never retries early.
-        return {"Retry-After": str(max(1, int(-(-self.retry_after_s // 1))))}
+        # client honoring the header never retries early. ``seconds``
+        # overrides the shed default (quota 429s advertise the bucket's
+        # own refill time).
+        value = self.retry_after_s if seconds is None else seconds
+        return {"Retry-After": str(max(1, int(-(-value // 1))))}
+
+    @property
+    def auth_enforced(self) -> bool:
+        """Whether requests must carry a resolvable token right now."""
+        return self.tokens is not None and self.tokens.enforcing()
+
+    def usage_payload(self, ctx: "TenantContext | None") -> dict:
+        """``GET /usage``: the caller's ledger totals, JSON-ready.
+
+        Every caller sees its own tenant's counters; admin-scoped
+        tokens — and open servers, where "everyone" is the operator —
+        additionally get the all-tenants breakdown.
+        """
+        ctx = ctx if ctx is not None else TenantContext()
+        ledger = self.dispatcher.usage
+        payload = {
+            "tenant": ctx.tenant,
+            "usage": ledger.totals(ctx.tenant),
+        }
+        if ctx.is_admin or not self.auth_enforced:
+            payload["tenants"] = ledger.all_totals()
+        return payload
 
     def health_payload(self) -> dict:
         from ..pipeline.registry import backend_names
@@ -684,13 +860,14 @@ class CarbonService(ThreadingHTTPServer):
             "fab_location": self.dispatcher.fab_location,
             "store": None if self.store is None else self.store.path,
             "backends": list(backend_names()),
-            "auth": self.token is not None,
+            "auth": self.auth_enforced,
+            "tenancy": self.tokens is not None,
             "max_inflight": self.gate.limit,
             "worker": self.worker_index,
             "endpoints": [
                 "/evaluate", "/batch", "/sweep", "/montecarlo", "/compare",
                 "/tornado", "/optimize", "/healthz", "/healthz/live",
-                "/healthz/ready", "/stats", "/metrics",
+                "/healthz/ready", "/stats", "/metrics", "/usage",
             ],
         })
 
@@ -762,6 +939,8 @@ class CarbonService(ThreadingHTTPServer):
         self.server_close()
         if self.store is not None:
             self.store.close()
+        if self.tokens is not None and self._owns_tokens:
+            self.tokens.close()
 
 
 def make_server(

@@ -67,7 +67,17 @@ from ..resilience.faults import resolve_injector
 #: constants (LCA ``cpa_scale``, first-order coefficients) — a v2 store,
 #: keyed on the shared Table 2 factors whatever the backend, could serve
 #: stale per-backend results and is rebuilt instead.
-STORE_FORMAT_VERSION = 3
+#: v4: keys are tenant-namespaced (see :mod:`repro.tenancy.namespace`).
+#: The anonymous/legacy namespace keeps the *unsalted* v3 digest
+#: byte-for-byte, so a v3 store is **adopted** — its rows become the
+#: anonymous namespace, which is exactly who wrote them — rather than
+#: wiped; named tenants hash to disjoint keys a v3 store cannot contain,
+#: so adoption can never serve a wrong-tenant result.
+STORE_FORMAT_VERSION = 4
+
+#: Prior versions whose rows remain valid under the current format
+#: (mapped into the anonymous namespace); anything else is wiped.
+_ADOPTABLE_VERSIONS = ("3",)
 
 
 class StoreError(CarbonModelError):
@@ -136,6 +146,12 @@ CREATE TABLE IF NOT EXISTS claims (
     owner   TEXT NOT NULL,
     expires REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS usage (
+    tenant  TEXT NOT NULL,
+    field   TEXT NOT NULL,
+    value   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (tenant, field)
+);
 """
 
 #: SQLite sidecar files that must travel with a quarantined database —
@@ -189,6 +205,9 @@ class ResultStore:
         #: failure or runtime corruption) and busy retries taken.
         self.quarantined = 0
         self.busy_retried = 0
+        #: Set to the prior format-version string when this open adopted
+        #: a pre-tenancy database into the anonymous namespace.
+        self.adopted: "str | None" = None
         #: Lifetime counters accumulate in memory and flush to the meta
         #: table lazily (stats/close, or every
         #: :data:`FLUSH_PENDING_EVERY` observations) — a per-probe
@@ -240,6 +259,12 @@ class ResultStore:
         conn.executescript(_SCHEMA_SQL)
         version = self._meta_get("format_version")
         if version is None:
+            self._meta_set("format_version", str(STORE_FORMAT_VERSION))
+        elif version in _ADOPTABLE_VERSIONS:
+            # Pre-tenancy rows carry the anonymous namespace's exact
+            # keys; adopt them in place instead of recomputing a warm
+            # cache from scratch.
+            self.adopted = version
             self._meta_set("format_version", str(STORE_FORMAT_VERSION))
         elif version != str(STORE_FORMAT_VERSION):
             # A stale format cannot be trusted to share keys; start over.
@@ -532,6 +557,60 @@ class ResultStore:
         with self._lock:
             self._run("store.put", op)
             self._maybe_flush_lifetime()
+
+    # -- usage rows: fleet-wide tenant accounting -----------------------------
+
+    def add_usage(self, tenant: str, deltas: "dict[str, int]") -> None:
+        """UPSERT-increment usage counters for ``tenant``.
+
+        One commit per served request (the server batches a request's
+        deltas into a single call). The rows live in the shared database
+        file, so — like the claim rows — they are the fleet's single
+        source of truth: every worker increments the same counters, and
+        absolute quotas read them back fleet-accurately.
+        """
+
+        def op() -> None:
+            for field, value in deltas.items():
+                self._conn.execute(
+                    "INSERT INTO usage (tenant, field, value) "
+                    "VALUES (?, ?, ?) "
+                    "ON CONFLICT(tenant, field) "
+                    "DO UPDATE SET value = value + excluded.value",
+                    (tenant, field, int(value)),
+                )
+            self._conn.commit()
+
+        with self._lock:
+            self._run("store.usage", op)
+
+    def usage_totals(self, tenant: str) -> "dict[str, int]":
+        """Live counters for one tenant (empty dict when unseen)."""
+
+        def op() -> "dict[str, int]":
+            rows = self._conn.execute(
+                "SELECT field, value FROM usage WHERE tenant = ?",
+                (tenant,),
+            ).fetchall()
+            return {field: int(value) for field, value in rows}
+
+        with self._lock:
+            return self._run("store.usage", op)
+
+    def usage_all(self) -> "dict[str, dict[str, int]]":
+        """Counters for every tenant the store has ever accounted."""
+
+        def op() -> "dict[str, dict[str, int]]":
+            rows = self._conn.execute(
+                "SELECT tenant, field, value FROM usage"
+            ).fetchall()
+            totals: "dict[str, dict[str, int]]" = {}
+            for tenant, field, value in rows:
+                totals.setdefault(tenant, {})[field] = int(value)
+            return totals
+
+        with self._lock:
+            return self._run("store.usage", op)
 
     def __len__(self) -> int:
         with self._lock:

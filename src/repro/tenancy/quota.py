@@ -1,0 +1,220 @@
+"""Per-tenant admission control: token buckets and absolute quotas.
+
+Two complementary limits, both attached to a tenant's token record
+(:mod:`repro.tenancy.tokens`) and enforced in the dispatcher's admission
+path *before* any work is claimed:
+
+* **Rate** — a classic token bucket (``rate_per_s`` refill, ``burst``
+  capacity) charged in *evaluation points* (a batch of 100 points costs
+  100 bucket tokens, a single evaluate costs 1). Buckets live in process
+  memory, so under a pre-forked fleet each worker enforces the rate
+  independently — the effective fleet-wide rate is ``workers ×
+  rate_per_s`` in the worst case. That is the standard trade for
+  shared-nothing workers; the *absolute* quotas below are fleet-accurate.
+* **Absolute** — ``max_requests`` / ``max_points`` lifetime ceilings
+  compared against the store-backed usage ledger
+  (:mod:`repro.tenancy.usage`), which aggregates across every fleet
+  worker. Once exhausted, the tenant stays rejected until an operator
+  raises the quota (rotate/reissue the token).
+
+Rejections raise :class:`QuotaExceededError`, which the server maps to a
+typed **429** payload with a ``Retry-After`` header — deliberately
+distinct from the PR 6 overload **503**: a 503 means *the service* is
+unhealthy (and trips the client's circuit breaker); a 429 means *this
+tenant* is out of budget while the service is fine (and must stay
+breaker-neutral, see :mod:`repro.service.client`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..errors import CarbonModelError
+
+__all__ = [
+    "EXHAUSTED_RETRY_AFTER_S",
+    "QuotaExceededError",
+    "QuotaManager",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+#: ``Retry-After`` for *absolute* quota exhaustion. The ceiling will not
+#: refill on its own, but a finite hint keeps well-behaved clients
+#: polling slowly instead of hammering (an operator may raise the quota).
+EXHAUSTED_RETRY_AFTER_S = 60.0
+
+
+class QuotaExceededError(CarbonModelError):
+    """A tenant exceeded its rate or absolute quota (wire status 429).
+
+    ``retry_after_s`` repeats the ``Retry-After`` header in the typed
+    body; ``reason`` is ``"rate"`` / ``"requests"`` / ``"points"`` so
+    clients and tests can tell a refillable bucket from a hard ceiling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float,
+        tenant: "str | None" = None,
+        reason: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.tenant = tenant
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits attached to one token; ``None`` fields are unlimited."""
+
+    #: Token-bucket refill in evaluation points per second.
+    rate_per_s: "float | None" = None
+    #: Bucket capacity; defaults to one second of refill (min 1).
+    burst: "float | None" = None
+    #: Lifetime request ceiling (fleet-wide, ledger-backed).
+    max_requests: "int | None" = None
+    #: Lifetime evaluated-point ceiling (fleet-wide, ledger-backed).
+    max_points: "int | None" = None
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.rate_per_s is None
+            and self.max_requests is None
+            and self.max_points is None
+        )
+
+    @property
+    def capacity(self) -> float:
+        if self.burst is not None:
+            return max(float(self.burst), 1.0)
+        if self.rate_per_s is not None:
+            return max(float(self.rate_per_s), 1.0)
+        return 1.0
+
+    def to_dict(self) -> dict:
+        data = {}
+        for field in ("rate_per_s", "burst", "max_requests", "max_points"):
+            value = getattr(self, field)
+            if value is not None:
+                data[field] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: "dict | None") -> "TenantQuota":
+        data = dict(data or {})
+        known = {"rate_per_s", "burst", "max_requests", "max_points"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown quota fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket, thread-safe, charged in points."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        capacity: float,
+        clock=time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        self.rate_per_s = float(rate_per_s)
+        self.capacity = max(float(capacity), 1.0)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, points: float = 1.0) -> "tuple[bool, float]":
+        """``(admitted, retry_after_s)``; never blocks.
+
+        A charge larger than the bucket can *ever* hold is clamped to
+        the full capacity — otherwise a single oversized batch would be
+        rejected forever instead of draining the bucket once.
+        """
+        charge = min(float(points), self.capacity)
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity,
+                self._tokens + (now - self._updated) * self.rate_per_s,
+            )
+            self._updated = now
+            if self._tokens >= charge:
+                self._tokens -= charge
+                return True, 0.0
+            wait = (charge - self._tokens) / self.rate_per_s
+            return False, max(wait, 0.001)
+
+
+class QuotaManager:
+    """Per-tenant bucket registry + ledger-backed absolute checks."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, tenant: str, quota: TenantQuota) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if (
+                bucket is None
+                or bucket.rate_per_s != quota.rate_per_s
+                or bucket.capacity != quota.capacity
+            ):
+                bucket = TokenBucket(
+                    quota.rate_per_s, quota.capacity, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def admit(self, tenant: str, quota: "TenantQuota | None", points: int,
+              usage=None) -> None:
+        """Raise :class:`QuotaExceededError` unless ``points`` may run.
+
+        Absolute ceilings are checked first (against the fleet-wide
+        ledger when ``usage`` is given) so an exhausted tenant gets the
+        honest ``reason`` even when its bucket is also empty.
+        """
+        if quota is None or quota.unlimited:
+            return
+        if usage is not None:
+            if quota.max_requests is not None:
+                used = usage.total(tenant, "requests")
+                if used + 1 > quota.max_requests:
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exhausted its request quota "
+                        f"({used}/{quota.max_requests})",
+                        retry_after_s=EXHAUSTED_RETRY_AFTER_S,
+                        tenant=tenant,
+                        reason="requests",
+                    )
+            if quota.max_points is not None:
+                used = usage.total(tenant, "points")
+                if used + points > quota.max_points:
+                    raise QuotaExceededError(
+                        f"tenant {tenant!r} exhausted its point quota "
+                        f"({used}+{points}/{quota.max_points})",
+                        retry_after_s=EXHAUSTED_RETRY_AFTER_S,
+                        tenant=tenant,
+                        reason="points",
+                    )
+        if quota.rate_per_s is not None:
+            admitted, wait = self._bucket(tenant, quota).try_acquire(points)
+            if not admitted:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} over its rate limit "
+                    f"({quota.rate_per_s:g} points/s)",
+                    retry_after_s=wait,
+                    tenant=tenant,
+                    reason="rate",
+                )

@@ -1,0 +1,87 @@
+"""Per-tenant usage accounting, persisted through the result store.
+
+Each served request flushes one batch of counter deltas — ``requests``,
+``points``, ``computed``, ``store_hits``, ``errors``,
+``quota_rejected``, ``bytes_out`` — keyed by tenant. With a persistent
+store the deltas are **written through** to its ``usage`` table
+(UPSERT-increment under the store's quarantine/retry discipline), so
+totals aggregate across every pre-forked fleet worker and survive
+restarts; that same fleet-wide view is what makes the absolute quotas in
+:mod:`repro.tenancy.quota` enforceable deterministically under a fleet.
+Without a store (in-memory server, local session) the ledger degrades to
+a process-local dict with identical semantics minus durability.
+
+Totals are read back live (one indexed SELECT) rather than cached:
+``GET /usage`` must agree no matter which worker answers it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["USAGE_FIELDS", "UsageLedger"]
+
+#: Every counter a ledger row may carry, in display order.
+USAGE_FIELDS = (
+    "requests",
+    "points",
+    "computed",
+    "store_hits",
+    "errors",
+    "quota_rejected",
+    "bytes_out",
+)
+
+
+class UsageLedger:
+    """Write-through tenant counters over the store (or local memory)."""
+
+    def __init__(self, store=None) -> None:
+        self.store = store
+        self._local: "dict[str, dict[str, int]]" = {}
+        self._lock = threading.Lock()
+
+    def record(self, tenant: str, **fields: int) -> None:
+        """Add counter deltas for ``tenant``; unknown fields rejected."""
+        deltas = {
+            name: int(value)
+            for name, value in fields.items()
+            if value
+        }
+        unknown = set(deltas) - set(USAGE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown usage fields: {sorted(unknown)}")
+        if not deltas:
+            return
+        if self.store is not None:
+            self.store.add_usage(tenant, deltas)
+            return
+        with self._lock:
+            totals = self._local.setdefault(tenant, {})
+            for name, value in deltas.items():
+                totals[name] = totals.get(name, 0) + value
+
+    def total(self, tenant: str, field: str) -> int:
+        """One live counter (used by absolute-quota admission)."""
+        return self.totals(tenant).get(field, 0)
+
+    def totals(self, tenant: str) -> "dict[str, int]":
+        """All counters for one tenant, zero-filled in display order."""
+        if self.store is not None:
+            raw = self.store.usage_totals(tenant)
+        else:
+            with self._lock:
+                raw = dict(self._local.get(tenant, {}))
+        return {name: int(raw.get(name, 0)) for name in USAGE_FIELDS}
+
+    def all_totals(self) -> "dict[str, dict[str, int]]":
+        """Every tenant's counters (admin ``/usage`` view)."""
+        if self.store is not None:
+            raw = self.store.usage_all()
+        else:
+            with self._lock:
+                raw = {t: dict(v) for t, v in self._local.items()}
+        return {
+            tenant: {name: int(vals.get(name, 0)) for name in USAGE_FIELDS}
+            for tenant, vals in sorted(raw.items())
+        }
